@@ -1,0 +1,292 @@
+package vsmartjoin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vsmartjoin/internal/core"
+	"vsmartjoin/internal/graph"
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+)
+
+// Algorithm names accepted by Options.Algorithm.
+const (
+	// AlgorithmOnlineAggregation joins Uni(Mi) in one MR step using
+	// secondary keys (the fastest; rejected in Hadoop-compatible mode).
+	AlgorithmOnlineAggregation = "online-aggregation"
+	// AlgorithmLookup joins through an in-memory side table (fast, but the
+	// table must fit in per-machine memory).
+	AlgorithmLookup = "lookup"
+	// AlgorithmSharding splits entities by underlying cardinality around
+	// parameter C (scalable on skewed data; Hadoop-compatible).
+	AlgorithmSharding = "sharding"
+)
+
+// Measure names accepted by Options.Measure: "ruzicka", "jaccard", "dice",
+// "set-dice", "cosine", "set-cosine", "vector-cosine", "overlap".
+
+// Dataset accumulates entities for a join. Entities and elements are
+// strings, interned internally; use AddByID for pre-numbered data.
+type Dataset struct {
+	dict     *multiset.Dict
+	names    map[multiset.ID]string
+	byName   map[string]multiset.ID
+	sets     []multiset.Multiset
+	nextID   multiset.ID
+	numbered bool
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{
+		dict:   multiset.NewDict(),
+		names:  make(map[multiset.ID]string),
+		byName: make(map[string]multiset.ID),
+		nextID: 1,
+	}
+}
+
+// Add registers an entity with its element multiplicities. Adding the
+// same entity name twice merges the multiplicities.
+func (d *Dataset) Add(entity string, counts map[string]uint32) {
+	id, ok := d.byName[entity]
+	if !ok {
+		id = d.nextID
+		d.nextID++
+		d.byName[entity] = id
+		d.names[id] = entity
+		d.sets = append(d.sets, multiset.Multiset{ID: id})
+	}
+	idx := int(0)
+	for i := range d.sets {
+		if d.sets[i].ID == id {
+			idx = i
+			break
+		}
+	}
+	entries := d.sets[idx].Entries
+	for elem, c := range counts {
+		if c == 0 {
+			continue
+		}
+		entries = append(entries, multiset.Entry{Elem: d.dict.Intern(elem), Count: c})
+	}
+	d.sets[idx] = multiset.New(id, entries)
+}
+
+// AddSet registers an entity as a set (all multiplicities 1).
+func (d *Dataset) AddSet(entity string, elements []string) {
+	counts := make(map[string]uint32, len(elements))
+	for _, e := range elements {
+		counts[e] = 1
+	}
+	d.Add(entity, counts)
+}
+
+// AddByID registers a pre-numbered entity. Mixing Add and AddByID in one
+// dataset is not supported.
+func (d *Dataset) AddByID(entity uint64, counts map[uint64]uint32) {
+	d.numbered = true
+	entries := make([]multiset.Entry, 0, len(counts))
+	for e, c := range counts {
+		entries = append(entries, multiset.Entry{Elem: multiset.Elem(e), Count: c})
+	}
+	d.sets = append(d.sets, multiset.New(multiset.ID(entity), entries))
+}
+
+// Len reports the number of entities.
+func (d *Dataset) Len() int { return len(d.sets) }
+
+// Options configures AllPairs.
+type Options struct {
+	// Measure is the similarity measure name (default "ruzicka").
+	Measure string
+	// Threshold is the similarity cut-off t in [0, 1] (default 0.5).
+	Threshold float64
+	// Algorithm selects the joining algorithm (default online-aggregation,
+	// or sharding when HadoopCompat is set).
+	Algorithm string
+	// Machines sets the simulated cluster size (default 16).
+	Machines int
+	// MemPerMachine is the simulated per-machine memory budget in bytes
+	// (default 1 GiB, the paper's setting).
+	MemPerMachine int64
+	// HadoopCompat disables secondary-key support, as on Hadoop.
+	HadoopCompat bool
+	// StopWordQ, when positive, drops elements shared by more than q
+	// entities before joining.
+	StopWordQ int
+	// ShardC overrides the Sharding split parameter C.
+	ShardC int
+}
+
+// Pair is one similar pair of entities.
+type Pair struct {
+	A, B       string
+	Similarity float64
+}
+
+// Stats summarizes the simulated cluster cost of a run.
+type Stats struct {
+	// JoiningSeconds and SimilaritySeconds split the simulated time by
+	// phase; TotalSeconds is their sum.
+	JoiningSeconds    float64
+	SimilaritySeconds float64
+	TotalSeconds      float64
+	// Jobs is the number of MapReduce steps executed.
+	Jobs int
+	// CandidateTuples counts the pair tuples Similarity1 emitted;
+	// OutputPairs counts the final pairs.
+	CandidateTuples int64
+	OutputPairs     int64
+}
+
+// Result is the outcome of AllPairs.
+type Result struct {
+	// Pairs are the similar pairs, sorted by entity names.
+	Pairs []Pair
+	// Stats is the simulated cluster cost.
+	Stats Stats
+
+	ids []records.Pair
+	rev map[multiset.ID]string
+}
+
+// Communities clusters the similar pairs into connected components —
+// the paper's community-discovery post-processing. Components are sorted
+// largest first; members are entity names.
+func (r *Result) Communities() [][]string {
+	comps := graph.Communities(r.ids)
+	out := make([][]string, len(comps))
+	for i, c := range comps {
+		names := make([]string, len(c))
+		for j, id := range c {
+			names[j] = r.rev[id]
+		}
+		sort.Strings(names)
+		out[i] = names
+	}
+	return out
+}
+
+// AllPairs finds every pair of entities with similarity at or above the
+// threshold, exactly.
+func AllPairs(d *Dataset, opts Options) (*Result, error) {
+	if d == nil || len(d.sets) == 0 {
+		return nil, errors.New("vsmartjoin: empty dataset")
+	}
+	measureName := opts.Measure
+	if measureName == "" {
+		measureName = "ruzicka"
+	}
+	measure, err := similarity.ByName(measureName)
+	if err != nil {
+		return nil, err
+	}
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	machines := opts.Machines
+	if machines == 0 {
+		machines = 16
+	}
+	mem := opts.MemPerMachine
+	if mem == 0 {
+		mem = 1 << 30
+	}
+	algName := opts.Algorithm
+	if algName == "" {
+		if opts.HadoopCompat {
+			algName = AlgorithmSharding
+		} else {
+			algName = AlgorithmOnlineAggregation
+		}
+	}
+	var alg core.Algorithm
+	switch algName {
+	case AlgorithmOnlineAggregation:
+		alg = core.OnlineAggregation
+	case AlgorithmLookup:
+		alg = core.Lookup
+	case AlgorithmSharding:
+		alg = core.Sharding
+	default:
+		return nil, fmt.Errorf("vsmartjoin: unknown algorithm %q", algName)
+	}
+
+	cluster := mr.NewCluster(machines, mem)
+	if opts.HadoopCompat {
+		cluster = cluster.Hadoop()
+	}
+	input := records.BuildInput("input", d.sets, 4*machines)
+	res, err := core.Join(cluster, input, core.Config{
+		Measure:   measure,
+		Threshold: threshold,
+		Algorithm: alg,
+		ShardC:    opts.ShardC,
+		StopWordQ: opts.StopWordQ,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{ids: res.Pairs, rev: d.nameTable()}
+	out.Stats = Stats{
+		JoiningSeconds:    res.JoiningStats.TotalSeconds,
+		SimilaritySeconds: res.SimilarityStats.TotalSeconds,
+		TotalSeconds:      res.Stats.TotalSeconds,
+		Jobs:              len(res.Stats.Jobs),
+		CandidateTuples:   res.Stats.Counter(core.CounterCandidateTuples),
+		OutputPairs:       res.Stats.Counter(core.CounterOutputPairs),
+	}
+	for _, p := range res.Pairs {
+		a, b := out.rev[p.A], out.rev[p.B]
+		if a > b {
+			a, b = b, a
+		}
+		out.Pairs = append(out.Pairs, Pair{A: a, B: b, Similarity: p.Sim})
+	}
+	sort.Slice(out.Pairs, func(i, j int) bool {
+		if out.Pairs[i].A != out.Pairs[j].A {
+			return out.Pairs[i].A < out.Pairs[j].A
+		}
+		return out.Pairs[i].B < out.Pairs[j].B
+	})
+	return out, nil
+}
+
+// nameTable maps IDs back to entity names (synthesized for AddByID data).
+func (d *Dataset) nameTable() map[multiset.ID]string {
+	rev := make(map[multiset.ID]string, len(d.sets))
+	for _, m := range d.sets {
+		if n, ok := d.names[m.ID]; ok {
+			rev[m.ID] = n
+		} else {
+			rev[m.ID] = fmt.Sprintf("%d", uint64(m.ID))
+		}
+	}
+	return rev
+}
+
+// Similarity computes the similarity of two entities directly — a
+// convenience for spot checks and tests.
+func Similarity(measure string, a, b map[string]uint32) (float64, error) {
+	m, err := similarity.ByName(measure)
+	if err != nil {
+		return 0, err
+	}
+	dict := multiset.NewDict()
+	build := func(id multiset.ID, counts map[string]uint32) multiset.Multiset {
+		entries := make([]multiset.Entry, 0, len(counts))
+		for e, c := range counts {
+			entries = append(entries, multiset.Entry{Elem: dict.Intern(e), Count: c})
+		}
+		return multiset.New(id, entries)
+	}
+	return similarity.Exact(m, build(1, a), build(2, b)), nil
+}

@@ -1,0 +1,340 @@
+package vsmartjoin
+
+// The benchmark harness regenerates every figure of the paper's evaluation
+// (§7) at benchmark scale. Each BenchmarkFigN exercises the same code paths
+// as `cmd/experiments -fig N` on reduced traces so `go test -bench=.`
+// finishes quickly; the full-scale reproduction lives in cmd/experiments
+// and its output is recorded in EXPERIMENTS.md.
+//
+// Custom metrics: sim-s/run is the simulated cluster seconds of the
+// measured configuration; pairs/run is the result size.
+
+import (
+	"fmt"
+	"testing"
+
+	"vsmartjoin/internal/core"
+	"vsmartjoin/internal/datagen"
+	"vsmartjoin/internal/experiments"
+	"vsmartjoin/internal/lsh"
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/mrfs"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/ppjoin"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+	"vsmartjoin/internal/vcl"
+)
+
+// benchTrace caches the benchmark-scale trace across benchmarks.
+var benchTrace *datagen.Trace
+
+func benchInput(b *testing.B) (*datagen.Trace, *mrfs.Dataset) {
+	b.Helper()
+	if benchTrace == nil {
+		tr, err := datagen.Generate(datagen.TinyConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTrace = tr
+	}
+	return benchTrace, records.BuildInput("bench", benchTrace.Multisets, 64)
+}
+
+func benchCluster() mr.ClusterConfig {
+	cl := experiments.Cluster(experiments.DefaultMachines)
+	cl.Cost.MaxTaskSeconds = 0
+	return cl
+}
+
+// BenchmarkFig2_Distributions regenerates the Fig 2–3 dataset histograms.
+func BenchmarkFig2_Distributions(b *testing.B) {
+	tr, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perM := 0
+		freq := make(map[multiset.Elem]int64)
+		for _, m := range tr.Multisets {
+			perM += m.UnderlyingCardinality()
+			for _, e := range m.Entries {
+				freq[e.Elem]++
+			}
+		}
+		if perM == 0 || len(freq) == 0 {
+			b.Fatal("empty distributions")
+		}
+	}
+}
+
+// BenchmarkFig4_SmallVsThreshold measures one point of the Fig 4 sweep per
+// algorithm (t = 0.5; the V-SMART algorithms are threshold-insensitive).
+func BenchmarkFig4_SmallVsThreshold(b *testing.B) {
+	_, input := benchInput(b)
+	for _, alg := range []core.Algorithm{core.OnlineAggregation, core.Lookup, core.Sharding} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var sim float64
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Join(benchCluster(), input, core.Config{
+					Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: alg, NumReducers: 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = res.Stats.TotalSeconds
+				pairs = len(res.Pairs)
+			}
+			b.ReportMetric(sim, "sim-s/run")
+			b.ReportMetric(float64(pairs), "pairs/run")
+		})
+	}
+	b.Run("vcl", func(b *testing.B) {
+		var sim float64
+		for i := 0; i < b.N; i++ {
+			res, err := vcl.Join(benchCluster(), input, vcl.Config{
+				Measure: similarity.Ruzicka{}, Threshold: 0.5, NumReducers: 64,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = res.Stats.TotalSeconds
+		}
+		b.ReportMetric(sim, "sim-s/run")
+	})
+}
+
+// BenchmarkFig5_SmallVsMachines measures the machine sweep: one execution,
+// profile re-evaluated across the paper's 100–900 range.
+func BenchmarkFig5_SmallVsMachines(b *testing.B) {
+	_, input := benchInput(b)
+	res, err := core.Join(benchCluster(), input, core.Config{
+		Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: core.OnlineAggregation, NumReducers: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm := experiments.CostModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total float64
+		for w := 100; w <= 900; w += 100 {
+			for _, j := range res.Stats.Jobs {
+				total += j.Profile.Evaluate(w, cm).Total
+			}
+		}
+		if total <= 0 {
+			b.Fatal("no cost")
+		}
+	}
+}
+
+// BenchmarkFig6_RealisticVsMachines measures the surviving algorithms'
+// full pipelines (the realistic-scale failure modes are asserted in the
+// core and vcl test suites).
+func BenchmarkFig6_RealisticVsMachines(b *testing.B) {
+	_, input := benchInput(b)
+	for _, alg := range []core.Algorithm{core.OnlineAggregation, core.Sharding} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var joining, sim float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Join(benchCluster(), input, core.Config{
+					Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: alg, NumReducers: 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				joining = res.JoiningStats.TotalSeconds
+				sim = res.SimilarityStats.TotalSeconds
+			}
+			b.ReportMetric(joining, "joining-sim-s")
+			b.ReportMetric(sim, "similarity-sim-s")
+		})
+	}
+}
+
+// BenchmarkFig7_ShardingC measures the joining phase across the C sweep.
+func BenchmarkFig7_ShardingC(b *testing.B) {
+	_, input := benchInput(b)
+	for _, c := range []int{4, 64, 1024} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				_, ps, err := core.ShardingJoining(benchCluster(), input, c, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = ps.TotalSeconds
+			}
+			b.ReportMetric(sim, "sim-s/run")
+		})
+	}
+}
+
+// BenchmarkProxyStudy measures the §7.4 pipeline: join at t = 0.1, cluster
+// into communities, score against the planted truth.
+func BenchmarkProxyStudy(b *testing.B) {
+	tr, input := benchInput(b)
+	for i := 0; i < b.N; i++ {
+		res, err := core.Join(benchCluster(), input, core.Config{
+			Measure: similarity.Ruzicka{}, Threshold: 0.1, Algorithm: core.OnlineAggregation, NumReducers: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+		_ = tr
+	}
+}
+
+// --- ablation and micro benchmarks ---
+
+// BenchmarkAblation_Combiners quantifies the dedicated-combiner design
+// choice the paper calls out: identical results, smaller shuffle and
+// better reducer balance with combiners on.
+func BenchmarkAblation_Combiners(b *testing.B) {
+	_, input := benchInput(b)
+	for _, disabled := range []bool{false, true} {
+		name := "with-combiners"
+		if disabled {
+			name = "without-combiners"
+		}
+		b.Run(name, func(b *testing.B) {
+			var sim float64
+			var shuffle int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Join(benchCluster(), input, core.Config{
+					Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: core.OnlineAggregation,
+					NumReducers: 64, DisableCombiners: disabled,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = res.Stats.TotalSeconds
+				shuffle = 0
+				for _, j := range res.Stats.Jobs {
+					shuffle += j.ShuffleBytes
+				}
+			}
+			b.ReportMetric(sim, "sim-s/run")
+			b.ReportMetric(float64(shuffle), "shuffle-B/run")
+		})
+	}
+}
+
+// BenchmarkAblation_StopWords quantifies the §4 stop-word preprocessing:
+// dropping hot elements trades an extra MR step for quadratic pair-list
+// savings in Similarity1.
+func BenchmarkAblation_StopWords(b *testing.B) {
+	_, input := benchInput(b)
+	for _, q := range []int{0, 64} {
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Join(benchCluster(), input, core.Config{
+					Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: core.Sharding,
+					NumReducers: 64, StopWordQ: q,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = res.Stats.TotalSeconds
+			}
+			b.ReportMetric(sim, "sim-s/run")
+		})
+	}
+}
+
+// BenchmarkMeasures times the similarity kernels on a merge-heavy pair.
+func BenchmarkMeasures(b *testing.B) {
+	entries := make([]multiset.Entry, 256)
+	for i := range entries {
+		entries[i] = multiset.Entry{Elem: multiset.Elem(i * 3), Count: uint32(i%7 + 1)}
+	}
+	x := multiset.New(1, entries)
+	for i := range entries {
+		entries[i] = multiset.Entry{Elem: multiset.Elem(i * 2), Count: uint32(i%5 + 1)}
+	}
+	y := multiset.New(2, entries)
+	for _, m := range similarity.All() {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = similarity.Exact(m, x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkPPJoinVariants compares the sequential baselines' filter
+// effectiveness.
+func BenchmarkPPJoinVariants(b *testing.B) {
+	tr, _ := benchInput(b)
+	sets := tr.Multisets[:400]
+	for _, v := range []ppjoin.Variant{ppjoin.VariantAllPairs, ppjoin.VariantPPJoin, ppjoin.VariantPPJoinPlus} {
+		b.Run(v.String(), func(b *testing.B) {
+			var verified int
+			for i := 0; i < b.N; i++ {
+				_, stats := ppjoin.JoinRuzicka(sets, 0.6, v)
+				verified = stats.Verified
+			}
+			b.ReportMetric(float64(verified), "verified/run")
+		})
+	}
+}
+
+// BenchmarkLSH measures MinHash signature construction and banded joining.
+func BenchmarkLSH(b *testing.B) {
+	tr, _ := benchInput(b)
+	sets := tr.Multisets[:400]
+	b.Run("signatures", func(b *testing.B) {
+		h := lsh.NewMinHasher(64, 7)
+		for i := 0; i < b.N; i++ {
+			for _, s := range sets[:64] {
+				_ = h.Signature(s)
+			}
+		}
+	})
+	b.Run("join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := lsh.Join(sets, lsh.Config{Bands: 8, Rows: 8, Seed: 3, Threshold: 0.6, Verify: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngine measures the raw MapReduce substrate on a word-count
+// shaped job.
+func BenchmarkEngine(b *testing.B) {
+	recs := make([]mrfs.Record, 4096)
+	for i := range recs {
+		recs[i] = mrfs.Record{
+			Key: []byte(fmt.Sprintf("k%d", i)),
+			Val: []byte(fmt.Sprintf("v%d w%d w%d", i, i%17, i%31)),
+		}
+	}
+	input := mrfs.FromRecords("bench", recs, 16)
+	mapper := mr.MapperFunc(func(_ *mr.TaskContext, rec mrfs.Record, emit mr.Emitter) error {
+		emit.Emit(rec.Val[:2], rec.Key)
+		return nil
+	})
+	reducer := mr.ReducerFunc(func(_ *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+		n := 0
+		for {
+			if _, ok := values.Next(); !ok {
+				break
+			}
+			n++
+		}
+		emit.Emit(key, []byte(fmt.Sprintf("%d", n)))
+		return nil
+	})
+	cl := mr.NewCluster(8, 1<<30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mr.Run(cl, mr.Job{Name: "bench", Input: input, Mapper: mapper, Reducer: reducer}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command calibrate tunes the experiment cost model. It executes each join
+// algorithm once on the scaled small dataset, then re-prices the captured
+// cost profiles under a grid of candidate coefficient sets — no re-runs —
+// and prints the ratios the paper reports so a maintainer can pick
+// coefficients that reproduce the published shapes:
+//
+//   - VCL ≈ 30× Online-Aggregation at t = 0.1, ≈ 5× at t = 0.9 (Fig 4)
+//   - ordering OA < Lookup < Sharding, with slight differences (Fig 4)
+//   - 100→900 machine run-time drops: OA 53%, Lookup 32%, VCL 35% (Fig 5)
+//   - VCL kernel map ≥ 86% of its total (Fig 4 discussion)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vsmartjoin/internal/core"
+	"vsmartjoin/internal/datagen"
+	"vsmartjoin/internal/experiments"
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+	"vsmartjoin/internal/stats"
+	"vsmartjoin/internal/vcl"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-job raw quantities")
+	flag.Parse()
+
+	trace, err := datagen.Generate(datagen.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := records.BuildInput("small", trace.Multisets, experiments.NumReducers)
+	cluster := experiments.Cluster(experiments.DefaultMachines)
+	cluster.Cost.MaxTaskSeconds = 0 // measure raw; the deadline is chosen afterwards
+
+	runs := map[string]mr.PipelineStats{}
+	kernelJob := map[string]string{}
+	for _, alg := range []core.Algorithm{core.OnlineAggregation, core.Lookup, core.Sharding} {
+		res, err := core.Join(cluster, input, core.Config{
+			Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: alg,
+			NumReducers: experiments.NumReducers,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", alg, err)
+		}
+		runs[alg.String()] = res.Stats
+		fmt.Printf("ran %s: %d pairs\n", alg, len(res.Pairs))
+	}
+	for _, t := range []float64{0.1, 0.5, 0.9} {
+		name := fmt.Sprintf("vcl@%.1f", t)
+		res, err := vcl.Join(cluster, input, vcl.Config{
+			Measure: similarity.Ruzicka{}, Threshold: t, NumReducers: experiments.NumReducers,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		runs[name] = res.Stats
+		kernelJob[name] = "vcl-kernel"
+		fmt.Printf("ran %s: %d pairs\n", name, len(res.Pairs))
+	}
+
+	if *verbose {
+		for name, ps := range runs {
+			fmt.Printf("--- %s ---\n", name)
+			for _, j := range ps.Jobs {
+				var mapBytes, maxTaskBytes int64
+				for _, t := range j.Profile.MapTasks {
+					mapBytes += t.OutBytes
+					if t.OutBytes > maxTaskBytes {
+						maxTaskBytes = t.OutBytes
+					}
+				}
+				fmt.Printf("  %-22s mapIn=%8d mapOut=%8d outB=%9d maxTaskOutB=%9d shuffle=%9dB reduceOut=%8d side=%7dB\n",
+					j.Name, j.MapInRecords, j.MapOutRecords, mapBytes, maxTaskBytes, j.ShuffleBytes, j.ReduceOutRecs, j.Profile.SideBytes)
+			}
+		}
+	}
+
+	eval := func(ps mr.PipelineStats, w int, cm mr.CostModel) (total, slowest float64) {
+		for _, j := range ps.Jobs {
+			t := j.Profile.Evaluate(w, cm)
+			total += t.Total
+			for _, c := range taskMax(j.Profile.MapTasks, cm) {
+				if c > slowest {
+					slowest = c
+				}
+			}
+		}
+		return total, slowest
+	}
+
+	grid := []mr.CostModel{experiments.CostModel()}
+	for _, startup := range []float64{100, 150, 200} {
+		for _, io := range []float64{5e-4, 1e-3, 2e-3} {
+			for _, side := range []float64{2.5e-4, 5e-4, 1e-3} {
+				grid = append(grid, mr.CostModel{
+					JobStartup: startup, TaskOverhead: 0.01,
+					CPUPerRecord: 1e-2, IOPerByte: io, NetPerByte: io,
+					SideLoadPerByte: side,
+				})
+			}
+		}
+	}
+
+	tbl := stats.Table{
+		Title: "candidate cost models @ W=500 (plus 100→900 drops)",
+		Headers: []string{"startup", "io", "side", "oa", "lk", "sh", "order",
+			"vcl.1/oa", "vcl.9/oa", "kmap%", "drop-oa", "drop-lk", "drop-vcl", "slowest-vclmap"},
+	}
+	for _, cm := range grid {
+		oa, _ := eval(runs["online-aggregation"], 500, cm)
+		lk, _ := eval(runs["lookup"], 500, cm)
+		sh, _ := eval(runs["sharding"], 500, cm)
+		v1, v1slow := eval(runs["vcl@0.1"], 500, cm)
+		v9, _ := eval(runs["vcl@0.9"], 500, cm)
+		order := "BAD"
+		if oa < lk && lk < sh {
+			order = "ok"
+		}
+		v1stats := runs["vcl@0.1"]
+		kj, _ := v1stats.Job("vcl-kernel")
+		kt := kj.Profile.Evaluate(500, cm)
+		drop := func(name string) float64 {
+			a, _ := eval(runs[name], 100, cm)
+			b, _ := eval(runs[name], 900, cm)
+			return 100 * (1 - b/a)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.0f", cm.JobStartup), fmt.Sprintf("%.0e", cm.IOPerByte), fmt.Sprintf("%.1e", cm.SideLoadPerByte),
+			fmt.Sprintf("%.0f", oa), fmt.Sprintf("%.0f", lk), fmt.Sprintf("%.0f", sh), order,
+			fmt.Sprintf("%.1f", v1/oa), fmt.Sprintf("%.1f", v9/oa),
+			fmt.Sprintf("%.0f", 100*(kt.Map+kt.Startup)/v1),
+			fmt.Sprintf("%.0f", drop("online-aggregation")), fmt.Sprintf("%.0f", drop("lookup")),
+			fmt.Sprintf("%.0f", drop("vcl@0.1")),
+			fmt.Sprintf("%.0f", v1slow),
+		)
+	}
+	fmt.Println(tbl.String())
+}
+
+// taskMax prices each map task under cm.
+func taskMax(tasks []mr.TaskIO, cm mr.CostModel) []float64 {
+	out := make([]float64, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Cost(cm)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Command experiments reproduces the paper's evaluation figures on the
+// scaled synthetic workloads. Run with no flags for the full suite, or
+// select one figure:
+//
+//	experiments -fig 4        # Fig 4: run time vs threshold (small)
+//	experiments -fig 7        # Fig 7: Sharding sensitivity to C
+//	experiments -fig proxy    # §7.4 proxy identification study
+//	experiments -tiny         # fast smoke run on tiny traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vsmartjoin/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", `figure to reproduce: 2, 3, 4, 5, 6, 7, proxy, or all`)
+	tiny := flag.Bool("tiny", false, "use tiny traces (fast smoke run)")
+	flag.Parse()
+
+	env := experiments.NewEnv()
+	if *tiny {
+		env = experiments.NewTinyEnv()
+	}
+
+	type driver struct {
+		ids []string
+		f   func(*experiments.Env) (experiments.Report, error)
+	}
+	drivers := []driver{
+		{[]string{"2", "3", "2-3", "fig2-3"}, experiments.Fig2and3},
+		{[]string{"4", "fig4"}, experiments.Fig4},
+		{[]string{"5", "fig5"}, experiments.Fig5},
+		{[]string{"6", "fig6"}, experiments.Fig6},
+		{[]string{"7", "fig7"}, experiments.Fig7},
+		{[]string{"proxy", "7.4"}, experiments.ProxyStudy},
+	}
+
+	run := func(f func(*experiments.Env) (experiments.Report, error)) {
+		start := time.Now()
+		r, err := f(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.String())
+		fmt.Printf("[reproduced in %.1fs wall clock]\n\n", time.Since(start).Seconds())
+	}
+
+	if *fig == "all" {
+		for _, d := range drivers {
+			run(d.f)
+		}
+		return
+	}
+	for _, d := range drivers {
+		for _, id := range d.ids {
+			if id == *fig {
+				run(d.f)
+				return
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+	os.Exit(2)
+}

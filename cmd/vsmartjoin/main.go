@@ -1,0 +1,135 @@
+// Command vsmartjoin runs an exact all-pair similarity join over a TSV
+// trace of entity–element observations.
+//
+// Input format (stdin or -in file), one observation per line:
+//
+//	entity<TAB>element<TAB>count
+//
+// The count column is optional (default 1). Output: one similar pair per
+// line, "entityA<TAB>entityB<TAB>similarity", sorted.
+//
+// Example:
+//
+//	vsmartjoin -measure ruzicka -t 0.5 -algorithm sharding -in trace.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"vsmartjoin"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vsmartjoin: ")
+	var (
+		in        = flag.String("in", "", "input TSV file (default stdin)")
+		measure   = flag.String("measure", "ruzicka", "similarity measure: ruzicka, jaccard, dice, set-dice, cosine, set-cosine, vector-cosine, overlap")
+		threshold = flag.Float64("t", 0.5, "similarity threshold in [0,1]")
+		algorithm = flag.String("algorithm", "online-aggregation", "joining algorithm: online-aggregation, lookup, sharding")
+		machines  = flag.Int("machines", 16, "simulated cluster size")
+		memory    = flag.Int64("memory", 1<<30, "simulated per-machine memory budget in bytes")
+		hadoop    = flag.Bool("hadoop", false, "Hadoop-compatible mode (no secondary keys)")
+		stopq     = flag.Int("stopq", 0, "drop elements shared by more than q entities (0 = keep all)")
+		shardc    = flag.Int("shardc", 0, "Sharding split parameter C (0 = default)")
+		comms     = flag.Bool("communities", false, "print connected components instead of pairs")
+		showStats = flag.Bool("stats", false, "print simulated cluster stats to stderr")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	d, lines, err := readTrace(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "read %d observations, %d entities\n", lines, d.Len())
+	}
+
+	res, err := vsmartjoin.AllPairs(d, vsmartjoin.Options{
+		Measure:       *measure,
+		Threshold:     *threshold,
+		Algorithm:     *algorithm,
+		Machines:      *machines,
+		MemPerMachine: *memory,
+		HadoopCompat:  *hadoop,
+		StopWordQ:     *stopq,
+		ShardC:        *shardc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if *comms {
+		for i, c := range res.Communities() {
+			fmt.Fprintf(w, "community-%d\t%s\n", i+1, strings.Join(c, ","))
+		}
+	} else {
+		for _, p := range res.Pairs {
+			fmt.Fprintf(w, "%s\t%s\t%.6f\n", p.A, p.B, p.Similarity)
+		}
+	}
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "%d pairs; %d MapReduce jobs; simulated %.1fs (joining %.1fs, similarity %.1fs)\n",
+			len(res.Pairs), res.Stats.Jobs, res.Stats.TotalSeconds,
+			res.Stats.JoiningSeconds, res.Stats.SimilaritySeconds)
+	}
+}
+
+// readTrace parses the TSV observation format.
+func readTrace(r io.Reader) (*vsmartjoin.Dataset, int, error) {
+	d := vsmartjoin.NewDataset()
+	counts := map[string]map[string]uint32{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			return nil, lines, fmt.Errorf("line %d: want entity<TAB>element[<TAB>count], got %q", lines+1, line)
+		}
+		count := uint32(1)
+		if len(fields) >= 3 {
+			n, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, lines, fmt.Errorf("line %d: bad count %q: %v", lines+1, fields[2], err)
+			}
+			count = uint32(n)
+		}
+		m := counts[fields[0]]
+		if m == nil {
+			m = map[string]uint32{}
+			counts[fields[0]] = m
+		}
+		m[fields[1]] += count
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, lines, err
+	}
+	for entity, m := range counts {
+		d.Add(entity, m)
+	}
+	return d, lines, nil
+}

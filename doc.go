@@ -1,0 +1,36 @@
+// Package vsmartjoin is a from-scratch Go implementation of V-SMART-Join
+// (Metwally & Faloutsos, PVLDB 2012): a scalable MapReduce framework for
+// exact all-pair similarity joins of sets, multisets, and vectors.
+//
+// The package finds every pair of entities whose similarity under a
+// nominal similarity measure (Ruzicka, Jaccard, Dice, cosine, ...) meets a
+// threshold. Entities are multisets — bags of elements with
+// multiplicities — such as the cookies observed with an IP address, the
+// shingles of a document, or the sparse coordinates of a vector.
+//
+// The join executes on a simulated shared-nothing MapReduce cluster that
+// really runs the map/combine/shuffle/reduce pipeline in-process while
+// accounting the wall-clock a cluster of the configured size would have
+// spent. Three joining algorithms from the paper are provided
+// (Online-Aggregation, Lookup, and Sharding), plus the VCL prefix-filter
+// baseline, sequential PPJoin+ variants, and a MinHash LSH baseline in the
+// internal packages.
+//
+// Quick start:
+//
+//	d := vsmartjoin.NewDataset()
+//	d.Add("ip-1", map[string]uint32{"cookie-a": 3, "cookie-b": 1})
+//	d.Add("ip-2", map[string]uint32{"cookie-a": 2, "cookie-b": 2})
+//	d.Add("ip-3", map[string]uint32{"cookie-z": 9})
+//	res, err := vsmartjoin.AllPairs(d, vsmartjoin.Options{
+//		Measure:   "ruzicka",
+//		Threshold: 0.5,
+//	})
+//	if err != nil { ... }
+//	for _, p := range res.Pairs {
+//		fmt.Printf("%s ~ %s: %.3f\n", p.A, p.B, p.Similarity)
+//	}
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package vsmartjoin

@@ -1,0 +1,79 @@
+package vsmartjoin_test
+
+import (
+	"fmt"
+
+	"vsmartjoin"
+)
+
+// ExampleAllPairs demonstrates the basic exact all-pair similarity join.
+func ExampleAllPairs() {
+	d := vsmartjoin.NewDataset()
+	d.Add("ip-1", map[string]uint32{"a": 3, "b": 1})
+	d.Add("ip-2", map[string]uint32{"a": 2, "b": 2})
+	d.Add("ip-3", map[string]uint32{"z": 9})
+
+	res, err := vsmartjoin.AllPairs(d, vsmartjoin.Options{
+		Measure:   "ruzicka",
+		Threshold: 0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Pairs {
+		fmt.Printf("%s ~ %s: %.2f\n", p.A, p.B, p.Similarity)
+	}
+	// Output:
+	// ip-1 ~ ip-2: 0.60
+}
+
+// ExampleResult_Communities shows the community-discovery post-processing.
+func ExampleResult_Communities() {
+	d := vsmartjoin.NewDataset()
+	d.Add("x1", map[string]uint32{"p": 2, "q": 2})
+	d.Add("x2", map[string]uint32{"p": 2, "q": 2})
+	d.Add("y1", map[string]uint32{"r": 5})
+	d.Add("y2", map[string]uint32{"r": 5})
+
+	res, err := vsmartjoin.AllPairs(d, vsmartjoin.Options{Threshold: 0.9})
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range res.Communities() {
+		fmt.Println(c)
+	}
+	// Output:
+	// [x1 x2]
+	// [y1 y2]
+}
+
+// ExampleSimilarity computes a one-off similarity without a join.
+func ExampleSimilarity() {
+	sim, err := vsmartjoin.Similarity("jaccard",
+		map[string]uint32{"a": 1, "b": 1, "c": 1},
+		map[string]uint32{"b": 1, "c": 1, "d": 1},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", sim)
+	// Output:
+	// 0.50
+}
+
+// ExampleDataset_AddSet joins documents as shingle sets.
+func ExampleDataset_AddSet() {
+	d := vsmartjoin.NewDataset()
+	d.AddSet("doc-a", []string{"the quick", "quick brown", "brown fox"})
+	d.AddSet("doc-b", []string{"the quick", "quick brown", "brown dog"})
+
+	res, err := vsmartjoin.AllPairs(d, vsmartjoin.Options{
+		Measure: "jaccard", Threshold: 0.4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Pairs))
+	// Output:
+	// 1
+}

@@ -1,0 +1,43 @@
+// Quickstart: find similar IPs from their cookie multisets — the paper's
+// running example, in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vsmartjoin"
+)
+
+func main() {
+	d := vsmartjoin.NewDataset()
+	// Each IP is a multiset of cookies: multiplicity = how often the
+	// cookie appeared with the IP.
+	d.Add("ip-10.0.0.1", map[string]uint32{"cookie-a": 5, "cookie-b": 3, "cookie-c": 1})
+	d.Add("ip-10.0.0.2", map[string]uint32{"cookie-a": 4, "cookie-b": 4, "cookie-c": 1})
+	d.Add("ip-10.0.0.3", map[string]uint32{"cookie-a": 5, "cookie-b": 2, "cookie-d": 2})
+	d.Add("ip-192.168.1.9", map[string]uint32{"cookie-x": 7, "cookie-y": 2})
+	d.Add("ip-192.168.1.10", map[string]uint32{"cookie-x": 6, "cookie-y": 3})
+	d.Add("ip-172.16.0.5", map[string]uint32{"cookie-q": 1})
+
+	res, err := vsmartjoin.AllPairs(d, vsmartjoin.Options{
+		Measure:   "ruzicka", // the multiset generalization of Jaccard
+		Threshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("similar pairs (Ruzicka >= 0.5):")
+	for _, p := range res.Pairs {
+		fmt.Printf("  %-16s ~ %-16s  %.3f\n", p.A, p.B, p.Similarity)
+	}
+
+	fmt.Println("\ndiscovered communities (candidate load balancers):")
+	for i, c := range res.Communities() {
+		fmt.Printf("  community %d: %v\n", i+1, c)
+	}
+
+	fmt.Printf("\nsimulated cluster time: %.1fs over %d MapReduce jobs\n",
+		res.Stats.TotalSeconds, res.Stats.Jobs)
+}

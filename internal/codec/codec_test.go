@@ -1,0 +1,165 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 255, 256, 1 << 14, 1<<14 - 1, 1 << 35, math.MaxUint64}
+	var b Buffer
+	for _, v := range vals {
+		b.PutUvarint(v)
+	}
+	r := NewReader(b.Bytes())
+	for i, want := range vals {
+		if got := r.Uvarint(); got != want {
+			t.Fatalf("value %d: got %d want %d", i, got, want)
+		}
+	}
+	if !r.Done() {
+		t.Fatalf("reader not exhausted: remaining=%d err=%v", r.Remaining(), r.Err())
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	vals := []int64{0, -1, 1, -64, 63, 64, -65, math.MaxInt64, math.MinInt64}
+	var b Buffer
+	for _, v := range vals {
+		b.PutVarint(v)
+	}
+	r := NewReader(b.Bytes())
+	for i, want := range vals {
+		if got := r.Varint(); got != want {
+			t.Fatalf("value %d: got %d want %d", i, got, want)
+		}
+	}
+	if !r.Done() {
+		t.Fatal("reader not exhausted")
+	}
+}
+
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, f64 float64, s string, raw []byte, flag bool) bool {
+		var b Buffer
+		b.PutUvarint(u)
+		b.PutVarint(i)
+		b.PutFloat64(f64)
+		b.PutString(s)
+		b.PutBytes(raw)
+		b.PutBool(flag)
+		r := NewReader(b.Bytes())
+		gu := r.Uvarint()
+		gi := r.Varint()
+		gf := r.Float64()
+		gs := r.String()
+		gb := r.Bytes()
+		gl := r.Bool()
+		if r.Err() != nil || !r.Done() {
+			return false
+		}
+		sameF := gf == f64 || (math.IsNaN(gf) && math.IsNaN(f64))
+		return gu == u && gi == i && sameF && gs == s && bytes.Equal(gb, raw) && gl == flag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint32Overflow(t *testing.T) {
+	var b Buffer
+	b.PutUvarint(uint64(math.MaxUint32) + 1)
+	r := NewReader(b.Bytes())
+	_ = r.Uint32()
+	if r.Err() == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestTruncatedErrors(t *testing.T) {
+	var b Buffer
+	b.PutString("hello world")
+	full := b.Clone()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_ = r.String()
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestTruncatedFloatAndByte(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.Float64()
+	if r.Err() != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", r.Err())
+	}
+	r2 := NewReader(nil)
+	_ = r2.Byte()
+	if r2.Err() != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", r2.Err())
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Uvarint()
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	_ = r.Uvarint()
+	_ = r.Float64()
+	if r.Err() != first {
+		t.Fatal("error should be sticky")
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	var b Buffer
+	b.PutUvarint(42)
+	n := b.Len()
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	b.PutUvarint(42)
+	if b.Len() != n {
+		t.Fatal("reset changed encoding")
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 21, 1 << 63, math.MaxUint64} {
+		var b Buffer
+		b.PutUvarint(v)
+		if got := UvarintLen(v); got != b.Len() {
+			t.Fatalf("UvarintLen(%d)=%d want %d", v, got, b.Len())
+		}
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	var b Buffer
+	b.PutUvarint(7)
+	r := NewReader(nil)
+	_ = r.Uvarint() // force error
+	r.Reset(b.Bytes())
+	if r.Err() != nil {
+		t.Fatal("Reset should clear error")
+	}
+	if got := r.Uvarint(); got != 7 {
+		t.Fatalf("got %d want 7", got)
+	}
+}
+
+func TestPutRawNoPrefix(t *testing.T) {
+	var b Buffer
+	b.PutRaw([]byte{0xAA, 0xBB})
+	if !bytes.Equal(b.Bytes(), []byte{0xAA, 0xBB}) {
+		t.Fatalf("raw bytes mangled: %x", b.Bytes())
+	}
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"vsmartjoin/internal/multiset"
+)
+
+// msAlias shortens multiset.Multiset in test helpers.
+type msAlias = multiset.Multiset
+
+// buildMS constructs a multiset from an element→count map.
+func buildMS(id uint64, counts map[uint64]uint32) msAlias {
+	entries := make([]multiset.Entry, 0, len(counts))
+	for e, c := range counts {
+		entries = append(entries, multiset.Entry{Elem: multiset.Elem(e), Count: c})
+	}
+	return multiset.New(multiset.ID(id), entries)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"vsmartjoin/internal/datagen"
+	"vsmartjoin/internal/graph"
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/ppjoin"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+)
+
+// TestEndToEndOnGeneratedTrace runs the full pipeline on a generated
+// IP–cookie trace (the realistic workload shape: planted communities +
+// Zipf background + hot cookies) and validates against the sequential
+// oracle, for every algorithm and two measures.
+func TestEndToEndOnGeneratedTrace(t *testing.T) {
+	cfg := datagen.TinyConfig()
+	cfg.NumBackground = 400
+	tr, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := records.BuildInput("trace", tr.Multisets, 16)
+	for _, m := range []similarity.Measure{similarity.Ruzicka{}, similarity.MultisetCosine{}} {
+		want := ppjoin.Naive(tr.Multisets, m, 0.5)
+		for _, alg := range allAlgorithms() {
+			res, err := Join(mr.NewCluster(8, 1<<22), input, Config{
+				Measure: m, Threshold: 0.5, Algorithm: alg,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, m.Name(), err)
+			}
+			if !records.SamePairs(res.Pairs, want, 1e-9) {
+				t.Fatalf("%s/%s: got %d pairs want %d", alg, m.Name(), len(res.Pairs), len(want))
+			}
+		}
+	}
+}
+
+// TestCommunityRecoveryOnTrace checks the §7.4 pipeline: at a moderate
+// threshold the planted communities are recovered with high precision.
+func TestCommunityRecoveryOnTrace(t *testing.T) {
+	tr, err := datagen.Generate(datagen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := records.BuildInput("trace", tr.Multisets, 16)
+	res, err := Join(mr.NewCluster(8, 1<<22), input, Config{
+		Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: Sharding,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := graph.Score(res.Pairs, tr.Communities)
+	if m.Precision < 0.9 {
+		t.Fatalf("precision %v < 0.9 (%d true, %d false)", m.Precision, m.TruePairs, m.FalsePairs)
+	}
+	if m.RecalledIPs < m.TruthIPs*8/10 {
+		t.Fatalf("recalled %d of %d planted IPs", m.RecalledIPs, m.TruthIPs)
+	}
+}
+
+// TestLSHStyleWorkloadChunking stresses the chunked Similarity1 path on a
+// trace whose hot cookies overflow a small memory budget, cross-checking
+// against an unconstrained run.
+func TestTraceChunkingUnderPressure(t *testing.T) {
+	cfg := datagen.TinyConfig()
+	cfg.HotFraction = 0.3
+	cfg.NumBackground = 300
+	tr, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := records.BuildInput("trace", tr.Multisets, 8)
+	roomy, err := Join(mr.NewCluster(4, 1<<22), input, Config{
+		Measure: similarity.Ruzicka{}, Threshold: 0.4, Algorithm: Sharding,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Join(mr.NewCluster(4, 800), input, Config{
+		Measure: similarity.Ruzicka{}, Threshold: 0.4, Algorithm: Sharding, ShardC: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.SimilarityStats.Counter(CounterChunkedLists) == 0 {
+		t.Fatal("expected chunking under the tight budget")
+	}
+	if !records.SamePairs(roomy.Pairs, tight.Pairs, 1e-9) {
+		t.Fatalf("chunked results differ: %d vs %d", len(roomy.Pairs), len(tight.Pairs))
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"vsmartjoin/internal/codec"
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/mrfs"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/records"
+)
+
+// stopWordMapper inverts raw tuples to be keyed by element:
+// ⟨Mi, mi,k⟩ → ⟨ak, (Mi, fi,k)⟩.
+type stopWordMapper struct{}
+
+func (stopWordMapper) Map(_ *mr.TaskContext, rec mrfs.Record, emit mr.Emitter) error {
+	id, err := records.DecodeRawKey(rec.Key)
+	if err != nil {
+		return err
+	}
+	entry, err := records.DecodeRawVal(rec.Val)
+	if err != nil {
+		return err
+	}
+	if entry.Count == 0 {
+		return nil
+	}
+	var b codec.Buffer
+	b.PutUvarint(uint64(id))
+	b.PutUint32(entry.Count)
+	emit.Emit(encodeElemKey(entry.Elem), b.Clone())
+	return nil
+}
+
+// stopWordReducer buffers the first q multisets of an element's list and
+// re-emits the raw tuples only if the list was exhausted within q —
+// elements shared by more than q multisets are "stop words" and dropped
+// entirely (§4). The buffer is charged against the memory budget, so the
+// preprocessing reducer's footprint is O(q), as the paper intends.
+type stopWordReducer struct {
+	q int
+}
+
+func (r stopWordReducer) Reduce(ctx *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+	elem, err := decodeElemKey(key)
+	if err != nil {
+		return err
+	}
+	type pending struct {
+		id    multiset.ID
+		count uint32
+	}
+	buf := make([]pending, 0, r.q)
+	var reserved int64
+	defer func() { ctx.Release(reserved) }()
+	exhausted := true
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		if len(buf) >= r.q {
+			exhausted = false
+			break
+		}
+		rd := codec.NewReader(v.Val)
+		p := pending{id: multiset.ID(rd.Uvarint()), count: rd.Uint32()}
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		sz := int64(len(v.Val)) + 6
+		if err := ctx.Reserve(sz); err != nil {
+			return err
+		}
+		reserved += sz
+		buf = append(buf, p)
+	}
+	if !exhausted {
+		ctx.Counters.Inc(CounterStopWords)
+		return nil
+	}
+	entryVal := multiset.Entry{Elem: elem}
+	for _, p := range buf {
+		entryVal.Count = p.count
+		emit.Emit(records.EncodeRawKey(p.id), records.EncodeRawVal(entryVal))
+	}
+	return nil
+}
+
+// StopWordJob builds the preprocessing step that discards elements shared
+// by more than q multisets. Its output is a raw-tuple dataset.
+func StopWordJob(input *mrfs.Dataset, q, numReducers int) mr.Job {
+	return mr.Job{
+		Name:        "stop-words",
+		Input:       input,
+		Mapper:      stopWordMapper{},
+		Reducer:     stopWordReducer{q: q},
+		NumReducers: numReducers,
+		OutputName:  "filtered",
+	}
+}
+
+// normalizeMapper keys each raw tuple by ⟨Mi, ak⟩ so duplicate tuples for
+// the same element meet at one reducer.
+type normalizeMapper struct{}
+
+func (normalizeMapper) Map(_ *mr.TaskContext, rec mrfs.Record, emit mr.Emitter) error {
+	entry, err := records.DecodeRawVal(rec.Val)
+	if err != nil {
+		return err
+	}
+	if entry.Count == 0 {
+		return nil
+	}
+	var b codec.Buffer
+	b.PutRaw(rec.Key)
+	b.PutUvarint(uint64(entry.Elem))
+	var v codec.Buffer
+	v.PutUint32(entry.Count)
+	emit.Emit(b.Clone(), v.Clone())
+	return nil
+}
+
+// normalizeReducer sums duplicate multiplicities and re-emits one raw
+// tuple per ⟨Mi, ak⟩.
+type normalizeReducer struct{}
+
+func (normalizeReducer) Reduce(_ *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+	r := codec.NewReader(key)
+	id := multiset.ID(r.Uvarint())
+	elem := multiset.Elem(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	var total uint64
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		rd := codec.NewReader(v.Val)
+		total += uint64(rd.Uint32())
+		if err := rd.Err(); err != nil {
+			return err
+		}
+	}
+	if total > 1<<32-1 {
+		total = 1<<32 - 1
+	}
+	emit.Emit(records.EncodeRawKey(id), records.EncodeRawVal(multiset.Entry{Elem: elem, Count: uint32(total)}))
+	return nil
+}
+
+// NormalizeJob builds the optional input-normalization step that sums
+// duplicate ⟨Mi, ak⟩ tuples, establishing the joining phase's input
+// contract for untrusted inputs.
+func NormalizeJob(input *mrfs.Dataset, numReducers int) mr.Job {
+	return mr.Job{
+		Name:        "normalize",
+		Input:       input,
+		Mapper:      normalizeMapper{},
+		Combiner:    normalizeSumCombiner{},
+		Reducer:     normalizeReducer{},
+		NumReducers: numReducers,
+		OutputName:  "normalized",
+	}
+}
+
+// normalizeSumCombiner pre-sums duplicate counts per map task.
+type normalizeSumCombiner struct{}
+
+func (normalizeSumCombiner) Reduce(_ *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+	var total uint64
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		rd := codec.NewReader(v.Val)
+		total += uint64(rd.Uint32())
+		if err := rd.Err(); err != nil {
+			return err
+		}
+	}
+	if total > 1<<32-1 {
+		total = 1<<32 - 1
+	}
+	var b codec.Buffer
+	b.PutUint32(uint32(total))
+	emit.Emit(key, b.Clone())
+	return nil
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/mrfs"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+)
+
+// Counter names exported by the similarity phase.
+const (
+	CounterCandidateTuples = "sim1:candidate_tuples" // pair tuples emitted (one per shared element)
+	CounterChunkedLists    = "sim1:chunked_lists"    // reduce lists that overflowed memory
+	CounterChunkRecords    = "sim1:chunk_records"    // chunk-pair records emitted
+	CounterOutputPairs     = "sim2:output_pairs"     // final pairs at or above threshold
+	CounterBelowThreshold  = "sim2:below_threshold"  // candidate pairs filtered out
+	CounterStopWords       = "prep:stop_words"       // elements dropped by preprocessing
+)
+
+// simEps absorbs float rounding in threshold comparisons so that exact
+// fractions like 1/2 are kept at t = 0.5.
+const simEps = 1e-12
+
+// sim1Mapper turns joined tuples ⟨Mi, Uni(Mi), mi,k⟩ into inverted-index
+// postings keyed by element: ⟨ak, (Mi, Uni(Mi), fi,k)⟩ (mapSimilarity1).
+type sim1Mapper struct{}
+
+func (sim1Mapper) Map(_ *mr.TaskContext, rec mrfs.Record, emit mr.Emitter) error {
+	id, err := records.DecodeRawKey(rec.Key)
+	if err != nil {
+		return err
+	}
+	uni, entry, err := decodeJoinedVal(rec.Val)
+	if err != nil {
+		return err
+	}
+	emit.Emit(encodeElemKey(entry.Elem), encodePostingVal(indexEntry{ID: id, Uni: uni, Count: entry.Count}))
+	return nil
+}
+
+// sim1Reducer scans one element's posting list and emits a candidate-pair
+// tuple for every pair of multisets sharing the element
+// (reduceSimilarity1). When the list does not fit in the memory budget the
+// reducer switches to the paper's chunked mode: it dissects the list into T
+// chunks of at most B/2 bytes and emits the T·(T+1)/2 chunk pairs for
+// Similarity2 mappers to expand, rewinding the list once per chunk.
+type sim1Reducer struct{}
+
+func (sim1Reducer) Reduce(ctx *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+	elem, err := decodeElemKey(key)
+	if err != nil {
+		return err
+	}
+	// Try the in-memory path first: buffer the whole list.
+	if err := ctx.Reserve(values.Bytes()); err == nil {
+		defer ctx.Release(values.Bytes())
+		entries := make([]indexEntry, 0, values.Len())
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
+			e, err := decodePostingVal(v.Val)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, e)
+		}
+		emitAllPairs(ctx, entries, nil, emit)
+		return nil
+	}
+	// Chunked mode.
+	ctx.Counters.Inc(CounterChunkedLists)
+	return chunkedSim1(ctx, elem, values, emit)
+}
+
+// emitAllPairs emits candidate-pair tuples for every cross pair of
+// left × right, or every unordered pair within left when right is nil.
+func emitAllPairs(ctx *mr.TaskContext, left, right []indexEntry, emit mr.Emitter) {
+	if right == nil {
+		for i := 0; i < len(left); i++ {
+			for j := i + 1; j < len(left); j++ {
+				emitPair(ctx, left[i], left[j], emit)
+			}
+		}
+		return
+	}
+	for _, a := range left {
+		for _, b := range right {
+			if a.ID == b.ID {
+				continue
+			}
+			emitPair(ctx, a, b, emit)
+		}
+	}
+}
+
+func emitPair(ctx *mr.TaskContext, a, b indexEntry, emit mr.Emitter) {
+	emit.Emit(encodePairTupleKey(a, b), encodeConjVal(conjOfCounts(a.Count, b.Count)))
+	ctx.Counters.Inc(CounterCandidateTuples)
+}
+
+// chunkedSim1 implements the §4 overflow handling. Chunk boundaries are
+// discovered on a first scan; then for each chunk p the list is rewound,
+// chunk p is buffered (at most half the budget), and every following chunk
+// q ≥ p is buffered in the other half and emitted as a ⟨p, q⟩ chunk-pair
+// record flagged for the Similarity2 mappers.
+func chunkedSim1(ctx *mr.TaskContext, elem multiset.Elem, values *mr.Values, emit mr.Emitter) error {
+	chunkBudget := ctx.MemBudget() / 2
+	if chunkBudget <= 0 {
+		return fmt.Errorf("core: no memory budget for chunking element %d", elem)
+	}
+	// First scan: chunk boundaries as index ranges.
+	type span struct{ start, end int } // postings [start, end)
+	var spans []span
+	var cur span
+	var curBytes int64
+	idx := 0
+	values.Rewind()
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		sz := int64(len(v.Val)) + 6
+		if curBytes > 0 && curBytes+sz > chunkBudget {
+			cur.end = idx
+			spans = append(spans, cur)
+			cur = span{start: idx}
+			curBytes = 0
+		}
+		curBytes += sz
+		idx++
+	}
+	cur.end = idx
+	if cur.end > cur.start {
+		spans = append(spans, cur)
+	}
+
+	load := func(s span) ([]indexEntry, int64, error) {
+		values.Rewind()
+		var bytes int64
+		out := make([]indexEntry, 0, s.end-s.start)
+		for i := 0; ; i++ {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
+			if i < s.start {
+				continue
+			}
+			if i >= s.end {
+				break
+			}
+			e, err := decodePostingVal(v.Val)
+			if err != nil {
+				return nil, 0, err
+			}
+			bytes += int64(len(v.Val)) + 6
+			out = append(out, e)
+		}
+		return out, bytes, nil
+	}
+
+	for p := 0; p < len(spans); p++ {
+		left, leftBytes, err := load(spans[p])
+		if err != nil {
+			return err
+		}
+		if err := ctx.Reserve(leftBytes); err != nil {
+			return fmt.Errorf("core: chunk %d of element %d: %w", p, elem, err)
+		}
+		// Diagonal record ⟨p, p⟩.
+		emit.Emit(encodeChunkKey(multiset.Elem(elem), p, p), encodeChunkVal(left, nil))
+		ctx.Counters.Inc(CounterChunkRecords)
+		// Stream the following chunks within the same scan.
+		for q := p + 1; q < len(spans); q++ {
+			right, rightBytes, err := load(spans[q])
+			if err != nil {
+				ctx.Release(leftBytes)
+				return err
+			}
+			if err := ctx.Reserve(rightBytes); err != nil {
+				ctx.Release(leftBytes)
+				return fmt.Errorf("core: chunk pair (%d,%d) of element %d: %w", p, q, elem, err)
+			}
+			emit.Emit(encodeChunkKey(multiset.Elem(elem), p, q), encodeChunkVal(left, right))
+			ctx.Counters.Inc(CounterChunkRecords)
+			ctx.Release(rightBytes)
+		}
+		ctx.Release(leftBytes)
+	}
+	return nil
+}
+
+// sim2Mapper is the Similarity2 map stage: an identity map for ordinary
+// candidate-pair tuples, and the chunk-pair expansion path for flagged
+// records from overloaded Similarity1 reducers.
+type sim2Mapper struct{}
+
+func (sim2Mapper) Map(ctx *mr.TaskContext, rec mrfs.Record, emit mr.Emitter) error {
+	if len(rec.Key) == 0 {
+		return fmt.Errorf("core: empty similarity2 key")
+	}
+	switch rec.Key[0] {
+	case tagPair:
+		emit.Emit(rec.Key, rec.Val)
+		return nil
+	case tagChunk:
+		bytes := int64(len(rec.Val))
+		if err := ctx.Reserve(bytes); err != nil {
+			return fmt.Errorf("core: similarity2 mapper buffering chunk pair: %w", err)
+		}
+		defer ctx.Release(bytes)
+		left, right, err := decodeChunkVal(rec.Val)
+		if err != nil {
+			return err
+		}
+		if len(right) == 0 {
+			emitAllPairs(ctx, left, nil, emit)
+		} else {
+			emitAllPairs(ctx, left, right, emit)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown similarity2 record tag %d", rec.Key[0])
+	}
+}
+
+// conjCombiner pre-aggregates the ⟨fi,k, fj,k⟩ partials of a pair to
+// balance the Similarity2 reducers' load (the paper's dedicated combiner).
+type conjCombiner struct{}
+
+func (conjCombiner) Reduce(_ *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+	var total similarity.ConjStats
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		c, err := decodeConjVal(v.Val)
+		if err != nil {
+			return err
+		}
+		total.Add(c)
+	}
+	emit.Emit(key, encodeConjVal(total))
+	return nil
+}
+
+// sim2Reducer aggregates Conj(Mi,Mj) over all shared elements, combines it
+// with the Uni(.) partials carried in the key, and emits the pair when the
+// similarity reaches the threshold (reduceSimilarity2).
+type sim2Reducer struct {
+	measure   similarity.Measure
+	threshold float64
+}
+
+func (r sim2Reducer) Reduce(ctx *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+	pk, err := decodePairTupleKey(key)
+	if err != nil {
+		return err
+	}
+	var conj similarity.ConjStats
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		c, err := decodeConjVal(v.Val)
+		if err != nil {
+			return err
+		}
+		conj.Add(c)
+	}
+	sim := r.measure.Sim(pk.UniA, pk.UniB, conj)
+	if sim+simEps >= r.threshold {
+		emit.Emit(encodeResultKey(pk.A, pk.B), encodeResultVal(sim))
+		ctx.Counters.Inc(CounterOutputPairs)
+	} else {
+		ctx.Counters.Inc(CounterBelowThreshold)
+	}
+	return nil
+}
+
+// similarity1Job builds the Similarity1 step over a joined-tuple dataset.
+func similarity1Job(joined *mrfs.Dataset, numReducers int) mr.Job {
+	return mr.Job{
+		Name:        "similarity1",
+		Input:       joined,
+		Mapper:      sim1Mapper{},
+		Reducer:     sim1Reducer{},
+		NumReducers: numReducers,
+		OutputName:  "sim1-pairs",
+	}
+}
+
+// similarity2Job builds the Similarity2 step over Similarity1's output.
+func similarity2Job(pairs *mrfs.Dataset, m similarity.Measure, t float64, numReducers int) mr.Job {
+	return mr.Job{
+		Name:        "similarity2",
+		Input:       pairs,
+		Mapper:      sim2Mapper{},
+		Combiner:    conjCombiner{},
+		Reducer:     sim2Reducer{measure: m, threshold: t},
+		NumReducers: numReducers,
+		OutputName:  "similar-pairs",
+	}
+}

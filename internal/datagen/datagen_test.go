@@ -1,0 +1,192 @@
+package datagen
+
+import (
+	"testing"
+
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/similarity"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Multisets) != len(b.Multisets) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Multisets), len(b.Multisets))
+	}
+	for i := range a.Multisets {
+		if !multiset.Equal(a.Multisets[i], b.Multisets[i]) {
+			t.Fatalf("multiset %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesTrace(t *testing.T) {
+	cfg := TinyConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed++
+	b, _ := Generate(cfg)
+	same := len(a.Multisets) == len(b.Multisets)
+	if same {
+		identical := true
+		for i := range a.Multisets {
+			if !multiset.Equal(a.Multisets[i], b.Multisets[i]) {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGeneratePopulations(t *testing.T) {
+	cfg := TinyConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Communities) != cfg.NumProxies {
+		t.Fatalf("communities: got %d want %d", len(tr.Communities), cfg.NumProxies)
+	}
+	var proxyIPs int
+	for _, c := range tr.Communities {
+		if len(c) < cfg.ProxySizeMin || len(c) > cfg.ProxySizeMax {
+			t.Fatalf("community size %d outside [%d,%d]", len(c), cfg.ProxySizeMin, cfg.ProxySizeMax)
+		}
+		proxyIPs += len(c)
+	}
+	if len(tr.Multisets) != proxyIPs+cfg.NumBackground {
+		t.Fatalf("total: got %d want %d", len(tr.Multisets), proxyIPs+cfg.NumBackground)
+	}
+	if tr.NumElements == 0 {
+		t.Fatal("no elements")
+	}
+	// IDs are unique and dense from 1.
+	seen := map[multiset.ID]bool{}
+	for _, m := range tr.Multisets {
+		if seen[m.ID] {
+			t.Fatalf("duplicate ID %d", m.ID)
+		}
+		seen[m.ID] = true
+		if m.Cardinality() == 0 {
+			t.Fatalf("empty multiset %d", m.ID)
+		}
+	}
+}
+
+func TestProxyMembersAreSimilar(t *testing.T) {
+	tr, err := Generate(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[multiset.ID]multiset.Multiset{}
+	for _, m := range tr.Multisets {
+		byID[m.ID] = m
+	}
+	// Within a community, average pairwise Ruzicka must be clearly higher
+	// than across random background pairs.
+	var intra, n float64
+	for _, c := range tr.Communities {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				intra += similarity.Exact(similarity.Ruzicka{}, byID[c[i]], byID[c[j]])
+				n++
+			}
+		}
+	}
+	intra /= n
+	if intra < 0.5 {
+		t.Fatalf("intra-community similarity too low: %v", intra)
+	}
+	// Background pairs: take consecutive background IPs.
+	first := tr.Multisets[len(tr.Multisets)-tr.NumBackgroundCount():]
+	var inter float64
+	var m float64
+	for i := 0; i+1 < len(first) && i < 200; i += 2 {
+		inter += similarity.Exact(similarity.Ruzicka{}, first[i], first[i+1])
+		m++
+	}
+	inter /= m
+	if inter > intra/3 {
+		t.Fatalf("background too similar: inter %v vs intra %v", inter, intra)
+	}
+}
+
+func TestSkewedDistributions(t *testing.T) {
+	// The Fig 2/3 shape check: element frequencies must be heavy-tailed —
+	// most cookies rare, a few shared widely.
+	tr, err := Generate(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := map[multiset.Elem]int{}
+	for _, m := range tr.Multisets {
+		for _, e := range m.Entries {
+			freq[e.Elem]++
+		}
+	}
+	ones, big := 0, 0
+	for _, f := range freq {
+		if f == 1 {
+			ones++
+		}
+		if f >= 8 {
+			big++
+		}
+	}
+	if ones < len(freq)/3 {
+		t.Fatalf("tail too light: %d/%d singletons", ones, len(freq))
+	}
+	if big == 0 {
+		t.Fatal("no popular elements")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []TraceConfig{
+		{NumProxies: -1},
+		{NumProxies: 1, ProxySizeMin: 1, ProxySizeMax: 1},
+		{NumProxies: 1, ProxySizeMin: 2, ProxySizeMax: 3, PoolSizeMin: 0, PoolSizeMax: 0},
+		{NumProxies: 1, ProxySizeMin: 2, ProxySizeMax: 3, PoolSizeMin: 1, PoolSizeMax: 2, PoolCoverage: 0},
+		{NumBackground: 1, BackgroundAlphabet: 0},
+		{NumBackground: 1, BackgroundAlphabet: 5, BackgroundZipfS: 1.0, CookiesPerIPMin: 1, CookiesPerIPMax: 2},
+		{NumBackground: 1, BackgroundAlphabet: 5, BackgroundZipfS: 1.2, CookiesPerIPMin: 0, CookiesPerIPMax: 2},
+		{HotFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPresetConfigsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, cfg := range []TraceConfig{TinyConfig(), SmallConfig()} {
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Multisets) == 0 {
+			t.Fatal("empty trace")
+		}
+	}
+}
+
+// NumBackgroundCount exposes the background population size for tests.
+func (t *Trace) NumBackgroundCount() int {
+	var proxyIPs int
+	for _, c := range t.Communities {
+		proxyIPs += len(c)
+	}
+	return len(t.Multisets) - proxyIPs
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"vsmartjoin/internal/datagen"
+	"vsmartjoin/internal/graph"
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/mrfs"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+	"vsmartjoin/internal/vcl"
+)
+
+// multisetAlias keeps the figure drivers free of a direct multiset import
+// in their signatures.
+type multisetAlias = multiset.Multiset
+
+// vclRun executes the VCL baseline with the experiment defaults.
+func vclRun(cluster mr.ClusterConfig, input *mrfs.Dataset, t float64, hashOrder bool) (*vclResult, error) {
+	res, err := vcl.Join(cluster, input, vcl.Config{
+		Measure:     similarity.Ruzicka{},
+		Threshold:   t,
+		HashOrder:   hashOrder,
+		NumReducers: NumReducers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &vclResult{
+		Pairs:            res.Pairs,
+		Stats:            res.Stats,
+		KernelMapSeconds: res.KernelMapSeconds,
+	}, nil
+}
+
+// proxyMetrics extends graph.Metrics with the community count.
+type proxyMetrics struct {
+	graph.Metrics
+	Communities int
+}
+
+// graphScore runs the §7.4 post-processing: cluster the pairs, score them
+// against the planted truth.
+func graphScore(pairs []records.Pair, tr *datagen.Trace) proxyMetrics {
+	m := graph.Score(pairs, tr.Communities)
+	comps := graph.Communities(pairs)
+	return proxyMetrics{Metrics: m, Communities: len(comps)}
+}

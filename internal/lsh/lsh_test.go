@@ -1,0 +1,156 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/ppjoin"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+)
+
+func randomMultisets(rng *rand.Rand, n, alphabet, maxLen, maxCount int) []multiset.Multiset {
+	sets := make([]multiset.Multiset, 0, n)
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(maxLen)
+		entries := make([]multiset.Entry, l)
+		for j := range entries {
+			entries[j] = multiset.Entry{
+				Elem:  multiset.Elem(rng.Intn(alphabet)),
+				Count: uint32(1 + rng.Intn(maxCount)),
+			}
+		}
+		sets = append(sets, multiset.New(multiset.ID(i+1), entries))
+	}
+	return sets
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	m := multiset.New(1, []multiset.Entry{{Elem: 3, Count: 2}, {Elem: 9, Count: 1}})
+	h := NewMinHasher(16, 42)
+	a := h.Signature(m)
+	b := h.Signature(m)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signature not deterministic")
+		}
+	}
+	h2 := NewMinHasher(16, 43)
+	c := h2.Signature(m)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds gave identical signatures")
+	}
+}
+
+func TestIdenticalSetsFullAgreement(t *testing.T) {
+	m := multiset.New(1, []multiset.Entry{{Elem: 3, Count: 2}, {Elem: 9, Count: 1}})
+	h := NewMinHasher(32, 7)
+	if got := Estimate(h.Signature(m), h.Signature(m)); got != 1 {
+		t.Fatalf("self estimate: %v", got)
+	}
+}
+
+func TestDisjointSetsNearZero(t *testing.T) {
+	a := multiset.New(1, []multiset.Entry{{Elem: 1, Count: 1}, {Elem: 2, Count: 1}})
+	b := multiset.New(2, []multiset.Entry{{Elem: 100, Count: 1}, {Elem: 200, Count: 1}})
+	h := NewMinHasher(64, 7)
+	if got := Estimate(h.Signature(a), h.Signature(b)); got > 0.1 {
+		t.Fatalf("disjoint estimate too high: %v", got)
+	}
+}
+
+// The estimator is unbiased: with k=256, estimates should be within ±0.15
+// of true Ruzicka on random multisets (binomial stddev ≈ 0.03).
+func TestEstimateAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := NewMinHasher(256, 99)
+	var worst float64
+	for trial := 0; trial < 40; trial++ {
+		sets := randomMultisets(rng, 2, 10, 8, 3)
+		a, b := sets[0], sets[1]
+		truth := similarity.Exact(similarity.Ruzicka{}, a, b)
+		est := Estimate(h.Signature(a), h.Signature(b))
+		if d := math.Abs(truth - est); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("worst estimate error %v > 0.15", worst)
+	}
+}
+
+func TestJoinVerifiedFindsSimilarPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sets := randomMultisets(rng, 120, 40, 10, 3)
+	truth := ppjoin.Naive(sets, similarity.Ruzicka{}, 0.7)
+	approx, stats, err := Join(sets, Config{Bands: 16, Rows: 4, Seed: 3, Threshold: 0.7, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Recall(approx, truth); r < 0.9 {
+		t.Fatalf("recall %v < 0.9 (found %d of %d, candidates %d)", r, len(approx), len(truth), stats.Candidates)
+	}
+	// Verified mode cannot produce false positives.
+	truthAll := ppjoin.Naive(sets, similarity.Ruzicka{}, 0.7)
+	type key struct{ a, b multiset.ID }
+	tm := map[key]bool{}
+	for _, p := range truthAll {
+		tm[key{p.A, p.B}] = true
+	}
+	for _, p := range approx {
+		if !tm[key{p.A, p.B}] {
+			t.Fatalf("false positive %v in verified mode", p)
+		}
+	}
+}
+
+func TestJoinEstimateOnlyApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sets := randomMultisets(rng, 60, 20, 8, 3)
+	approx, _, err := Join(sets, Config{Bands: 8, Rows: 4, Seed: 3, Threshold: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimates are in [0,1] and pairs are canonical + sorted.
+	for i, p := range approx {
+		if p.Sim < 0 || p.Sim > 1 || p.A >= p.B {
+			t.Fatalf("bad pair %v", p)
+		}
+		if i > 0 && (approx[i-1].A > p.A || (approx[i-1].A == p.A && approx[i-1].B >= p.B)) {
+			t.Fatal("pairs not sorted")
+		}
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	bad := []Config{
+		{Bands: 0, Rows: 4},
+		{Bands: 4, Rows: 0},
+		{Bands: 4, Rows: 4, Threshold: -0.1},
+		{Bands: 4, Rows: 4, Threshold: 1.1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Join(nil, cfg); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	a := []records.Pair{{A: 1, B: 2}, {A: 3, B: 4}}
+	b := []records.Pair{{A: 1, B: 2}}
+	if r := Recall(b, a); r != 0.5 {
+		t.Fatalf("recall: %v", r)
+	}
+	if r := Recall(nil, nil); r != 1 {
+		t.Fatalf("empty recall: %v", r)
+	}
+}

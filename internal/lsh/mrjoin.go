@@ -1,0 +1,280 @@
+package lsh
+
+import (
+	"fmt"
+	"sort"
+
+	"vsmartjoin/internal/codec"
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/mrfs"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+)
+
+// MRJoin is the distributed adaptation of the MinHash join that the paper
+// leaves as out of scope (§6.1, §7): two MapReduce steps on the same
+// simulated cluster as the exact algorithms.
+//
+// Step 1 (signature/banding): the mapper consumes whole-multiset capsules,
+// computes the MinHash signature, and emits one tuple per band keyed by
+// the band bucket hash; the reducer emits candidate pairs per bucket.
+// Step 2 (verify): candidates are deduplicated and either estimated from
+// signatures or verified exactly against the capsule data via a side
+// input.
+//
+// Like its sequential counterpart it is approximate: pairs that collide in
+// no band are lost. It exists as the recall/efficiency baseline for the
+// exact V-SMART-Join algorithms.
+func MRJoin(cluster mr.ClusterConfig, input *mrfs.Dataset, cfg Config) ([]records.Pair, mr.PipelineStats, error) {
+	var ps mr.PipelineStats
+	if err := cfg.Validate(); err != nil {
+		return nil, ps, err
+	}
+	numReducers := input.NumPartitions()
+
+	// Step 0: assemble whole multisets (the LSH mapper needs full entities,
+	// sharing VCL's capsule limitation).
+	capsules, cstats, err := mr.Run(cluster, capsuleJob(input, numReducers))
+	if err != nil {
+		return nil, ps, err
+	}
+	ps.Add(cstats)
+
+	// Step 1: band → candidate pairs.
+	bandJob := mr.Job{
+		Name:        "lsh-band",
+		Input:       capsules,
+		Mapper:      &bandMapper{cfg: cfg},
+		Reducer:     bandReducer{},
+		NumReducers: numReducers,
+		OutputName:  "lsh-candidates",
+	}
+	cands, bstats, err := mr.Run(cluster, bandJob)
+	if err != nil {
+		return nil, ps, err
+	}
+	ps.Add(bstats)
+
+	// Step 2: dedup + verify/estimate.
+	verifyJob := mr.Job{
+		Name:        "lsh-verify",
+		Input:       cands,
+		Mapper:      mr.IdentityMapper{},
+		Reducer:     &verifyReducer{cfg: cfg},
+		NumReducers: numReducers,
+		SideInputs:  map[string]*mrfs.Dataset{"capsules": capsules},
+		// The verifier looks entities up from the side table in its reduce
+		// stage.
+		SideInputsAtReduce: true,
+		OutputName:         "lsh-pairs",
+	}
+	out, vstats, err := mr.Run(cluster, verifyJob)
+	if err != nil {
+		return nil, ps, err
+	}
+	ps.Add(vstats)
+
+	pairs, err := records.DecodePairs(out)
+	if err != nil {
+		return nil, ps, err
+	}
+	return pairs, ps, nil
+}
+
+// capsuleJob groups raw tuples into whole multisets (one record each).
+func capsuleJob(input *mrfs.Dataset, numReducers int) mr.Job {
+	return mr.Job{
+		Name:        "lsh-capsule",
+		Input:       input,
+		Mapper:      mr.IdentityMapper{},
+		Reducer:     lshCapsuleReducer{},
+		NumReducers: numReducers,
+		OutputName:  "lsh-capsules",
+	}
+}
+
+type lshCapsuleReducer struct{}
+
+func (lshCapsuleReducer) Reduce(ctx *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+	if err := ctx.Reserve(values.Bytes()); err != nil {
+		return fmt.Errorf("lsh: multiset does not fit in memory as a capsule: %w", err)
+	}
+	defer ctx.Release(values.Bytes())
+	entries := make([]multiset.Entry, 0, values.Len())
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		e, err := records.DecodeRawVal(v.Val)
+		if err != nil {
+			return err
+		}
+		if e.Count > 0 {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Elem < entries[j].Elem })
+	var b codec.Buffer
+	b.PutUvarint(uint64(len(entries)))
+	for _, e := range entries {
+		b.PutUvarint(uint64(e.Elem))
+		b.PutUint32(e.Count)
+	}
+	emit.Emit(key, b.Clone())
+	return nil
+}
+
+func decodeLSHCapsule(val []byte) ([]multiset.Entry, error) {
+	r := codec.NewReader(val)
+	n := r.Uvarint()
+	out := make([]multiset.Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, multiset.Entry{Elem: multiset.Elem(r.Uvarint()), Count: r.Uint32()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("lsh: bad capsule: %w", err)
+	}
+	return out, nil
+}
+
+// bandMapper computes signatures and emits one record per band.
+type bandMapper struct {
+	cfg    Config
+	hasher *MinHasher
+}
+
+func (m *bandMapper) Setup(_ *mr.TaskContext) error {
+	m.hasher = NewMinHasher(m.cfg.Bands*m.cfg.Rows, m.cfg.Seed)
+	return nil
+}
+
+func (m *bandMapper) Map(_ *mr.TaskContext, rec mrfs.Record, emit mr.Emitter) error {
+	id, err := records.DecodeRawKey(rec.Key)
+	if err != nil {
+		return err
+	}
+	entries, err := decodeLSHCapsule(rec.Val)
+	if err != nil {
+		return err
+	}
+	ms := multiset.Multiset{ID: id, Entries: entries}
+	if ms.Cardinality() == 0 {
+		return nil
+	}
+	sig := m.hasher.Signature(ms)
+	for band := 0; band < m.cfg.Bands; band++ {
+		h := uint64(band) + 0x9e3779b97f4a7c15
+		for r := 0; r < m.cfg.Rows; r++ {
+			h = splitmix(h ^ sig[band*m.cfg.Rows+r])
+		}
+		var key codec.Buffer
+		key.PutUvarint(uint64(band))
+		key.PutUvarint(h)
+		var val codec.Buffer
+		val.PutUvarint(uint64(id))
+		for _, s := range sig {
+			val.PutUvarint(s)
+		}
+		emit.Emit(key.Clone(), val.Clone())
+	}
+	return nil
+}
+
+// bandReducer emits every pair of entities sharing a band bucket, with
+// their signature agreement as the estimate.
+type bandReducer struct{}
+
+func (bandReducer) Reduce(ctx *mr.TaskContext, _ []byte, values *mr.Values, emit mr.Emitter) error {
+	if err := ctx.Reserve(values.Bytes()); err != nil {
+		return fmt.Errorf("lsh: band bucket does not fit in memory: %w", err)
+	}
+	defer ctx.Release(values.Bytes())
+	type member struct {
+		id  multiset.ID
+		sig []uint64
+	}
+	var members []member
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		r := codec.NewReader(v.Val)
+		mb := member{id: multiset.ID(r.Uvarint())}
+		for r.Remaining() > 0 {
+			mb.sig = append(mb.sig, r.Uvarint())
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		members = append(members, mb)
+	}
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if members[i].id == members[j].id {
+				continue
+			}
+			est := Estimate(members[i].sig, members[j].sig)
+			a, b := members[i].id, members[j].id
+			if a > b {
+				a, b = b, a
+			}
+			emit.Emit(records.EncodePairKey(a, b), records.EncodePairVal(est))
+		}
+	}
+	return nil
+}
+
+// verifyReducer deduplicates candidates and applies the threshold, either
+// on the signature estimate or on the exact Ruzicka similarity computed
+// from the capsule side table.
+type verifyReducer struct {
+	cfg  Config
+	sets map[multiset.ID]multiset.Multiset
+}
+
+func (r *verifyReducer) Setup(ctx *mr.TaskContext) error {
+	if !r.cfg.Verify {
+		return nil
+	}
+	caps := ctx.Side["capsules"]
+	r.sets = make(map[multiset.ID]multiset.Multiset, caps.NumRecords())
+	for _, rec := range caps.All() {
+		id, err := records.DecodeRawKey(rec.Key)
+		if err != nil {
+			return err
+		}
+		entries, err := decodeLSHCapsule(rec.Val)
+		if err != nil {
+			return err
+		}
+		r.sets[id] = multiset.Multiset{ID: id, Entries: entries}
+	}
+	return nil
+}
+
+func (r *verifyReducer) Reduce(_ *mr.TaskContext, key []byte, values *mr.Values, emit mr.Emitter) error {
+	v, ok := values.Next()
+	if !ok {
+		return nil
+	}
+	rec, err := records.DecodePair(mrfs.Record{Key: key, Val: v.Val})
+	if err != nil {
+		return err
+	}
+	sim := rec.Sim
+	if r.cfg.Verify {
+		a, okA := r.sets[rec.A]
+		b, okB := r.sets[rec.B]
+		if !okA || !okB {
+			return fmt.Errorf("lsh: capsule missing for pair (%d,%d)", rec.A, rec.B)
+		}
+		sim = similarity.Exact(similarity.Ruzicka{}, a, b)
+	}
+	if sim+1e-12 >= r.cfg.Threshold {
+		emit.Emit(key, records.EncodePairVal(sim))
+	}
+	return nil
+}

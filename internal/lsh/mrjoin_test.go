@@ -1,0 +1,83 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/ppjoin"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+)
+
+func TestMRJoinMatchesSequentialLSH(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sets := randomMultisets(rng, 100, 30, 8, 3)
+	cfg := Config{Bands: 16, Rows: 4, Seed: 5, Threshold: 0.7, Verify: true}
+	seq, _, err := Join(sets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := records.BuildInput("in", sets, 6)
+	dist, stats, err := MRJoin(mr.NewCluster(4, 1<<22), input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !records.SamePairs(dist, seq, 1e-9) {
+		t.Fatalf("distributed LSH diverges from sequential: %d vs %d pairs", len(dist), len(seq))
+	}
+	if len(stats.Jobs) != 3 {
+		t.Fatalf("jobs: %d", len(stats.Jobs))
+	}
+}
+
+func TestMRJoinRecallAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	sets := randomMultisets(rng, 120, 40, 10, 3)
+	truth := ppjoin.Naive(sets, similarity.Ruzicka{}, 0.7)
+	input := records.BuildInput("in", sets, 6)
+	dist, _, err := MRJoin(mr.NewCluster(4, 1<<22), input, Config{
+		Bands: 16, Rows: 4, Seed: 3, Threshold: 0.7, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Recall(dist, truth); r < 0.9 {
+		t.Fatalf("recall %v < 0.9", r)
+	}
+	// Verified mode: no false positives.
+	type key struct{ a, b uint64 }
+	tm := map[key]bool{}
+	for _, p := range truth {
+		tm[key{uint64(p.A), uint64(p.B)}] = true
+	}
+	for _, p := range dist {
+		if !tm[key{uint64(p.A), uint64(p.B)}] {
+			t.Fatalf("false positive %v", p)
+		}
+	}
+}
+
+func TestMRJoinEstimateMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sets := randomMultisets(rng, 60, 20, 6, 3)
+	input := records.BuildInput("in", sets, 4)
+	dist, _, err := MRJoin(mr.NewCluster(4, 1<<22), input, Config{
+		Bands: 8, Rows: 4, Seed: 3, Threshold: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range dist {
+		if p.Sim < 0.6-1e-9 || p.Sim > 1 {
+			t.Fatalf("estimate out of range: %v", p)
+		}
+	}
+}
+
+func TestMRJoinValidation(t *testing.T) {
+	input := records.BuildInput("in", nil, 1)
+	if _, _, err := MRJoin(mr.NewCluster(1, 1<<20), input, Config{}); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}

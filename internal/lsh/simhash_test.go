@@ -1,0 +1,89 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vsmartjoin/internal/multiset"
+)
+
+func TestSimHashIdenticalEntities(t *testing.T) {
+	m := multiset.New(1, []multiset.Entry{{Elem: 3, Count: 2}, {Elem: 9, Count: 5}})
+	s := NewSimHash(128, 11)
+	a := s.Fingerprint(m)
+	b := s.Fingerprint(m)
+	if got := s.EstimateAngular(a, b); got != 1 {
+		t.Fatalf("self agreement: %v", got)
+	}
+}
+
+func TestSimHashRespectsMultiplicity(t *testing.T) {
+	// The paper's footnote 7: Charikar's scheme respects repeated
+	// elements. Doubling all multiplicities leaves the direction (and so
+	// the fingerprint) unchanged.
+	m := multiset.New(1, []multiset.Entry{{Elem: 1, Count: 1}, {Elem: 2, Count: 3}, {Elem: 5, Count: 2}})
+	d := multiset.New(2, []multiset.Entry{{Elem: 1, Count: 2}, {Elem: 2, Count: 6}, {Elem: 5, Count: 4}})
+	s := NewSimHash(256, 13)
+	if got := s.EstimateAngular(s.Fingerprint(m), s.Fingerprint(d)); got != 1 {
+		t.Fatalf("scaled multiset should have identical fingerprint: %v", got)
+	}
+}
+
+func TestSimHashEstimateAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := NewSimHash(256, 19)
+	var worst float64
+	for trial := 0; trial < 50; trial++ {
+		a := randomMultisets(rng, 1, 12, 10, 5)[0]
+		b := randomMultisets(rng, 1, 12, 10, 5)[0]
+		if a.Cardinality() == 0 || b.Cardinality() == 0 {
+			continue
+		}
+		truth := TrueAngular(a, b)
+		est := s.EstimateAngular(s.Fingerprint(a), s.Fingerprint(b))
+		if d := math.Abs(truth - est); d > worst {
+			worst = d
+		}
+	}
+	// 256 bits → binomial stddev ≈ 0.031; allow 5 sigma.
+	if worst > 0.16 {
+		t.Fatalf("worst angular error %v > 0.16", worst)
+	}
+}
+
+func TestSimHashDisjointEntities(t *testing.T) {
+	a := multiset.New(1, []multiset.Entry{{Elem: 1, Count: 3}})
+	b := multiset.New(2, []multiset.Entry{{Elem: 1000, Count: 3}})
+	s := NewSimHash(256, 23)
+	est := s.EstimateAngular(s.Fingerprint(a), s.Fingerprint(b))
+	// Orthogonal vectors → angular similarity 0.5 (θ = π/2).
+	if math.Abs(est-0.5) > 0.12 {
+		t.Fatalf("orthogonal estimate: %v want ≈0.5", est)
+	}
+}
+
+func TestCosineOf(t *testing.T) {
+	if got := CosineOf(1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("CosineOf(1)=%v", got)
+	}
+	if got := CosineOf(0.5); math.Abs(got) > 1e-12 {
+		t.Fatalf("CosineOf(0.5)=%v", got)
+	}
+}
+
+func TestSimHashBitsClamping(t *testing.T) {
+	if NewSimHash(0, 1).Bits() != 1 {
+		t.Fatal("min clamp")
+	}
+	if NewSimHash(1000, 1).Bits() != 256 {
+		t.Fatal("max clamp")
+	}
+}
+
+func TestSimHashMismatchedFingerprints(t *testing.T) {
+	s := NewSimHash(64, 1)
+	if got := s.EstimateAngular([]uint64{1}, []uint64{1, 2}); got != 0 {
+		t.Fatalf("mismatched lengths: %v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package mr
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counters is a set of named monotonic counters shared by all tasks of a
+// job (the MapReduce counter facility). It is safe for concurrent use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of counter name.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the sorted counter names.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds another counter set into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.Snapshot() {
+		c.Add(k, v)
+	}
+}

@@ -1,0 +1,597 @@
+package mr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vsmartjoin/internal/mrfs"
+)
+
+// Job describes one MapReduce execution.
+type Job struct {
+	// Name labels the job in stats and errors.
+	Name string
+	// Input is the dataset to map over; each partition is one map task.
+	Input *mrfs.Dataset
+	// Mapper transforms input records. Required.
+	Mapper Mapper
+	// Combiner, when non-nil, is a dedicated combiner applied to each map
+	// task's output before the shuffle (the paper uses dedicated combiners
+	// in every aggregation).
+	Combiner Reducer
+	// Reducer folds grouped values. When nil the job is map-only: mapper
+	// output is shuffled into partitions and written out unreduced.
+	Reducer Reducer
+	// NumReducers sets the reduce task count (defaults to the cluster's
+	// machine count).
+	NumReducers int
+	// UsesSecondaryKeys declares that the reducer depends on value lists
+	// sorted by secondary key. Hadoop-compatible clusters reject such jobs.
+	UsesSecondaryKeys bool
+	// SideInputs are loaded into every task's context at stage start;
+	// their bytes are charged to memory and to per-machine load time.
+	SideInputs map[string]*mrfs.Dataset
+	// SideInputsAtReduce also loads side inputs for reduce tasks
+	// (default: map tasks only, the common pattern).
+	SideInputsAtReduce bool
+	// OutputName names the result dataset.
+	OutputName string
+}
+
+// TaskIO captures the raw, cost-model-independent work quantities of one
+// task, so calibration can re-price a run under any coefficients.
+type TaskIO struct {
+	InRecords, OutRecords int64
+	InBytes, OutBytes     int64
+	ExtraIO               int64 // bytes re-read (rewinds, explicit charges)
+	ExtraCPU              int64 // record-equivalents from ChargeCompute
+	CombineRecords        int64 // records passed through a dedicated combiner
+}
+
+// Cost prices the task under a cost model.
+func (t TaskIO) Cost(cm CostModel) float64 {
+	return cm.TaskOverhead +
+		float64(t.InBytes+t.OutBytes+t.ExtraIO)*cm.IOPerByte +
+		float64(t.InRecords+t.OutRecords+t.ExtraCPU+t.CombineRecords)*cm.CPUPerRecord
+}
+
+// CostProfile captures the machine-count- and coefficient-independent work
+// of one job run, so the simulated time can be re-evaluated for any
+// cluster width (the x-axis sweeps of Figs 5–6) or cost model without
+// re-executing the join.
+type CostProfile struct {
+	MapTasks       []TaskIO
+	ReduceTasks    []TaskIO
+	ShuffleBytes   int64
+	ShuffleRecords int64
+	SideBytes      int64
+	SideAtReduce   bool
+}
+
+// JobTimes is the simulated wall-clock breakdown of one job at a given
+// machine count.
+type JobTimes struct {
+	Startup, Map, Shuffle, Reduce, Total float64
+}
+
+func taskCosts(tasks []TaskIO, cm CostModel) []float64 {
+	out := make([]float64, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Cost(cm)
+	}
+	return out
+}
+
+// Evaluate computes the job's simulated times on w machines under cm.
+func (p *CostProfile) Evaluate(w int, cm CostModel) JobTimes {
+	var t JobTimes
+	t.Startup = cm.JobStartup
+	t.Map = maxOf(assignTasks(taskCosts(p.MapTasks, cm), w))
+	if p.SideBytes > 0 {
+		// Every machine loads the side table once at stage start — a fixed
+		// overhead independent of the machine count.
+		t.Map += float64(p.SideBytes) * cm.SideLoadPerByte
+	}
+	t.Shuffle = float64(p.ShuffleBytes)*cm.NetPerByte/float64(w) +
+		float64(p.ShuffleRecords)*cm.CPUPerRecord/float64(w)
+	t.Reduce = maxOf(assignTasks(taskCosts(p.ReduceTasks, cm), w))
+	if p.SideAtReduce && p.SideBytes > 0 {
+		t.Reduce += float64(p.SideBytes) * cm.SideLoadPerByte
+	}
+	t.Total = t.Startup + t.Map + t.Shuffle + t.Reduce
+	return t
+}
+
+// JobStats reports the simulated cost and volume of one job run.
+type JobStats struct {
+	Name        string
+	Machines    int
+	MapTasks    int
+	ReduceTasks int
+
+	// Profile allows re-evaluating the times at other machine counts.
+	Profile CostProfile
+
+	MapInRecords   int64
+	MapOutRecords  int64 // before combining
+	CombineOutRecs int64 // records after combining (== MapOutRecords when no combiner)
+	ShuffleBytes   int64
+	ReduceOutRecs  int64
+	OutputBytes    int64
+	Counters       map[string]int64
+
+	// Simulated seconds.
+	StartupSeconds    float64
+	MapSeconds        float64 // slowest machine's map time
+	ShuffleSeconds    float64
+	ReduceSeconds     float64 // slowest machine's reduce time
+	TotalSeconds      float64
+	SlowestMapTask    float64
+	SlowestReduceTask float64
+}
+
+func (s JobStats) String() string {
+	return fmt.Sprintf("%s: %.1fs sim (map %.1f, shuffle %.1f, reduce %.1f) mapIn=%d shuffle=%dB out=%d",
+		s.Name, s.TotalSeconds, s.MapSeconds, s.ShuffleSeconds, s.ReduceSeconds,
+		s.MapInRecords, s.ShuffleBytes, s.ReduceOutRecs)
+}
+
+// partitionOf routes a key to a reduce partition.
+func partitionOf(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// bufEmitter partitions emitted tuples into per-reducer buffers, copying
+// all byte slices (callers reuse their encode buffers).
+type bufEmitter struct {
+	parts   [][]mrfs.Record
+	n       int64 // records emitted
+	byteSum int64
+}
+
+func newBufEmitter(numParts int) *bufEmitter {
+	return &bufEmitter{parts: make([][]mrfs.Record, numParts)}
+}
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (e *bufEmitter) add(key, sec, val []byte) {
+	r := mrfs.Record{Key: cloneBytes(key), Sec: cloneBytes(sec), Val: cloneBytes(val)}
+	p := partitionOf(r.Key, len(e.parts))
+	e.parts[p] = append(e.parts[p], r)
+	e.n++
+	e.byteSum += r.Size()
+}
+
+func (e *bufEmitter) Emit(key, val []byte)         { e.add(key, nil, val) }
+func (e *bufEmitter) EmitSec(key, sec, val []byte) { e.add(key, sec, val) }
+
+// listEmitter appends tuples to a flat list (reduce output, combiner
+// output capture).
+type listEmitter struct {
+	out     []mrfs.Record
+	byteSum int64
+}
+
+func (e *listEmitter) add(key, sec, val []byte) {
+	r := mrfs.Record{Key: cloneBytes(key), Sec: cloneBytes(sec), Val: cloneBytes(val)}
+	e.out = append(e.out, r)
+	e.byteSum += r.Size()
+}
+
+func (e *listEmitter) Emit(key, val []byte)         { e.add(key, nil, val) }
+func (e *listEmitter) EmitSec(key, sec, val []byte) { e.add(key, sec, val) }
+
+// taskResult carries a finished map task's buffers and cost inputs.
+type taskResult struct {
+	parts      [][]mrfs.Record
+	inRecords  int64
+	inBytes    int64
+	outRecords int64 // pre-combine
+	combineOut int64
+	outBytes   int64 // post-combine (spilled to shuffle)
+	extraIO    int64
+	extraCPU   int64
+}
+
+// Run executes the job on the simulated cluster and returns the output
+// dataset plus its cost statistics.
+func Run(cluster ClusterConfig, job Job) (*mrfs.Dataset, JobStats, error) {
+	stats := JobStats{Name: job.Name, Machines: cluster.Machines}
+	if err := cluster.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if job.Mapper == nil {
+		return nil, stats, fmt.Errorf("mr: job %q has no mapper", job.Name)
+	}
+	if job.Input == nil {
+		return nil, stats, fmt.Errorf("mr: job %q has no input", job.Name)
+	}
+	if job.UsesSecondaryKeys && !cluster.SupportsSecondaryKeys {
+		return nil, stats, fmt.Errorf("mr: job %q: %w", job.Name, ErrSecondaryKeys)
+	}
+	numReducers := job.NumReducers
+	if numReducers <= 0 {
+		numReducers = cluster.Machines
+	}
+	counters := NewCounters()
+
+	sideBytes := int64(0)
+	for _, d := range job.SideInputs {
+		sideBytes += d.Bytes()
+	}
+
+	// ---- Map stage ----
+	// Side inputs load once, at stage start, before any record is mapped —
+	// the paper's rule for keeping map functions pure. Mapper state derived
+	// here is read-only during the parallel tasks.
+	if s, ok := job.Mapper.(Setupper); ok {
+		setupCtx := &TaskContext{
+			JobName:   job.Name,
+			TaskIndex: -1,
+			Counters:  counters,
+			Side:      job.SideInputs,
+			memBudget: cluster.MemPerMachine,
+		}
+		if sideBytes > 0 {
+			if err := setupCtx.Reserve(sideBytes); err != nil {
+				return nil, stats, fmt.Errorf("mr: job %q loading side inputs (%d bytes): %w",
+					job.Name, sideBytes, err)
+			}
+		}
+		if err := s.Setup(setupCtx); err != nil {
+			return nil, stats, fmt.Errorf("mr: job %q map setup: %w", job.Name, err)
+		}
+	}
+	mapTasks := job.Input.Partitions
+	stats.MapTasks = len(mapTasks)
+	results := make([]*taskResult, len(mapTasks))
+	err := parallelFor(len(mapTasks), func(t int) error {
+		ctx := &TaskContext{
+			JobName:   job.Name,
+			TaskIndex: t,
+			Counters:  counters,
+			Side:      job.SideInputs,
+			memBudget: cluster.MemPerMachine,
+		}
+		if sideBytes > 0 {
+			if err := ctx.Reserve(sideBytes); err != nil {
+				return fmt.Errorf("mr: job %q map task %d loading side inputs (%d bytes): %w",
+					job.Name, t, sideBytes, err)
+			}
+		}
+		em := newBufEmitter(numReducers)
+		res := &taskResult{}
+		cm := cluster.Cost
+		for _, rec := range mapTasks[t] {
+			res.inRecords++
+			res.inBytes += rec.Size()
+			if err := job.Mapper.Map(ctx, rec, em); err != nil {
+				return fmt.Errorf("mr: job %q map task %d: %w", job.Name, t, err)
+			}
+			// The scheduler kills tasks that run past the deadline — check
+			// incrementally so runaway replication (e.g. the VCL kernel
+			// map) is stopped mid-flight rather than fully materialized.
+			if cm.MaxTaskSeconds > 0 {
+				running := cm.TaskOverhead +
+					float64(res.inBytes)*cm.IOPerByte +
+					float64(res.inRecords+em.n+ctx.extraCPU)*cm.CPUPerRecord +
+					float64(em.byteSum)*cm.IOPerByte
+				if running > cm.MaxTaskSeconds {
+					return fmt.Errorf("mr: job %q: map task %d ran %.0fs (deadline %.0fs): %w",
+						job.Name, t, running, cm.MaxTaskSeconds, ErrTaskKilled)
+				}
+			}
+		}
+		res.outRecords = em.n
+		res.extraIO = ctx.extraIO
+		res.extraCPU = ctx.extraCPU
+		// Dedicated combiner: applied per reduce partition of this task's
+		// output.
+		if job.Combiner != nil {
+			for p := range em.parts {
+				combined, n, err := combinePartition(ctx, job, em.parts[p])
+				if err != nil {
+					return err
+				}
+				em.parts[p] = combined
+				res.combineOut += n
+			}
+		} else {
+			res.combineOut = em.n
+		}
+		for p := range em.parts {
+			for _, r := range em.parts[p] {
+				res.outBytes += r.Size()
+			}
+		}
+		res.parts = em.parts
+		results[t] = res
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// ---- Shuffle: gather per-reducer groups ----
+	reduceInput := make([][]mrfs.Record, numReducers)
+	var shuffleBytes, shuffleRecords int64
+	for _, res := range results {
+		stats.MapInRecords += res.inRecords
+		stats.MapOutRecords += res.outRecords
+		stats.CombineOutRecs += res.combineOut
+		for p := range res.parts {
+			reduceInput[p] = append(reduceInput[p], res.parts[p]...)
+		}
+		shuffleBytes += res.outBytes
+	}
+	for p := range reduceInput {
+		shuffleRecords += int64(len(reduceInput[p]))
+	}
+	stats.ShuffleBytes = shuffleBytes
+
+	// Sort each reduce partition by (key, sec, val) — the shuffle's
+	// grouping and secondary-key ordering.
+	err = parallelFor(numReducers, func(p int) error {
+		rows := reduceInput[p]
+		sort.Slice(rows, func(i, j int) bool { return mrfs.Less(rows[i], rows[j]) })
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// ---- Reduce stage ----
+	if job.Reducer != nil {
+		if s, ok := job.Reducer.(Setupper); ok {
+			setupCtx := &TaskContext{
+				JobName:   job.Name,
+				TaskIndex: -1,
+				Counters:  counters,
+				memBudget: cluster.MemPerMachine,
+			}
+			if job.SideInputsAtReduce {
+				setupCtx.Side = job.SideInputs
+				if sideBytes > 0 {
+					if err := setupCtx.Reserve(sideBytes); err != nil {
+						return nil, stats, fmt.Errorf("mr: job %q reduce side inputs: %w", job.Name, err)
+					}
+				}
+			}
+			if err := s.Setup(setupCtx); err != nil {
+				return nil, stats, fmt.Errorf("mr: job %q reduce setup: %w", job.Name, err)
+			}
+		}
+	}
+	out := mrfs.NewDataset(job.OutputName, numReducers)
+	stats.ReduceTasks = numReducers
+	reduceIOs := make([]TaskIO, numReducers)
+	cm := cluster.Cost
+	err = parallelFor(numReducers, func(p int) error {
+		ctx := &TaskContext{
+			JobName:   job.Name,
+			TaskIndex: p,
+			Counters:  counters,
+			memBudget: cluster.MemPerMachine,
+		}
+		var inBytes int64
+		for _, r := range reduceInput[p] {
+			inBytes += r.Size()
+		}
+		if job.SideInputsAtReduce && sideBytes > 0 {
+			ctx.Side = job.SideInputs
+			if err := ctx.Reserve(sideBytes); err != nil {
+				return fmt.Errorf("mr: job %q reduce task %d loading side inputs: %w", job.Name, p, err)
+			}
+		}
+		em := &listEmitter{}
+		if job.Reducer == nil {
+			// Map-only job: pass shuffled records through.
+			for _, r := range reduceInput[p] {
+				em.out = append(em.out, r)
+				em.byteSum += r.Size()
+			}
+		} else {
+			if err := reduceGroups(ctx, job, cm, reduceInput[p], em); err != nil {
+				return err
+			}
+		}
+		out.Partitions[p] = em.out
+		reduceIOs[p] = TaskIO{
+			InRecords:  int64(len(reduceInput[p])),
+			OutRecords: int64(len(em.out)),
+			InBytes:    inBytes,
+			OutBytes:   em.byteSum,
+			ExtraIO:    ctx.extraIO,
+			ExtraCPU:   ctx.extraCPU,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.OutputBytes = out.Bytes()
+	stats.ReduceOutRecs = out.NumRecords()
+	stats.Counters = counters.Snapshot()
+
+	// Re-stripe the output across partitions, modelling block placement in
+	// the distributed file system: a downstream job's map splits follow
+	// file blocks, not the key grouping of the reducers that wrote them.
+	// Without this, one reducer's key-locality would skew the next job's
+	// map tasks — a locality real MapReduce inputs do not have.
+	striped := mrfs.NewDataset(job.OutputName, numReducers)
+	idx := 0
+	for p := range out.Partitions {
+		for _, r := range out.Partitions[p] {
+			striped.Partitions[idx%numReducers] = append(striped.Partitions[idx%numReducers], r)
+			idx++
+		}
+	}
+	out = striped
+
+	// ---- Cost accounting ----
+	mapIOs := make([]TaskIO, len(results))
+	for t, res := range results {
+		mapIOs[t] = TaskIO{
+			InRecords:  res.inRecords,
+			OutRecords: res.outRecords,
+			InBytes:    res.inBytes,
+			OutBytes:   res.outBytes,
+			ExtraIO:    res.extraIO,
+			ExtraCPU:   res.extraCPU,
+		}
+		if job.Combiner != nil {
+			mapIOs[t].CombineRecords = res.outRecords // combine pass
+		}
+	}
+	stats.Profile = CostProfile{
+		MapTasks:       mapIOs,
+		ReduceTasks:    reduceIOs,
+		ShuffleBytes:   shuffleBytes,
+		ShuffleRecords: shuffleRecords,
+		SideBytes:      sideBytes,
+		SideAtReduce:   job.SideInputsAtReduce,
+	}
+	stats.SlowestMapTask = maxOf(taskCosts(mapIOs, cm))
+	stats.SlowestReduceTask = maxOf(taskCosts(reduceIOs, cm))
+	if cm.MaxTaskSeconds > 0 {
+		if stats.SlowestMapTask > cm.MaxTaskSeconds {
+			return nil, stats, fmt.Errorf("mr: job %q: map task ran %.0fs (deadline %.0fs): %w",
+				job.Name, stats.SlowestMapTask, cm.MaxTaskSeconds, ErrTaskKilled)
+		}
+		if stats.SlowestReduceTask > cm.MaxTaskSeconds {
+			return nil, stats, fmt.Errorf("mr: job %q: reduce task ran %.0fs (deadline %.0fs): %w",
+				job.Name, stats.SlowestReduceTask, cm.MaxTaskSeconds, ErrTaskKilled)
+		}
+	}
+
+	times := stats.Profile.Evaluate(cluster.Machines, cm)
+	stats.StartupSeconds = times.Startup
+	stats.MapSeconds = times.Map
+	stats.ShuffleSeconds = times.Shuffle
+	stats.ReduceSeconds = times.Reduce
+	stats.TotalSeconds = times.Total
+
+	return out, stats, nil
+}
+
+// combinePartition groups one map task's partition buffer by key and runs
+// the dedicated combiner over each group.
+func combinePartition(ctx *TaskContext, job Job, rows []mrfs.Record) ([]mrfs.Record, int64, error) {
+	if len(rows) == 0 {
+		return rows, 0, nil
+	}
+	sort.Slice(rows, func(i, j int) bool { return mrfs.Less(rows[i], rows[j]) })
+	em := &listEmitter{}
+	start := 0
+	for i := 1; i <= len(rows); i++ {
+		if i < len(rows) && bytesEqual(rows[i].Key, rows[start].Key) {
+			continue
+		}
+		group := rows[start:i]
+		vals := makeValues(group)
+		if err := job.Combiner.Reduce(ctx, group[0].Key, vals, em); err != nil {
+			return nil, 0, fmt.Errorf("mr: job %q combiner: %w", job.Name, err)
+		}
+		ctx.extraIO += vals.bytes * int64(vals.rewinds)
+		start = i
+	}
+	return em.out, int64(len(em.out)), nil
+}
+
+// reduceGroups walks a sorted reduce partition, slicing it into per-key
+// groups and invoking the reducer on each. The scheduler deadline is
+// checked between groups so a runaway reduce task is killed mid-flight.
+func reduceGroups(ctx *TaskContext, job Job, cm CostModel, rows []mrfs.Record, em Emitter) error {
+	start := 0
+	var inRecords int64
+	listEm, _ := em.(*listEmitter)
+	for i := 1; i <= len(rows); i++ {
+		if i < len(rows) && bytesEqual(rows[i].Key, rows[start].Key) {
+			continue
+		}
+		group := rows[start:i]
+		vals := makeValues(group)
+		if err := job.Reducer.Reduce(ctx, group[0].Key, vals, em); err != nil {
+			return fmt.Errorf("mr: job %q reduce: %w", job.Name, err)
+		}
+		ctx.extraIO += vals.bytes * int64(vals.rewinds)
+		inRecords += int64(len(group))
+		if cm.MaxTaskSeconds > 0 && listEm != nil {
+			running := cm.TaskOverhead +
+				float64(inRecords+int64(len(listEm.out))+ctx.extraCPU)*cm.CPUPerRecord +
+				float64(listEm.byteSum)*cm.IOPerByte +
+				float64(ctx.extraIO)*cm.IOPerByte
+			if running > cm.MaxTaskSeconds {
+				return fmt.Errorf("mr: job %q: reduce task %d ran %.0fs (deadline %.0fs): %w",
+					job.Name, ctx.TaskIndex, running, cm.MaxTaskSeconds, ErrTaskKilled)
+			}
+		}
+		start = i
+	}
+	return nil
+}
+
+func makeValues(group []mrfs.Record) *Values {
+	vals := &Values{rows: make([]Value, len(group))}
+	for i, r := range group {
+		vals.rows[i] = Value{Sec: r.Sec, Val: r.Val}
+		vals.bytes += r.Size()
+	}
+	return vals
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelFor runs f(0..n-1) on a bounded worker pool, returning the first
+// error (by lowest index, for determinism).
+func parallelFor(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package mr is a deterministic in-process MapReduce engine with a cluster
+// cost model. Jobs really execute — mappers, dedicated combiners, a
+// hash-partitioned shuffle with (key, secondary-key) sorting, and reducers
+// over grouped value lists — while the engine accounts the simulated
+// wall-clock a shared-nothing cluster of W machines would have spent:
+// per-task CPU and I/O, shuffle bytes, side-input loads, slowest-machine
+// makespans, per-machine memory budgets, and scheduler kill deadlines.
+//
+// The programming model follows the paper's §2: map:
+// ⟨key1,value1⟩ → (⟨key2,value2⟩)*, reduce: ⟨key2,(value2)*⟩ → (value3)*,
+// optional secondary keys (Google MR only), dedicated combiners, side-input
+// loading at stage start, and rewindable reduce value lists.
+package mr
+
+import (
+	"vsmartjoin/internal/mrfs"
+)
+
+// Emitter receives the output tuples of a map or reduce function.
+type Emitter interface {
+	// Emit outputs a ⟨key, value⟩ tuple. Byte slices are copied.
+	Emit(key, val []byte)
+	// EmitSec outputs a ⟨key, secondary-key, value⟩ tuple. The shuffle
+	// delivers each reducer's value list sorted by the secondary key.
+	EmitSec(key, sec, val []byte)
+}
+
+// Mapper transforms one input record into zero or more output tuples. Map
+// functions must be pure and deterministic (the fault-tolerance contract).
+type Mapper interface {
+	Map(ctx *TaskContext, rec mrfs.Record, emit Emitter) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(ctx *TaskContext, rec mrfs.Record, emit Emitter) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(ctx *TaskContext, rec mrfs.Record, emit Emitter) error {
+	return f(ctx, rec, emit)
+}
+
+// Reducer folds the value list of one key into zero or more outputs.
+// The same interface serves dedicated combiners.
+type Reducer interface {
+	Reduce(ctx *TaskContext, key []byte, values *Values, emit Emitter) error
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(ctx *TaskContext, key []byte, values *Values, emit Emitter) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(ctx *TaskContext, key []byte, values *Values, emit Emitter) error {
+	return f(ctx, key, values, emit)
+}
+
+// Setupper is an optional extension: Setup runs once per task before the
+// first record, after side inputs are loaded. Mappers use it to build
+// lookup tables from side inputs.
+type Setupper interface {
+	Setup(ctx *TaskContext) error
+}
+
+// Value is one entry of a reduce value list.
+type Value struct {
+	Sec []byte // secondary key (empty unless EmitSec was used)
+	Val []byte
+}
+
+// Values iterates a reduce value list. It supports Rewind, the capability
+// the chunked Similarity1 reducer relies on; every rewind re-charges the
+// list's I/O cost, modelling the re-scan of spilled data.
+type Values struct {
+	rows    []Value
+	pos     int
+	bytes   int64 // encoded size of the list
+	rewinds int   // accounted by the engine
+}
+
+// Next returns the next value, or ok=false at the end of the list.
+func (v *Values) Next() (Value, bool) {
+	if v.pos >= len(v.rows) {
+		return Value{}, false
+	}
+	out := v.rows[v.pos]
+	v.pos++
+	return out, true
+}
+
+// Rewind restarts iteration from the beginning of the list. The simulated
+// cost of re-reading the list is charged to the task.
+func (v *Values) Rewind() {
+	v.pos = 0
+	v.rewinds++
+}
+
+// Len reports the number of values in the list.
+func (v *Values) Len() int { return len(v.rows) }
+
+// Bytes reports the encoded size of the list.
+func (v *Values) Bytes() int64 { return v.bytes }
+
+// TaskContext carries per-task state: the memory accountant, counters, and
+// side inputs. A fresh context is created for every task.
+type TaskContext struct {
+	// JobName identifies the running job.
+	JobName string
+	// TaskIndex is the map or reduce task number.
+	TaskIndex int
+	// Counters aggregates job-wide counters.
+	Counters *Counters
+	// Side holds the side-input datasets declared by the job, keyed by
+	// name. Loading cost and memory are charged automatically.
+	Side map[string]*mrfs.Dataset
+
+	memBudget int64
+	memUsed   int64
+	extraIO   int64 // bytes re-read due to Rewind etc.
+	extraCPU  int64 // record-equivalents of in-task compute (ChargeCompute)
+}
+
+// Reserve accounts bytes of task-local memory (lookup tables, buffered
+// value lists). It fails with ErrOutOfMemory when the per-machine budget
+// would be exceeded — the simulation of thrashing/OOM.
+func (c *TaskContext) Reserve(bytes int64) error {
+	if c.memUsed+bytes > c.memBudget {
+		return ErrOutOfMemory
+	}
+	c.memUsed += bytes
+	return nil
+}
+
+// Release returns bytes reserved earlier.
+func (c *TaskContext) Release(bytes int64) {
+	c.memUsed -= bytes
+	if c.memUsed < 0 {
+		c.memUsed = 0
+	}
+}
+
+// MemUsed reports the currently reserved memory.
+func (c *TaskContext) MemUsed() int64 { return c.memUsed }
+
+// MemBudget reports the per-machine memory budget.
+func (c *TaskContext) MemBudget() int64 { return c.memBudget }
+
+// ChargeIO adds extra simulated I/O bytes to the running task (used for
+// explicit re-scans beyond the engine's own accounting).
+func (c *TaskContext) ChargeIO(bytes int64) { c.extraIO += bytes }
+
+// ChargeCompute adds in-task CPU work equivalent to processing n records —
+// for work the engine cannot see from record counts alone, such as the
+// pairwise similarity computations inside the VCL kernel reducer.
+func (c *TaskContext) ChargeCompute(n int64) { c.extraCPU += n }
+
+// IdentityMapper passes records through unchanged — the paper's
+// mapSimilarity2.
+type IdentityMapper struct{}
+
+// Map implements Mapper.
+func (IdentityMapper) Map(_ *TaskContext, rec mrfs.Record, emit Emitter) error {
+	if len(rec.Sec) > 0 {
+		emit.EmitSec(rec.Key, rec.Sec, rec.Val)
+	} else {
+		emit.Emit(rec.Key, rec.Val)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package mrfs simulates the distributed file system underneath the
+// MapReduce engine (GFS/HDFS in the paper). A Dataset is an ordered list of
+// partitions, each holding encoded records; partitions are the unit of map
+// parallelism and byte sizes are tracked so the cluster cost model can
+// charge I/O faithfully.
+package mrfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Record is one key/value pair at rest. Sec carries the optional secondary
+// key used by engines that support value-list sorting (Google MR does,
+// Hadoop does not — see the paper §2).
+type Record struct {
+	Key []byte
+	Sec []byte
+	Val []byte
+}
+
+// Size reports the encoded size of the record in bytes, the quantity the
+// cost model charges for I/O and shuffle traffic.
+func (r Record) Size() int64 {
+	return int64(len(r.Key) + len(r.Sec) + len(r.Val) + 6) // + framing overhead
+}
+
+// Dataset is a partitioned collection of records.
+type Dataset struct {
+	Name       string
+	Partitions [][]Record
+}
+
+// NewDataset returns an empty dataset with n partitions.
+func NewDataset(name string, n int) *Dataset {
+	if n < 1 {
+		n = 1
+	}
+	return &Dataset{Name: name, Partitions: make([][]Record, n)}
+}
+
+// FromRecords builds a dataset by striping records round-robin over n
+// partitions, mimicking block placement of a distributed file system.
+func FromRecords(name string, records []Record, n int) *Dataset {
+	d := NewDataset(name, n)
+	for i, r := range records {
+		p := i % len(d.Partitions)
+		d.Partitions[p] = append(d.Partitions[p], r)
+	}
+	return d
+}
+
+// Append adds a record to partition p.
+func (d *Dataset) Append(p int, r Record) {
+	d.Partitions[p] = append(d.Partitions[p], r)
+}
+
+// NumPartitions reports the partition count.
+func (d *Dataset) NumPartitions() int { return len(d.Partitions) }
+
+// NumRecords reports the total record count.
+func (d *Dataset) NumRecords() int64 {
+	var n int64
+	for _, p := range d.Partitions {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// Bytes reports the total encoded size of all records.
+func (d *Dataset) Bytes() int64 {
+	var n int64
+	for _, p := range d.Partitions {
+		for _, r := range p {
+			n += r.Size()
+		}
+	}
+	return n
+}
+
+// All returns every record in partition order. The slice is freshly
+// allocated; records alias the dataset's storage.
+func (d *Dataset) All() []Record {
+	out := make([]Record, 0, d.NumRecords())
+	for _, p := range d.Partitions {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Sorted returns all records ordered by (Key, Sec, Val) — a deterministic
+// view for tests and output files.
+func (d *Dataset) Sorted() []Record {
+	out := d.All()
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// Less orders records by (Key, Sec, Val), byte-lexicographically.
+func Less(a, b Record) bool {
+	if c := compareBytes(a.Key, b.Key); c != 0 {
+		return c < 0
+	}
+	if c := compareBytes(a.Sec, b.Sec); c != 0 {
+		return c < 0
+	}
+	return compareBytes(a.Val, b.Val) < 0
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Store is a named collection of datasets — the "file system" namespace.
+// It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	sets map[string]*Dataset
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{sets: make(map[string]*Dataset)}
+}
+
+// Put registers (or replaces) a dataset under its name.
+func (s *Store) Put(d *Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sets[d.Name] = d
+}
+
+// Get fetches a dataset by name.
+func (s *Store) Get(name string) (*Dataset, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.sets[name]
+	if !ok {
+		return nil, fmt.Errorf("mrfs: dataset %q not found", name)
+	}
+	return d, nil
+}
+
+// Delete removes a dataset, freeing its space.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sets, name)
+}
+
+// Names lists registered dataset names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.sets))
+	for n := range s.sets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,103 @@
+package mrfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func rec(k, v string) Record { return Record{Key: []byte(k), Val: []byte(v)} }
+
+func TestFromRecordsStripes(t *testing.T) {
+	recs := []Record{rec("a", "1"), rec("b", "2"), rec("c", "3"), rec("d", "4"), rec("e", "5")}
+	d := FromRecords("x", recs, 2)
+	if d.NumPartitions() != 2 {
+		t.Fatalf("partitions: got %d want 2", d.NumPartitions())
+	}
+	if len(d.Partitions[0]) != 3 || len(d.Partitions[1]) != 2 {
+		t.Fatalf("striping wrong: %d/%d", len(d.Partitions[0]), len(d.Partitions[1]))
+	}
+	if d.NumRecords() != 5 {
+		t.Fatalf("NumRecords: got %d want 5", d.NumRecords())
+	}
+}
+
+func TestNewDatasetMinPartitions(t *testing.T) {
+	d := NewDataset("x", 0)
+	if d.NumPartitions() != 1 {
+		t.Fatal("should clamp to 1 partition")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	d := NewDataset("x", 1)
+	r := Record{Key: []byte("key"), Sec: []byte("s"), Val: []byte("value")}
+	d.Append(0, r)
+	want := int64(3 + 1 + 5 + 6)
+	if got := d.Bytes(); got != want {
+		t.Fatalf("Bytes: got %d want %d", got, want)
+	}
+	if r.Size() != want {
+		t.Fatalf("Size: got %d want %d", r.Size(), want)
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	d := NewDataset("x", 2)
+	d.Append(1, rec("b", "2"))
+	d.Append(0, rec("a", "1"))
+	d.Append(0, rec("b", "1"))
+	d.Append(1, Record{Key: []byte("a"), Sec: []byte("z"), Val: []byte("3")})
+	got := d.Sorted()
+	if string(got[0].Key) != "a" || string(got[0].Val) != "1" {
+		t.Fatalf("order wrong: %v", got)
+	}
+	// a/"" < a/z
+	if string(got[1].Sec) != "z" {
+		t.Fatalf("secondary order wrong: %q", got[1].Sec)
+	}
+	if string(got[2].Key) != "b" || string(got[2].Val) != "1" {
+		t.Fatalf("val tiebreak wrong: %v", got[2])
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	a := rec("a", "")
+	b := rec("ab", "")
+	if !Less(a, b) || Less(b, a) {
+		t.Fatal("prefix ordering wrong")
+	}
+	if Less(a, a) {
+		t.Fatal("irreflexivity violated")
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	d := NewDataset("ds1", 1)
+	s.Put(d)
+	got, err := s.Get("ds1")
+	if err != nil || got != d {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+	s.Put(NewDataset("ds0", 1))
+	names := s.Names()
+	if len(names) != 2 || names[0] != "ds0" || names[1] != "ds1" {
+		t.Fatalf("Names: %v", names)
+	}
+	s.Delete("ds1")
+	if _, err := s.Get("ds1"); err == nil {
+		t.Fatal("expected error after delete")
+	}
+}
+
+func TestAllAliases(t *testing.T) {
+	d := NewDataset("x", 1)
+	d.Append(0, rec("k", "v"))
+	all := d.All()
+	if len(all) != 1 || !bytes.Equal(all[0].Key, []byte("k")) {
+		t.Fatalf("All wrong: %v", all)
+	}
+}

@@ -1,0 +1,65 @@
+package multiset
+
+import "sync"
+
+// Dict interns string alphabet values (cookies, shingles, words) into dense
+// Elem identifiers and remembers the reverse mapping. It is safe for
+// concurrent use.
+type Dict struct {
+	mu      sync.RWMutex
+	byName  map[string]Elem
+	byID    []string
+	nextID  Elem
+	baseLen int
+}
+
+// NewDict returns an empty dictionary. The first interned string receives
+// Elem(0).
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]Elem)}
+}
+
+// Intern returns the Elem for name, assigning a fresh one on first sight.
+func (d *Dict) Intern(name string) Elem {
+	d.mu.RLock()
+	id, ok := d.byName[name]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id = d.nextID
+	d.nextID++
+	d.byName[name] = id
+	d.byID = append(d.byID, name)
+	return id
+}
+
+// Lookup returns the Elem for name without interning.
+func (d *Dict) Lookup(name string) (Elem, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the string for id, or "" if id was never assigned.
+func (d *Dict) Name(id Elem) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) < len(d.byID) {
+		return d.byID[id]
+	}
+	return ""
+}
+
+// Len reports the number of interned strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}

@@ -1,0 +1,316 @@
+// Package nsm is an executable rendering of the paper's Eqn 1 — the general
+// form of a Nominal Similarity Measure:
+//
+//	Sim(Mi,Mj) = F( Π₁ g₁(fi,k, fj,k), ..., Π_L g_L(fi,k, fj,k) )
+//
+// where each g_l maps a pair of multiplicities to a partial contribution,
+// each Π_l aggregates those contributions over the alphabet, and F combines
+// the aggregated partials into the similarity.
+//
+// The package also encodes the paper's §3.2 classification of g functions:
+//
+//   - Unilateral: the partial depends on only one operand, so it can be
+//     computed by scanning only U(Mi) (or only U(Mj)).
+//   - Conjunctive: the partial vanishes whenever either operand is 0, so it
+//     can be computed by scanning only U(Mi ∩ Mj).
+//   - Disjunctive: the partial can be nonzero when exactly one operand is 0,
+//     so it needs a scan of U(Mi ∪ Mj). The framework (like the paper)
+//     rejects measures that include a disjunctive partial.
+//
+// This package exists as a specification and classification tool: the fast
+// path in internal/similarity hard-codes the partials every built-in
+// measure needs, and tests prove the two agree. Building a custom Measure
+// from g functions via Build is also supported.
+package nsm
+
+import (
+	"errors"
+	"fmt"
+
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/similarity"
+)
+
+// Class is the §3.2 classification of a g function.
+type Class int
+
+const (
+	// Unilateral partials scan one entity.
+	Unilateral Class = iota
+	// Conjunctive partials scan the intersection.
+	Conjunctive
+	// Disjunctive partials need the union; unsupported by the join
+	// algorithms (and by every published algorithm the paper surveys).
+	Disjunctive
+)
+
+func (c Class) String() string {
+	switch c {
+	case Unilateral:
+		return "unilateral"
+	case Conjunctive:
+		return "conjunctive"
+	case Disjunctive:
+		return "disjunctive"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// GFunc is one g_l(fi,k, fj,k) term of Eqn 1. Aggregation Π_l is always Σ
+// here, matching every measure in the paper.
+type GFunc struct {
+	Name string
+	G    func(fi, fj uint32) float64
+}
+
+// Classify determines the §3.2 class of g empirically by probing it on the
+// multiplicity grid [0,probe]². A function is:
+//
+//   - unilateral if it ignores one operand entirely,
+//   - conjunctive if g(f,0) == g(0,f) == 0 for all f,
+//   - disjunctive otherwise.
+func Classify(g GFunc, probe uint32) Class {
+	ignoresSecond, ignoresFirst := true, true
+	conj := true
+	for a := uint32(0); a <= probe; a++ {
+		if g.G(a, 0) != 0 || g.G(0, a) != 0 {
+			conj = false
+		}
+		for b := uint32(0); b <= probe; b++ {
+			if g.G(a, b) != g.G(a, 0) {
+				ignoresSecond = false
+			}
+			if g.G(a, b) != g.G(0, b) {
+				ignoresFirst = false
+			}
+		}
+	}
+	if ignoresSecond || ignoresFirst {
+		return Unilateral
+	}
+	if conj {
+		return Conjunctive
+	}
+	return Disjunctive
+}
+
+// Common g functions from the paper's examples.
+var (
+	// GMin is min(fi, fj) — the multiset intersection contribution.
+	GMin = GFunc{Name: "min", G: func(fi, fj uint32) float64 { return float64(min(fi, fj)) }}
+	// GMax is max(fi, fj) — disjunctive (the paper rewrites Ruzicka to
+	// avoid it).
+	GMax = GFunc{Name: "max", G: func(fi, fj uint32) float64 { return float64(max(fi, fj)) }}
+	// GFirst is the identity of the first operand — |Mi| contribution.
+	GFirst = GFunc{Name: "first", G: func(fi, _ uint32) float64 { return float64(fi) }}
+	// GSecond is the identity of the second operand — |Mj| contribution.
+	GSecond = GFunc{Name: "second", G: func(_, fj uint32) float64 { return float64(fj) }}
+	// GProduct is fi·fj — the dot-product contribution.
+	GProduct = GFunc{Name: "product", G: func(fi, fj uint32) float64 { return float64(fi) * float64(fj) }}
+	// GAbsDiff is |fi − fj| — the symmetric-difference contribution,
+	// the canonical disjunctive example.
+	GAbsDiff = GFunc{Name: "absdiff", G: func(fi, fj uint32) float64 {
+		if fi > fj {
+			return float64(fi - fj)
+		}
+		return float64(fj - fi)
+	}}
+)
+
+// Spec is a measure in Eqn-1 form: L g functions (Σ-aggregated) and an F
+// combiner over their aggregates.
+type Spec struct {
+	Name string
+	G    []GFunc
+	F    func(partials []float64) float64
+}
+
+// ErrDisjunctive is returned by Build for measures with a disjunctive g.
+var ErrDisjunctive = errors.New("nsm: measure requires a disjunctive partial (union scan); unsupported by the join framework")
+
+// Eval computes the similarity by brute force: it aggregates each g over
+// the full union of elements, then applies F. It is the semantic ground
+// truth for the partial-result optimizations.
+func (s Spec) Eval(a, b multiset.Multiset) float64 {
+	partials := make([]float64, len(s.G))
+	i, j := 0, 0
+	accum := func(fi, fj uint32) {
+		for l, g := range s.G {
+			partials[l] += g.G(fi, fj)
+		}
+	}
+	for i < len(a.Entries) || j < len(b.Entries) {
+		switch {
+		case j >= len(b.Entries) || (i < len(a.Entries) && a.Entries[i].Elem < b.Entries[j].Elem):
+			accum(a.Entries[i].Count, 0)
+			i++
+		case i >= len(a.Entries) || a.Entries[i].Elem > b.Entries[j].Elem:
+			accum(0, b.Entries[j].Count)
+			j++
+		default:
+			accum(a.Entries[i].Count, b.Entries[j].Count)
+			i++
+			j++
+		}
+	}
+	return s.F(partials)
+}
+
+// Classes returns the classification of each g in the spec.
+func (s Spec) Classes(probe uint32) []Class {
+	out := make([]Class, len(s.G))
+	for i, g := range s.G {
+		out[i] = Classify(g, probe)
+	}
+	return out
+}
+
+// Build validates that the spec contains no disjunctive partials and wraps
+// it as a similarity.Measure whose Sim evaluates the g functions from the
+// generic UniStats/ConjStats partials when possible, falling back to an
+// error otherwise.
+//
+// Build recognizes the five supported g shapes (min, product, first,
+// second, and the constant-per-shared-element "common" indicator) by
+// probing, so custom F combinations of the standard partials work.
+func Build(s Spec) (similarity.Measure, error) {
+	kinds := make([]partialKind, len(s.G))
+	for i, g := range s.G {
+		k, err := recognize(g)
+		if err != nil {
+			return nil, fmt.Errorf("g[%d] %q: %w", i, g.Name, err)
+		}
+		kinds[i] = k
+	}
+	return specMeasure{spec: s, kinds: kinds}, nil
+}
+
+type partialKind int
+
+const (
+	kindMin partialKind = iota
+	kindProduct
+	kindFirst
+	kindSecond
+	kindCommon // 1 per shared element: g(fi,fj)=1 iff fi>0 && fj>0
+	kindFirstSq
+	kindSecondSq
+)
+
+func recognize(g GFunc) (partialKind, error) {
+	const probe = 6
+	if Classify(g, probe) == Disjunctive {
+		return 0, ErrDisjunctive
+	}
+	match := func(want func(fi, fj uint32) float64) bool {
+		for a := uint32(0); a <= probe; a++ {
+			for b := uint32(0); b <= probe; b++ {
+				if g.G(a, b) != want(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	switch {
+	case match(func(fi, fj uint32) float64 { return float64(min(fi, fj)) }):
+		return kindMin, nil
+	case match(func(fi, fj uint32) float64 { return float64(fi) * float64(fj) }):
+		return kindProduct, nil
+	case match(func(fi, _ uint32) float64 { return float64(fi) }):
+		return kindFirst, nil
+	case match(func(_, fj uint32) float64 { return float64(fj) }):
+		return kindSecond, nil
+	case match(func(fi, _ uint32) float64 { return float64(fi) * float64(fi) }):
+		return kindFirstSq, nil
+	case match(func(_, fj uint32) float64 { return float64(fj) * float64(fj) }):
+		return kindSecondSq, nil
+	case match(func(fi, fj uint32) float64 {
+		if fi > 0 && fj > 0 {
+			return 1
+		}
+		return 0
+	}):
+		return kindCommon, nil
+	default:
+		return 0, errors.New("nsm: unrecognized g function (not expressible via generic partials)")
+	}
+}
+
+type specMeasure struct {
+	spec  Spec
+	kinds []partialKind
+}
+
+func (m specMeasure) Name() string { return m.spec.Name }
+
+func (m specMeasure) Sim(a, b similarity.UniStats, c similarity.ConjStats) float64 {
+	partials := make([]float64, len(m.kinds))
+	for i, k := range m.kinds {
+		switch k {
+		case kindMin:
+			partials[i] = float64(c.SumMin)
+		case kindProduct:
+			partials[i] = float64(c.SumProd)
+		case kindCommon:
+			partials[i] = float64(c.Common)
+		case kindFirst:
+			partials[i] = float64(a.Card)
+		case kindSecond:
+			partials[i] = float64(b.Card)
+		case kindFirstSq:
+			partials[i] = float64(a.SumSq)
+		case kindSecondSq:
+			partials[i] = float64(b.SumSq)
+		}
+	}
+	return m.spec.F(partials)
+}
+
+// RuzickaSpec is the paper's worked example: Ruzicka rewritten without its
+// disjunctive max(·,·) as Σmin / (|Mi| + |Mj| − Σmin).
+func RuzickaSpec() Spec {
+	return Spec{
+		Name: "ruzicka-eqn1",
+		G:    []GFunc{GMin, GFirst, GSecond},
+		F: func(p []float64) float64 {
+			denom := p[1] + p[2] - p[0]
+			if denom == 0 {
+				return 0
+			}
+			return p[0] / denom
+		},
+	}
+}
+
+// NaiveRuzickaSpec is Ruzicka in its direct min/max form, which contains a
+// disjunctive partial and is therefore rejected by Build (but Eval still
+// works, as the ground truth).
+func NaiveRuzickaSpec() Spec {
+	return Spec{
+		Name: "ruzicka-minmax",
+		G:    []GFunc{GMin, GMax},
+		F: func(p []float64) float64 {
+			if p[1] == 0 {
+				return 0
+			}
+			return p[0] / p[1]
+		},
+	}
+}
+
+// DiceSpec is multiset Dice in Eqn-1 form.
+func DiceSpec() Spec {
+	return Spec{
+		Name: "dice-eqn1",
+		G:    []GFunc{GMin, GFirst, GSecond},
+		F: func(p []float64) float64 {
+			denom := p[1] + p[2]
+			if denom == 0 {
+				return 0
+			}
+			return 2 * p[0] / denom
+		},
+	}
+}

@@ -1,0 +1,187 @@
+package nsm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/similarity"
+)
+
+func randomMS(rng *rand.Rand, id multiset.ID) multiset.Multiset {
+	n := rng.Intn(10)
+	entries := make([]multiset.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		entries = append(entries, multiset.Entry{
+			Elem:  multiset.Elem(rng.Intn(12)),
+			Count: uint32(rng.Intn(6)),
+		})
+	}
+	return multiset.New(id, entries)
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		g    GFunc
+		want Class
+	}{
+		{GMin, Conjunctive},
+		{GProduct, Conjunctive},
+		{GMax, Disjunctive},
+		{GAbsDiff, Disjunctive},
+		{GFirst, Unilateral},
+		{GSecond, Unilateral},
+	}
+	for _, c := range cases {
+		if got := Classify(c.g, 6); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.g.Name, got, c.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Unilateral.String() != "unilateral" || Conjunctive.String() != "conjunctive" ||
+		Disjunctive.String() != "disjunctive" {
+		t.Fatal("Class.String wrong")
+	}
+	if Class(42).String() == "" {
+		t.Fatal("unknown class should still render")
+	}
+}
+
+// The two Ruzicka formulations (min/max vs rewritten) agree on Eval.
+func TestRuzickaRewriteEquivalence(t *testing.T) {
+	direct := NaiveRuzickaSpec()
+	rewritten := RuzickaSpec()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomMS(rng, 1), randomMS(rng, 2)
+		d := direct.Eval(a, b)
+		r := rewritten.Eval(a, b)
+		if math.Abs(d-r) > 1e-12 {
+			t.Fatalf("trial %d: direct %v vs rewritten %v (a=%v b=%v)", trial, d, r, a, b)
+		}
+	}
+}
+
+// Build rejects the min/max form (disjunctive) but accepts the rewrite.
+func TestBuildRejectsDisjunctive(t *testing.T) {
+	if _, err := Build(NaiveRuzickaSpec()); !errors.Is(err, ErrDisjunctive) {
+		t.Fatalf("want ErrDisjunctive, got %v", err)
+	}
+	if _, err := Build(RuzickaSpec()); err != nil {
+		t.Fatalf("rewritten Ruzicka should build: %v", err)
+	}
+}
+
+// The built Eqn-1 measure agrees with the hand-optimized fast path and with
+// brute-force Eval.
+func TestBuiltMeasureMatchesFastPathRuzicka(t *testing.T) {
+	m, err := Build(RuzickaSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RuzickaSpec()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomMS(rng, 1), randomMS(rng, 2)
+		got := similarity.Exact(m, a, b)
+		fast := similarity.Exact(similarity.Ruzicka{}, a, b)
+		ground := spec.Eval(a, b)
+		if math.Abs(got-fast) > 1e-12 || math.Abs(got-ground) > 1e-12 {
+			t.Fatalf("trial %d: built %v fast %v eval %v", trial, got, fast, ground)
+		}
+	}
+}
+
+func TestBuiltMeasureMatchesFastPathDice(t *testing.T) {
+	m, err := Build(DiceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomMS(rng, 1), randomMS(rng, 2)
+		got := similarity.Exact(m, a, b)
+		fast := similarity.Exact(similarity.MultisetDice{}, a, b)
+		if math.Abs(got-fast) > 1e-12 {
+			t.Fatalf("trial %d: built %v fast %v", trial, got, fast)
+		}
+	}
+}
+
+func TestSpecClasses(t *testing.T) {
+	got := RuzickaSpec().Classes(6)
+	want := []Class{Conjunctive, Unilateral, Unilateral}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("class %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvalSymmetricDifferenceSpec(t *testing.T) {
+	// A disjunctive measure still evaluates by brute force; verify against
+	// multiset.SymmetricDifference.
+	spec := Spec{
+		Name: "symdiff",
+		G:    []GFunc{GAbsDiff},
+		F:    func(p []float64) float64 { return p[0] },
+	}
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomMS(rng, 1), randomMS(rng, 2)
+		got := spec.Eval(a, b)
+		want := float64(multiset.SymmetricDifference(a, b))
+		if got != want {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestBuildUnrecognizedG(t *testing.T) {
+	weird := Spec{
+		Name: "weird",
+		G: []GFunc{{
+			Name: "min-squared",
+			G:    func(fi, fj uint32) float64 { v := float64(min(fi, fj)); return v * v },
+		}},
+		F: func(p []float64) float64 { return p[0] },
+	}
+	if _, err := Build(weird); err == nil {
+		t.Fatal("expected unrecognized-g error")
+	}
+}
+
+func TestBuildVectorCosineFromSquares(t *testing.T) {
+	spec := Spec{
+		Name: "vector-cosine-eqn1",
+		G: []GFunc{
+			GProduct,
+			{Name: "fi^2", G: func(fi, _ uint32) float64 { return float64(fi) * float64(fi) }},
+			{Name: "fj^2", G: func(_, fj uint32) float64 { return float64(fj) * float64(fj) }},
+		},
+		F: func(p []float64) float64 {
+			denom := math.Sqrt(p[1]) * math.Sqrt(p[2])
+			if denom == 0 {
+				return 0
+			}
+			return p[0] / denom
+		},
+	}
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomMS(rng, 1), randomMS(rng, 2)
+		got := similarity.Exact(m, a, b)
+		fast := similarity.Exact(similarity.VectorCosine{}, a, b)
+		if math.Abs(got-fast) > 1e-12 {
+			t.Fatalf("trial %d: built %v fast %v", trial, got, fast)
+		}
+	}
+}

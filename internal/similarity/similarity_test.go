@@ -1,0 +1,257 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vsmartjoin/internal/multiset"
+)
+
+func ms(id multiset.ID, pairs ...uint64) multiset.Multiset {
+	entries := make([]multiset.Entry, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		entries = append(entries, multiset.Entry{Elem: multiset.Elem(pairs[i]), Count: uint32(pairs[i+1])})
+	}
+	return multiset.New(id, entries)
+}
+
+func randomMS(rng *rand.Rand, id multiset.ID) multiset.Multiset {
+	n := rng.Intn(10)
+	entries := make([]multiset.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		entries = append(entries, multiset.Entry{
+			Elem:  multiset.Elem(rng.Intn(12)),
+			Count: uint32(rng.Intn(6)),
+		})
+	}
+	return multiset.New(id, entries)
+}
+
+func TestUniOf(t *testing.T) {
+	m := ms(1, 1, 3, 2, 4)
+	u := UniOf(m)
+	if u.Card != 7 || u.UCard != 2 || u.SumSq != 9+16 {
+		t.Fatalf("UniOf wrong: %+v", u)
+	}
+}
+
+func TestConjOf(t *testing.T) {
+	a := ms(1, 1, 3, 2, 4, 9, 1)
+	b := ms(2, 2, 2, 9, 5)
+	c := ConjOf(a, b)
+	if c.SumMin != 2+1 || c.SumProd != 8+5 || c.Common != 2 {
+		t.Fatalf("ConjOf wrong: %+v", c)
+	}
+}
+
+func TestRuzickaKnownValues(t *testing.T) {
+	a := ms(1, 1, 2, 2, 2)
+	b := ms(2, 1, 1, 2, 3)
+	// min: 1+2=3; union: 4+4-3=5
+	got := Exact(Ruzicka{}, a, b)
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("ruzicka: got %v want 0.6", got)
+	}
+}
+
+func TestRuzickaEqualsMinOverMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomMS(rng, 1), randomMS(rng, 2)
+		inter := multiset.IntersectionCardinality(a, b)
+		union := multiset.UnionCardinality(a, b)
+		want := 0.0
+		if union > 0 {
+			want = float64(inter) / float64(union)
+		}
+		got := Exact(Ruzicka{}, a, b)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestJaccardOnSets(t *testing.T) {
+	a := multiset.FromSet(1, []multiset.Elem{1, 2, 3, 4})
+	b := multiset.FromSet(2, []multiset.Elem{3, 4, 5, 6})
+	got := Exact(Jaccard{}, a, b)
+	if math.Abs(got-2.0/6.0) > 1e-12 {
+		t.Fatalf("jaccard: got %v want 1/3", got)
+	}
+	// On sets, Ruzicka == Jaccard.
+	if r := Exact(Ruzicka{}, a, b); math.Abs(r-got) > 1e-12 {
+		t.Fatalf("ruzicka %v != jaccard %v on sets", r, got)
+	}
+}
+
+func TestDiceAndCosineOnSets(t *testing.T) {
+	a := multiset.FromSet(1, []multiset.Elem{1, 2, 3})
+	b := multiset.FromSet(2, []multiset.Elem{2, 3, 4, 5})
+	d := Exact(SetDice{}, a, b)
+	if math.Abs(d-2*2.0/7.0) > 1e-12 {
+		t.Fatalf("set dice: got %v", d)
+	}
+	c := Exact(SetCosine{}, a, b)
+	if math.Abs(c-2.0/math.Sqrt(12)) > 1e-12 {
+		t.Fatalf("set cosine: got %v", c)
+	}
+	// On sets, multiset variants coincide with set variants.
+	if md := Exact(MultisetDice{}, a, b); math.Abs(md-d) > 1e-12 {
+		t.Fatalf("multiset dice %v != set dice %v on sets", md, d)
+	}
+	if mc := Exact(MultisetCosine{}, a, b); math.Abs(mc-c) > 1e-12 {
+		t.Fatalf("multiset cosine %v != set cosine %v on sets", mc, c)
+	}
+}
+
+func TestVectorCosine(t *testing.T) {
+	a := ms(1, 1, 3, 2, 4)
+	b := ms(2, 1, 6, 2, 8)
+	// parallel vectors → cosine 1
+	got := Exact(VectorCosine{}, a, b)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("parallel cosine: got %v want 1", got)
+	}
+	c := ms(3, 9, 5)
+	if got := Exact(VectorCosine{}, a, c); got != 0 {
+		t.Fatalf("orthogonal cosine: got %v want 0", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := ms(1, 1, 2)
+	b := ms(2, 1, 5, 9, 3)
+	got := Exact(Overlap{}, a, b)
+	if math.Abs(got-1) > 1e-12 { // min(2,5)=2, min card=2 → 1
+		t.Fatalf("overlap: got %v want 1", got)
+	}
+}
+
+func TestRangeAndSymmetryAllMeasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomMS(rng, 1), randomMS(rng, 2)
+		for _, m := range All() {
+			sab := Exact(m, a, b)
+			sba := Exact(m, b, a)
+			if math.Abs(sab-sba) > 1e-12 {
+				t.Fatalf("%s not commutative: %v vs %v", m.Name(), sab, sba)
+			}
+			if sab < 0 || sab > 1+1e-12 {
+				t.Fatalf("%s out of range: %v (a=%v b=%v)", m.Name(), sab, a, b)
+			}
+		}
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a := randomMS(rng, 1)
+		if a.Cardinality() == 0 {
+			continue
+		}
+		for _, m := range All() {
+			if got := Exact(m, a, a); math.Abs(got-1) > 1e-12 {
+				t.Fatalf("%s self-similarity: got %v want 1 (a=%v)", m.Name(), got, a)
+			}
+		}
+	}
+}
+
+func TestEmptyEntities(t *testing.T) {
+	empty := ms(1)
+	other := ms(2, 1, 1)
+	for _, m := range All() {
+		if got := Exact(m, empty, other); got != 0 {
+			t.Fatalf("%s with empty: got %v want 0", m.Name(), got)
+		}
+		if got := Exact(m, empty, empty); got != 0 {
+			t.Fatalf("%s both empty: got %v want 0", m.Name(), got)
+		}
+	}
+}
+
+func TestPartialsAreAdditive(t *testing.T) {
+	f := func(counts []uint8) bool {
+		var whole UniStats
+		var left, right UniStats
+		for i, c := range counts {
+			f := uint32(c)%7 + 1
+			whole.AccumulateUni(f)
+			if i%2 == 0 {
+				left.AccumulateUni(f)
+			} else {
+				right.AccumulateUni(f)
+			}
+		}
+		merged := left
+		merged.Add(right)
+		return merged == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConjPartialsAreAdditive(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		var whole, left, right ConjStats
+		for i, p := range pairs {
+			fi, fj := uint32(p%13)+1, uint32(p/13%11)+1
+			whole.AccumulateConj(fi, fj)
+			if i%2 == 0 {
+				left.AccumulateConj(fi, fj)
+			} else {
+				right.AccumulateConj(fi, fj)
+			}
+		}
+		merged := left
+		merged.Add(right)
+		return merged == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		got, err := ByName(m.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", m.Name(), err)
+		}
+		if got.Name() != m.Name() {
+			t.Fatalf("ByName(%q) returned %q", m.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown measure")
+	}
+}
+
+// Jaccard of expanded sets equals Ruzicka — cross-check at the measure level.
+func TestRuzickaViaExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomMS(rng, 1), randomMS(rng, 2)
+		ea := expandToSet(a, 1)
+		eb := expandToSet(b, 2)
+		want := Exact(Jaccard{}, ea, eb)
+		got := Exact(Ruzicka{}, a, b)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: ruzicka %v vs expanded jaccard %v", trial, got, want)
+		}
+	}
+}
+
+func expandToSet(m multiset.Multiset, id multiset.ID) multiset.Multiset {
+	var elems []multiset.Elem
+	for _, x := range multiset.Expand(m) {
+		// Encode (elem, copy) into one Elem value; alphabet is tiny in tests.
+		elems = append(elems, x.Elem*1000+multiset.Elem(x.Copy))
+	}
+	return multiset.FromSet(id, elems)
+}

@@ -1,0 +1,229 @@
+package vcl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/ppjoin"
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+)
+
+func testCluster(machines int) mr.ClusterConfig {
+	return mr.NewCluster(machines, 1<<20)
+}
+
+func randomMultisets(rng *rand.Rand, n, alphabet, maxLen, maxCount int) []multiset.Multiset {
+	sets := make([]multiset.Multiset, 0, n)
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(maxLen)
+		entries := make([]multiset.Entry, l)
+		for j := range entries {
+			entries[j] = multiset.Entry{
+				Elem:  multiset.Elem(rng.Intn(alphabet)),
+				Count: uint32(1 + rng.Intn(maxCount)),
+			}
+		}
+		sets = append(sets, multiset.New(multiset.ID(i+1), entries))
+	}
+	return sets
+}
+
+func TestVCLMatchesNaiveRuzicka(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		sets := randomMultisets(rng, 50, 40, 8, 3)
+		input := records.BuildInput("in", sets, 5)
+		for _, thr := range []float64{0.3, 0.5, 0.8} {
+			want := ppjoin.Naive(sets, similarity.Ruzicka{}, thr)
+			res, err := Join(testCluster(4), input, Config{
+				Measure: similarity.Ruzicka{}, Threshold: thr,
+			})
+			if err != nil {
+				t.Fatalf("trial %d t=%v: %v", trial, thr, err)
+			}
+			if !records.SamePairs(res.Pairs, want, 1e-9) {
+				t.Fatalf("trial %d t=%v: got %d want %d pairs\ngot: %v\nwant: %v",
+					trial, thr, len(res.Pairs), len(want), res.Pairs, want)
+			}
+		}
+	}
+}
+
+func TestVCLMatchesNaiveJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sets := randomMultisets(rng, 60, 30, 10, 4)
+	input := records.BuildInput("in", sets, 4)
+	for _, thr := range []float64{0.4, 0.7} {
+		want := ppjoin.Naive(sets, similarity.Jaccard{}, thr)
+		res, err := Join(testCluster(3), input, Config{
+			Measure: similarity.Jaccard{}, Threshold: thr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !records.SamePairs(res.Pairs, want, 1e-9) {
+			t.Fatalf("t=%v: got %d want %d pairs", thr, len(res.Pairs), len(want))
+		}
+	}
+}
+
+func TestVCLHashOrderMatchesFrequencyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sets := randomMultisets(rng, 40, 25, 8, 3)
+	input := records.BuildInput("in", sets, 4)
+	freq, err := Join(testCluster(3), input, Config{Measure: similarity.Ruzicka{}, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := Join(testCluster(3), input, Config{Measure: similarity.Ruzicka{}, Threshold: 0.5, HashOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !records.SamePairs(freq.Pairs, hash.Pairs, 1e-9) {
+		t.Fatalf("hash order changed results: %d vs %d", len(hash.Pairs), len(freq.Pairs))
+	}
+	// Hash order skips the frequency job.
+	if len(hash.Stats.Jobs) != len(freq.Stats.Jobs)-1 {
+		t.Fatalf("job counts: hash %d, freq %d", len(hash.Stats.Jobs), len(freq.Stats.Jobs))
+	}
+}
+
+func TestVCLAlphabetOOMAndHashOrderFallback(t *testing.T) {
+	// A huge alphabet makes the frequency table exceed mapper memory; the
+	// hash-order variant has no table and survives.
+	rng := rand.New(rand.NewSource(17))
+	var sets []multiset.Multiset
+	for i := 1; i <= 150; i++ {
+		entries := make([]multiset.Entry, 6)
+		for j := range entries {
+			entries[j] = multiset.Entry{Elem: multiset.Elem(rng.Intn(4000)), Count: 1}
+		}
+		sets = append(sets, multiset.New(multiset.ID(i), entries))
+	}
+	input := records.BuildInput("in", sets, 4)
+	cl := mr.NewCluster(4, 4000)
+	_, err := Join(cl, input, Config{Measure: similarity.Ruzicka{}, Threshold: 0.5})
+	if !errors.Is(err, mr.ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	res, err := Join(cl, input, Config{Measure: similarity.Ruzicka{}, Threshold: 0.5, HashOrder: true})
+	if err != nil {
+		t.Fatalf("hash order should survive: %v", err)
+	}
+	want := ppjoin.Naive(sets, similarity.Ruzicka{}, 0.5)
+	if !records.SamePairs(res.Pairs, want, 1e-9) {
+		t.Fatalf("hash order wrong: got %d want %d", len(res.Pairs), len(want))
+	}
+}
+
+func TestVCLCapsuleOOM(t *testing.T) {
+	// One multiset too large to buffer as a capsule kills the run — the
+	// paper's "whole multisets must fit in memory" limitation.
+	var entries []multiset.Entry
+	for i := 0; i < 500; i++ {
+		entries = append(entries, multiset.Entry{Elem: multiset.Elem(i), Count: 1})
+	}
+	sets := []multiset.Multiset{multiset.New(1, entries), multiset.New(2, entries[:3])}
+	input := records.BuildInput("in", sets, 2)
+	cl := mr.NewCluster(2, 2000)
+	_, err := Join(cl, input, Config{Measure: similarity.Ruzicka{}, Threshold: 0.5, HashOrder: true})
+	if !errors.Is(err, mr.ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestVCLReplicationGrowsAsThresholdDrops(t *testing.T) {
+	// Fig 4's driver: prefixes lengthen as t falls, so the kernel map
+	// replicates more.
+	rng := rand.New(rand.NewSource(19))
+	sets := randomMultisets(rng, 60, 40, 10, 3)
+	input := records.BuildInput("in", sets, 4)
+	rep := func(thr float64) int64 {
+		res, err := Join(testCluster(4), input, Config{Measure: similarity.Ruzicka{}, Threshold: thr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Counter(CounterReplicatedTuples)
+	}
+	low := rep(0.1)
+	high := rep(0.9)
+	if low <= high {
+		t.Fatalf("replication should grow as t drops: t=0.1→%d t=0.9→%d", low, high)
+	}
+	if low < 3*high {
+		t.Fatalf("expected strong threshold dependence: t=0.1→%d t=0.9→%d", low, high)
+	}
+}
+
+func TestVCLDedup(t *testing.T) {
+	// Two nearly identical multisets share many prefix elements → the
+	// kernel computes their pair repeatedly, dedup emits it once.
+	a := multiset.New(1, []multiset.Entry{
+		{Elem: 1, Count: 1}, {Elem: 2, Count: 1}, {Elem: 3, Count: 1}, {Elem: 4, Count: 1}, {Elem: 5, Count: 1}})
+	b := multiset.New(2, []multiset.Entry{
+		{Elem: 1, Count: 1}, {Elem: 2, Count: 1}, {Elem: 3, Count: 1}, {Elem: 4, Count: 1}, {Elem: 6, Count: 1}})
+	input := records.BuildInput("in", []multiset.Multiset{a, b}, 2)
+	res, err := Join(testCluster(2), input, Config{Measure: similarity.Ruzicka{}, Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 {
+		t.Fatalf("want 1 deduped pair, got %v", res.Pairs)
+	}
+	if res.Stats.Counter(CounterPairsComputed) <= 1 {
+		t.Fatalf("expected redundant pair computations, got %d", res.Stats.Counter(CounterPairsComputed))
+	}
+}
+
+func TestVCLConfigValidation(t *testing.T) {
+	input := records.BuildInput("in", nil, 1)
+	bad := []Config{
+		{},
+		{Measure: similarity.MultisetDice{}, Threshold: 0.5},
+		{Measure: similarity.Ruzicka{}, Threshold: 0},
+		{Measure: similarity.Ruzicka{}, Threshold: 1.2},
+	}
+	for i, cfg := range bad {
+		if _, err := Join(testCluster(1), input, cfg); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestVCLKernelMapDominates(t *testing.T) {
+	// The paper: ≥86% of VCL's run time is the kernel map phase. Verify
+	// the kernel map is at least the largest single component on a
+	// modestly skewed workload.
+	rng := rand.New(rand.NewSource(23))
+	var sets []multiset.Multiset
+	for i := 1; i <= 200; i++ {
+		l := 3 + rng.Intn(10)
+		if i%40 == 0 {
+			l = 120 // a few big multisets — the replication bottleneck
+		}
+		entries := make([]multiset.Entry, l)
+		for j := range entries {
+			entries[j] = multiset.Entry{Elem: multiset.Elem(rng.Intn(800)), Count: uint32(1 + rng.Intn(3))}
+		}
+		sets = append(sets, multiset.New(multiset.ID(i), entries))
+	}
+	input := records.BuildInput("in", sets, 8)
+	res, err := Join(testCluster(8), input, Config{Measure: similarity.Ruzicka{}, Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelMapSeconds <= 0 {
+		t.Fatal("kernel map seconds not recorded")
+	}
+	kernel, ok := res.Stats.Job("vcl-kernel")
+	if !ok {
+		t.Fatal("kernel job stats missing")
+	}
+	if kernel.MapSeconds < kernel.ReduceSeconds/4 {
+		t.Fatalf("kernel map unexpectedly cheap: map=%v reduce=%v", kernel.MapSeconds, kernel.ReduceSeconds)
+	}
+}
