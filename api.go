@@ -3,6 +3,7 @@ package vsmartjoin
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"vsmartjoin/internal/core"
@@ -34,7 +35,7 @@ const (
 type Dataset struct {
 	dict     *multiset.Dict
 	names    map[multiset.ID]string
-	byName   map[string]multiset.ID
+	byName   map[string]int // entity name → index into sets
 	sets     []multiset.Multiset
 	nextID   multiset.ID
 	numbered bool
@@ -45,7 +46,7 @@ func NewDataset() *Dataset {
 	return &Dataset{
 		dict:   multiset.NewDict(),
 		names:  make(map[multiset.ID]string),
-		byName: make(map[string]multiset.ID),
+		byName: make(map[string]int),
 		nextID: 1,
 	}
 }
@@ -53,29 +54,32 @@ func NewDataset() *Dataset {
 // Add registers an entity with its element multiplicities. Adding the
 // same entity name twice merges the multiplicities.
 func (d *Dataset) Add(entity string, counts map[string]uint32) {
-	id, ok := d.byName[entity]
+	idx, ok := d.byName[entity]
 	if !ok {
-		id = d.nextID
+		id := d.nextID
 		d.nextID++
-		d.byName[entity] = id
+		idx = len(d.sets)
+		d.byName[entity] = idx
 		d.names[id] = entity
 		d.sets = append(d.sets, multiset.Multiset{ID: id})
 	}
-	idx := int(0)
-	for i := range d.sets {
-		if d.sets[i].ID == id {
-			idx = i
-			break
-		}
-	}
-	entries := d.sets[idx].Entries
+	// Intern in sorted name order: element IDs (and with them record
+	// encodings, partition hashes, and simulated costs) must not depend on
+	// Go's randomized map iteration, or identical runs would report
+	// different stats.
+	elems := make([]string, 0, len(counts))
 	for elem, c := range counts {
 		if c == 0 {
 			continue
 		}
-		entries = append(entries, multiset.Entry{Elem: d.dict.Intern(elem), Count: c})
+		elems = append(elems, elem)
 	}
-	d.sets[idx] = multiset.New(id, entries)
+	sort.Strings(elems)
+	entries := d.sets[idx].Entries
+	for _, elem := range elems {
+		entries = append(entries, multiset.Entry{Elem: d.dict.Intern(elem), Count: counts[elem]})
+	}
+	d.sets[idx] = multiset.New(d.sets[idx].ID, entries)
 }
 
 // AddSet registers an entity as a set (all multiplicities 1).
@@ -101,11 +105,18 @@ func (d *Dataset) AddByID(entity uint64, counts map[uint64]uint32) {
 // Len reports the number of entities.
 func (d *Dataset) Len() int { return len(d.sets) }
 
+// DefaultThreshold is the similarity cut-off used when Options.Threshold
+// is negative (unset).
+const DefaultThreshold = 0.5
+
 // Options configures AllPairs.
 type Options struct {
 	// Measure is the similarity measure name (default "ruzicka").
 	Measure string
-	// Threshold is the similarity cut-off t in [0, 1] (default 0.5).
+	// Threshold is the similarity cut-off t in [0, 1]. Zero is a valid
+	// threshold (emit every pair with any similarity); pass a negative
+	// value for the default (DefaultThreshold). Values above 1 or NaN are
+	// rejected.
 	Threshold float64
 	// Algorithm selects the joining algorithm (default online-aggregation,
 	// or sharding when HadoopCompat is set).
@@ -115,6 +126,11 @@ type Options struct {
 	// MemPerMachine is the simulated per-machine memory budget in bytes
 	// (default 1 GiB, the paper's setting).
 	MemPerMachine int64
+	// ShuffleBufferBytes caps how many shuffle bytes each map task buffers
+	// in memory before spilling sorted runs to disk; reducers then stream
+	// a k-way merge of the runs. 0 (the default) keeps the whole shuffle
+	// in memory. Results are identical either way.
+	ShuffleBufferBytes int64
 	// HadoopCompat disables secondary-key support, as on Hadoop.
 	HadoopCompat bool
 	// StopWordQ, when positive, drops elements shared by more than q
@@ -143,6 +159,9 @@ type Stats struct {
 	// OutputPairs counts the final pairs.
 	CandidateTuples int64
 	OutputPairs     int64
+	// SpilledBytes is the shuffle volume spilled to disk across all jobs
+	// (0 unless Options.ShuffleBufferBytes forced spilling).
+	SpilledBytes int64
 }
 
 // Result is the outcome of AllPairs.
@@ -188,8 +207,12 @@ func AllPairs(d *Dataset, opts Options) (*Result, error) {
 		return nil, err
 	}
 	threshold := opts.Threshold
-	if threshold == 0 {
-		threshold = 0.5
+	if threshold < 0 {
+		threshold = DefaultThreshold
+	}
+	if math.IsNaN(threshold) || threshold > 1 {
+		return nil, fmt.Errorf("vsmartjoin: threshold %v outside [0, 1] (negative selects the default %v)",
+			opts.Threshold, DefaultThreshold)
 	}
 	machines := opts.Machines
 	if machines == 0 {
@@ -220,6 +243,7 @@ func AllPairs(d *Dataset, opts Options) (*Result, error) {
 	}
 
 	cluster := mr.NewCluster(machines, mem)
+	cluster.ShuffleBufferBytes = opts.ShuffleBufferBytes
 	if opts.HadoopCompat {
 		cluster = cluster.Hadoop()
 	}
@@ -243,6 +267,9 @@ func AllPairs(d *Dataset, opts Options) (*Result, error) {
 		Jobs:              len(res.Stats.Jobs),
 		CandidateTuples:   res.Stats.Counter(core.CounterCandidateTuples),
 		OutputPairs:       res.Stats.Counter(core.CounterOutputPairs),
+	}
+	for _, j := range res.Stats.Jobs {
+		out.Stats.SpilledBytes += j.SpilledBytes
 	}
 	for _, p := range res.Pairs {
 		a, b := out.rev[p.A], out.rev[p.B]

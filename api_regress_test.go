@@ -1,0 +1,128 @@
+package vsmartjoin
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestAddMergesMultiplicities is the regression test for the quadratic
+// Dataset.Add index scan: merging must key off the stored index, and
+// repeated adds to one entity must accumulate counts.
+func TestAddMergesMultiplicities(t *testing.T) {
+	d := NewDataset()
+	d.Add("a", map[string]uint32{"x": 1})
+	d.Add("b", map[string]uint32{"x": 1, "y": 2})
+	d.Add("a", map[string]uint32{"x": 2, "z": 1}) // merge into the first entity
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	// a = {x:3, z:1}, b = {x:1, y:2}; Ruzicka = min-sum/max-sum = 1/6.
+	res, err := AllPairs(d, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 {
+		t.Fatalf("pairs = %v, want one (a,b)", res.Pairs)
+	}
+	got := res.Pairs[0]
+	if got.A != "a" || got.B != "b" {
+		t.Fatalf("pair = %v", got)
+	}
+	if want := 1.0 / 6.0; math.Abs(got.Similarity-want) > 1e-12 {
+		t.Fatalf("similarity = %v, want %v", got.Similarity, want)
+	}
+}
+
+// TestAddManyEntities ingests enough entities that the pre-fix O(n²) scan
+// would dominate; with the index map this stays trivially fast, and every
+// entity must round-trip through its own slot.
+func TestAddManyEntities(t *testing.T) {
+	d := NewDataset()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("e%d", i)
+		d.Add(name, map[string]uint32{"shared": 1})
+		d.Add(name, map[string]uint32{name: 1}) // second add exercises the merge path
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for i, m := range d.sets {
+		if got := d.names[m.ID]; got != fmt.Sprintf("e%d", i) {
+			t.Fatalf("set %d holds entity %q", i, got)
+		}
+		if m.UnderlyingCardinality() != 2 {
+			t.Fatalf("entity %d: cardinality %d, want 2 (merge lost an element)", i, m.UnderlyingCardinality())
+		}
+	}
+}
+
+// TestThresholdConventions is the regression test for the Threshold == 0
+// sentinel bug: zero is a real threshold, negative selects the default,
+// and out-of-range values error instead of joining with garbage.
+func TestThresholdConventions(t *testing.T) {
+	build := func() *Dataset {
+		d := NewDataset()
+		d.AddSet("a", []string{"x", "y"})
+		d.AddSet("b", []string{"x", "z"})
+		d.AddSet("c", []string{"q"})
+		return d
+	}
+
+	t.Run("zero means zero", func(t *testing.T) {
+		res, err := AllPairs(build(), Options{Threshold: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At t = 0 every candidate pair qualifies, including (a,b) at 1/3,
+		// which the old silent rewrite to 0.5 dropped.
+		if len(res.Pairs) == 0 {
+			t.Fatal("threshold 0 returned no pairs")
+		}
+		found := false
+		for _, p := range res.Pairs {
+			if p.A == "a" && p.B == "b" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("threshold 0 lost pair (a,b): %v", res.Pairs)
+		}
+	})
+
+	t.Run("negative selects default", func(t *testing.T) {
+		neg, err := AllPairs(build(), Options{Threshold: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := AllPairs(build(), Options{Threshold: DefaultThreshold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(neg.Pairs) != len(explicit.Pairs) {
+			t.Fatalf("negative threshold: %v, default: %v", neg.Pairs, explicit.Pairs)
+		}
+	})
+
+	t.Run("out of range rejected", func(t *testing.T) {
+		for _, thr := range []float64{1.0001, 2, math.NaN()} {
+			_, err := AllPairs(build(), Options{Threshold: thr})
+			if err == nil {
+				t.Fatalf("threshold %v accepted", thr)
+			}
+			if !strings.Contains(err.Error(), "threshold") {
+				t.Fatalf("threshold %v: unhelpful error %v", thr, err)
+			}
+		}
+	})
+
+	t.Run("boundaries valid", func(t *testing.T) {
+		for _, thr := range []float64{0, 1} {
+			if _, err := AllPairs(build(), Options{Threshold: thr}); err != nil {
+				t.Fatalf("threshold %v rejected: %v", thr, err)
+			}
+		}
+	})
+}

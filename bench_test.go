@@ -304,6 +304,45 @@ func BenchmarkLSH(b *testing.B) {
 	})
 }
 
+// BenchmarkShuffleSpill compares the engine's two shuffle modes on an
+// identical join: all-in-memory versus spill-to-disk with a cap small
+// enough that every map task writes segment runs. Results are identical;
+// the metrics expose the real-time cost of streaming through disk and the
+// simulated I/O charged for it.
+func BenchmarkShuffleSpill(b *testing.B) {
+	_, input := benchInput(b)
+	for _, cap := range []int64{0, 4 << 10} {
+		name := "in-memory"
+		if cap > 0 {
+			name = fmt.Sprintf("spill-cap-%dKiB", cap>>10)
+		}
+		b.Run(name, func(b *testing.B) {
+			cl := benchCluster()
+			cl.ShuffleBufferBytes = cap
+			var pairs int
+			var spilled int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Join(cl, input, core.Config{
+					Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: core.OnlineAggregation, NumReducers: 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs = len(res.Pairs)
+				spilled = 0
+				for _, j := range res.Stats.Jobs {
+					spilled += j.SpilledBytes
+				}
+			}
+			if cap > 0 && spilled == 0 {
+				b.Fatal("spill cap set but nothing spilled")
+			}
+			b.ReportMetric(float64(pairs), "pairs/run")
+			b.ReportMetric(float64(spilled), "spilled-B/run")
+		})
+	}
+}
+
 // BenchmarkEngine measures the raw MapReduce substrate on a word-count
 // shaped job.
 func BenchmarkEngine(b *testing.B) {

@@ -37,12 +37,18 @@ func main() {
 		machines  = flag.Int("machines", 16, "simulated cluster size")
 		memory    = flag.Int64("memory", 1<<30, "simulated per-machine memory budget in bytes")
 		hadoop    = flag.Bool("hadoop", false, "Hadoop-compatible mode (no secondary keys)")
+		shufbuf   = flag.Int64("shuffle-buffer", 0, "per-map-task shuffle buffer in bytes before spilling sorted runs to disk (0 = all in memory)")
 		stopq     = flag.Int("stopq", 0, "drop elements shared by more than q entities (0 = keep all)")
 		shardc    = flag.Int("shardc", 0, "Sharding split parameter C (0 = default)")
 		comms     = flag.Bool("communities", false, "print connected components instead of pairs")
 		showStats = flag.Bool("stats", false, "print simulated cluster stats to stderr")
 	)
 	flag.Parse()
+	// The library treats negative thresholds as "use the default"; the flag
+	// already has an explicit default, so a negative here is a typo.
+	if *threshold < 0 {
+		log.Fatalf("threshold %v outside [0, 1]", *threshold)
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -62,14 +68,15 @@ func main() {
 	}
 
 	res, err := vsmartjoin.AllPairs(d, vsmartjoin.Options{
-		Measure:       *measure,
-		Threshold:     *threshold,
-		Algorithm:     *algorithm,
-		Machines:      *machines,
-		MemPerMachine: *memory,
-		HadoopCompat:  *hadoop,
-		StopWordQ:     *stopq,
-		ShardC:        *shardc,
+		Measure:            *measure,
+		Threshold:          *threshold,
+		Algorithm:          *algorithm,
+		Machines:           *machines,
+		MemPerMachine:      *memory,
+		ShuffleBufferBytes: *shufbuf,
+		HadoopCompat:       *hadoop,
+		StopWordQ:          *stopq,
+		ShardC:             *shardc,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -87,9 +94,9 @@ func main() {
 		}
 	}
 	if *showStats {
-		fmt.Fprintf(os.Stderr, "%d pairs; %d MapReduce jobs; simulated %.1fs (joining %.1fs, similarity %.1fs)\n",
+		fmt.Fprintf(os.Stderr, "%d pairs; %d MapReduce jobs; simulated %.1fs (joining %.1fs, similarity %.1fs); spilled %dB\n",
 			len(res.Pairs), res.Stats.Jobs, res.Stats.TotalSeconds,
-			res.Stats.JoiningSeconds, res.Stats.SimilaritySeconds)
+			res.Stats.JoiningSeconds, res.Stats.SimilaritySeconds, res.Stats.SpilledBytes)
 	}
 }
 
@@ -97,6 +104,7 @@ func main() {
 func readTrace(r io.Reader) (*vsmartjoin.Dataset, int, error) {
 	d := vsmartjoin.NewDataset()
 	counts := map[string]map[string]uint32{}
+	var order []string
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lines := 0
@@ -121,6 +129,7 @@ func readTrace(r io.Reader) (*vsmartjoin.Dataset, int, error) {
 		if m == nil {
 			m = map[string]uint32{}
 			counts[fields[0]] = m
+			order = append(order, fields[0])
 		}
 		m[fields[1]] += count
 		lines++
@@ -128,8 +137,11 @@ func readTrace(r io.Reader) (*vsmartjoin.Dataset, int, error) {
 	if err := sc.Err(); err != nil {
 		return nil, lines, err
 	}
-	for entity, m := range counts {
-		d.Add(entity, m)
+	// Add entities in first-seen order, not map order: entity IDs feed the
+	// record keys and partition hashes, so identical inputs must produce
+	// identical simulated runs.
+	for _, entity := range order {
+		d.Add(entity, counts[entity])
 	}
 	return d, lines, nil
 }

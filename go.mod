@@ -1,0 +1,3 @@
+module vsmartjoin
+
+go 1.24

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vsmartjoin/internal/records"
+	"vsmartjoin/internal/similarity"
+)
+
+// TestJoinSpillMatchesInMemory forces the whole multi-job pipeline through
+// the spill-to-disk shuffle and asserts the pair set is identical to the
+// in-memory run, for every joining algorithm.
+func TestJoinSpillMatchesInMemory(t *testing.T) {
+	sets := randomMultisets(rand.New(rand.NewSource(17)), 80, 25, 8, 3)
+	input := records.BuildInput("in", sets, 6)
+	for _, alg := range []Algorithm{OnlineAggregation, Lookup, Sharding} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := Config{Measure: similarity.Ruzicka{}, Threshold: 0.4, Algorithm: alg}
+			memRes, err := Join(testCluster(4), input, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spillCl := testCluster(4)
+			spillCl.ShuffleBufferBytes = 512 // tiny: every job must spill
+			spillRes, err := Join(spillCl, input, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !records.SamePairs(spillRes.Pairs, memRes.Pairs, 0) {
+				t.Fatalf("spilled join pairs differ from in-memory pairs")
+			}
+			var spilled int64
+			var rounds int
+			for _, j := range spillRes.Stats.Jobs {
+				spilled += j.SpilledBytes
+				rounds += j.Spills
+			}
+			if spilled == 0 || rounds == 0 {
+				t.Fatalf("join never spilled (cap 512B, %d jobs)", len(spillRes.Stats.Jobs))
+			}
+			// Spill I/O must surface in the simulated time, not disappear.
+			if spillRes.Stats.TotalSeconds <= memRes.Stats.TotalSeconds {
+				t.Fatalf("spill run simulated faster: %v <= %v",
+					spillRes.Stats.TotalSeconds, memRes.Stats.TotalSeconds)
+			}
+		})
+	}
+}
+
+// TestJoinSpillDeterministic repeats a spilling join and asserts identical
+// pairs and simulated cost — the determinism contract holds in both
+// shuffle modes.
+func TestJoinSpillDeterministic(t *testing.T) {
+	sets := randomMultisets(rand.New(rand.NewSource(23)), 60, 25, 8, 3)
+	input := records.BuildInput("in", sets, 6)
+	cl := testCluster(4)
+	cl.ShuffleBufferBytes = 1024
+	var firstPairs []records.Pair
+	var firstSeconds float64
+	for run := 0; run < 3; run++ {
+		res, err := Join(cl, input, Config{
+			Measure: similarity.Ruzicka{}, Threshold: 0.5, Algorithm: Sharding,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			firstPairs = res.Pairs
+			firstSeconds = res.Stats.TotalSeconds
+			continue
+		}
+		if !records.SamePairs(res.Pairs, firstPairs, 0) {
+			t.Fatalf("run %d: pairs differ", run)
+		}
+		if res.Stats.TotalSeconds != firstSeconds {
+			t.Fatalf("run %d: simulated time differs", run)
+		}
+	}
+}

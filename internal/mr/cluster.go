@@ -73,6 +73,13 @@ type ClusterConfig struct {
 	// SupportsSecondaryKeys selects Google-MR semantics (true) or
 	// Hadoop-compatible semantics (false).
 	SupportsSecondaryKeys bool
+	// ShuffleBufferBytes caps how many shuffle bytes a map task may buffer
+	// in memory before spilling sorted runs to disk; the reduce stage then
+	// streams each partition through a k-way merge of the spilled and
+	// in-memory runs. 0 (the default) keeps the whole shuffle in memory.
+	// Results are identical in both modes; spilling only bounds memory and
+	// charges the extra disk I/O to the cost model.
+	ShuffleBufferBytes int64
 	// Cost is the simulated-time model.
 	Cost CostModel
 }
@@ -84,6 +91,9 @@ func (c ClusterConfig) Validate() error {
 	}
 	if c.MemPerMachine <= 0 {
 		return fmt.Errorf("mr: MemPerMachine must be positive, got %d", c.MemPerMachine)
+	}
+	if c.ShuffleBufferBytes < 0 {
+		return fmt.Errorf("mr: ShuffleBufferBytes must be >= 0, got %d", c.ShuffleBufferBytes)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package mr
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -49,12 +50,13 @@ type TaskIO struct {
 	ExtraIO               int64 // bytes re-read (rewinds, explicit charges)
 	ExtraCPU              int64 // record-equivalents from ChargeCompute
 	CombineRecords        int64 // records passed through a dedicated combiner
+	SpillIO               int64 // shuffle-spill bytes written (map) or read back (reduce)
 }
 
 // Cost prices the task under a cost model.
 func (t TaskIO) Cost(cm CostModel) float64 {
 	return cm.TaskOverhead +
-		float64(t.InBytes+t.OutBytes+t.ExtraIO)*cm.IOPerByte +
+		float64(t.InBytes+t.OutBytes+t.ExtraIO+t.SpillIO)*cm.IOPerByte +
 		float64(t.InRecords+t.OutRecords+t.ExtraCPU+t.CombineRecords)*cm.CPUPerRecord
 }
 
@@ -119,6 +121,8 @@ type JobStats struct {
 	MapOutRecords  int64 // before combining
 	CombineOutRecs int64 // records after combining (== MapOutRecords when no combiner)
 	ShuffleBytes   int64
+	SpilledBytes   int64 // file bytes written to shuffle-spill segments
+	Spills         int   // spill rounds across all map tasks
 	ReduceOutRecs  int64
 	OutputBytes    int64
 	Counters       map[string]int64
@@ -147,15 +151,45 @@ func partitionOf(key []byte, n int) int {
 }
 
 // bufEmitter partitions emitted tuples into per-reducer buffers, copying
-// all byte slices (callers reuse their encode buffers).
+// all byte slices (callers reuse their encode buffers). When a spill cap
+// is set, buffers that grow past it are flushed to sorted on-disk segment
+// runs (see spill.go); with cap == 0 everything stays in memory.
 type bufEmitter struct {
 	parts   [][]mrfs.Record
 	n       int64 // records emitted
-	byteSum int64
+	byteSum int64 // bytes emitted (pre-combine, cumulative)
+
+	// Spill state. cap == 0 disables spilling entirely.
+	cap          int64
+	dir          string
+	task         int
+	ctx          *TaskContext
+	job          Job
+	curBytes     int64      // bytes currently buffered in memory
+	runs         [][]string // per partition: spilled segment paths, in spill order
+	spills       int
+	spilledRecs  int64
+	spilledBytes int64 // file bytes written to segments
+	combineOut   int64 // records after combining (filled by finish/spill)
+	outBytes     int64 // post-combine record bytes (shuffle volume)
+	err          error // first spill failure, surfaced after Map returns
 }
 
-func newBufEmitter(numParts int) *bufEmitter {
-	return &bufEmitter{parts: make([][]mrfs.Record, numParts)}
+func newBufEmitter(numParts int, ctx *TaskContext, job Job) *bufEmitter {
+	return &bufEmitter{
+		parts: make([][]mrfs.Record, numParts),
+		runs:  make([][]string, numParts),
+		ctx:   ctx,
+		job:   job,
+	}
+}
+
+// newSpillEmitter returns an emitter that spills to dir when more than cap
+// bytes are buffered.
+func newSpillEmitter(numParts int, cap int64, dir string, task int, ctx *TaskContext, job Job) *bufEmitter {
+	e := newBufEmitter(numParts, ctx, job)
+	e.cap, e.dir, e.task = cap, dir, task
+	return e
 }
 
 func cloneBytes(b []byte) []byte {
@@ -168,11 +202,18 @@ func cloneBytes(b []byte) []byte {
 }
 
 func (e *bufEmitter) add(key, sec, val []byte) {
+	if e.err != nil {
+		return
+	}
 	r := mrfs.Record{Key: cloneBytes(key), Sec: cloneBytes(sec), Val: cloneBytes(val)}
 	p := partitionOf(r.Key, len(e.parts))
 	e.parts[p] = append(e.parts[p], r)
 	e.n++
 	e.byteSum += r.Size()
+	e.curBytes += r.Size()
+	if e.cap > 0 && e.curBytes > e.cap {
+		e.err = e.spill()
+	}
 }
 
 func (e *bufEmitter) Emit(key, val []byte)         { e.add(key, nil, val) }
@@ -196,14 +237,18 @@ func (e *listEmitter) EmitSec(key, sec, val []byte) { e.add(key, sec, val) }
 
 // taskResult carries a finished map task's buffers and cost inputs.
 type taskResult struct {
-	parts      [][]mrfs.Record
-	inRecords  int64
-	inBytes    int64
-	outRecords int64 // pre-combine
-	combineOut int64
-	outBytes   int64 // post-combine (spilled to shuffle)
-	extraIO    int64
-	extraCPU   int64
+	parts       [][]mrfs.Record // in-memory output (sorted runs in spill mode)
+	runs        [][]string      // spilled segment paths per partition
+	inRecords   int64
+	inBytes     int64
+	outRecords  int64 // pre-combine
+	combineOut  int64
+	outBytes    int64 // post-combine (spilled to shuffle)
+	spills      int
+	spilledRecs int64
+	spillBytes  int64 // file bytes written to spill segments
+	extraIO     int64
+	extraCPU    int64
 }
 
 // Run executes the job on the simulated cluster and returns the output
@@ -258,6 +303,16 @@ func Run(cluster ClusterConfig, job Job) (*mrfs.Dataset, JobStats, error) {
 	mapTasks := job.Input.Partitions
 	stats.MapTasks = len(mapTasks)
 	results := make([]*taskResult, len(mapTasks))
+	spillCap := cluster.ShuffleBufferBytes
+	var spillDir string
+	if spillCap > 0 {
+		dir, derr := os.MkdirTemp("", "vsmartjoin-shuffle-")
+		if derr != nil {
+			return nil, stats, fmt.Errorf("mr: job %q: creating spill dir: %w", job.Name, derr)
+		}
+		spillDir = dir
+		defer os.RemoveAll(spillDir)
+	}
 	err := parallelFor(len(mapTasks), func(t int) error {
 		ctx := &TaskContext{
 			JobName:   job.Name,
@@ -272,7 +327,12 @@ func Run(cluster ClusterConfig, job Job) (*mrfs.Dataset, JobStats, error) {
 					job.Name, t, sideBytes, err)
 			}
 		}
-		em := newBufEmitter(numReducers)
+		var em *bufEmitter
+		if spillCap > 0 {
+			em = newSpillEmitter(numReducers, spillCap, spillDir, t, ctx, job)
+		} else {
+			em = newBufEmitter(numReducers, ctx, job)
+		}
 		res := &taskResult{}
 		cm := cluster.Cost
 		for _, rec := range mapTasks[t] {
@@ -280,6 +340,9 @@ func Run(cluster ClusterConfig, job Job) (*mrfs.Dataset, JobStats, error) {
 			res.inBytes += rec.Size()
 			if err := job.Mapper.Map(ctx, rec, em); err != nil {
 				return fmt.Errorf("mr: job %q map task %d: %w", job.Name, t, err)
+			}
+			if em.err != nil {
+				return em.err
 			}
 			// The scheduler kills tasks that run past the deadline — check
 			// incrementally so runaway replication (e.g. the VCL kernel
@@ -298,26 +361,19 @@ func Run(cluster ClusterConfig, job Job) (*mrfs.Dataset, JobStats, error) {
 		res.outRecords = em.n
 		res.extraIO = ctx.extraIO
 		res.extraCPU = ctx.extraCPU
-		// Dedicated combiner: applied per reduce partition of this task's
-		// output.
-		if job.Combiner != nil {
-			for p := range em.parts {
-				combined, n, err := combinePartition(ctx, job, em.parts[p])
-				if err != nil {
-					return err
-				}
-				em.parts[p] = combined
-				res.combineOut += n
-			}
-		} else {
-			res.combineOut = em.n
+		// Dedicated combiner and (in spill mode) run preparation: finish
+		// combines each partition of this task's output and, under a spill
+		// cap, leaves the leftovers as sorted merge runs.
+		if err := em.finish(); err != nil {
+			return err
 		}
-		for p := range em.parts {
-			for _, r := range em.parts[p] {
-				res.outBytes += r.Size()
-			}
-		}
+		res.combineOut = em.combineOut
+		res.outBytes = em.outBytes
 		res.parts = em.parts
+		res.runs = em.runs
+		res.spills = em.spills
+		res.spilledRecs = em.spilledRecs
+		res.spillBytes = em.spilledBytes
 		results[t] = res
 		return nil
 	})
@@ -326,31 +382,42 @@ func Run(cluster ClusterConfig, job Job) (*mrfs.Dataset, JobStats, error) {
 	}
 
 	// ---- Shuffle: gather per-reducer groups ----
+	// With no spill cap, partitions are concatenated and sorted in memory
+	// (the historical path). Under a cap, every map task already produced
+	// sorted runs — in-memory leftovers plus on-disk segments — and the
+	// reduce stage merges them instead.
 	reduceInput := make([][]mrfs.Record, numReducers)
 	var shuffleBytes, shuffleRecords int64
 	for _, res := range results {
 		stats.MapInRecords += res.inRecords
 		stats.MapOutRecords += res.outRecords
 		stats.CombineOutRecs += res.combineOut
-		for p := range res.parts {
-			reduceInput[p] = append(reduceInput[p], res.parts[p]...)
+		stats.SpilledBytes += res.spillBytes
+		stats.Spills += res.spills
+		if spillCap <= 0 {
+			for p := range res.parts {
+				reduceInput[p] = append(reduceInput[p], res.parts[p]...)
+			}
 		}
 		shuffleBytes += res.outBytes
-	}
-	for p := range reduceInput {
-		shuffleRecords += int64(len(reduceInput[p]))
+		shuffleRecords += res.spilledRecs
+		for p := range res.parts {
+			shuffleRecords += int64(len(res.parts[p]))
+		}
 	}
 	stats.ShuffleBytes = shuffleBytes
 
-	// Sort each reduce partition by (key, sec, val) — the shuffle's
-	// grouping and secondary-key ordering.
-	err = parallelFor(numReducers, func(p int) error {
-		rows := reduceInput[p]
-		sort.Slice(rows, func(i, j int) bool { return mrfs.Less(rows[i], rows[j]) })
-		return nil
-	})
-	if err != nil {
-		return nil, stats, err
+	if spillCap <= 0 {
+		// Sort each reduce partition by (key, sec, val) — the shuffle's
+		// grouping and secondary-key ordering.
+		err = parallelFor(numReducers, func(p int) error {
+			rows := reduceInput[p]
+			sort.Slice(rows, func(i, j int) bool { return mrfs.Less(rows[i], rows[j]) })
+			return nil
+		})
+		if err != nil {
+			return nil, stats, err
+		}
 	}
 
 	// ---- Reduce stage ----
@@ -386,36 +453,63 @@ func Run(cluster ClusterConfig, job Job) (*mrfs.Dataset, JobStats, error) {
 			Counters:  counters,
 			memBudget: cluster.MemPerMachine,
 		}
-		var inBytes int64
-		for _, r := range reduceInput[p] {
-			inBytes += r.Size()
-		}
 		if job.SideInputsAtReduce && sideBytes > 0 {
 			ctx.Side = job.SideInputs
 			if err := ctx.Reserve(sideBytes); err != nil {
 				return fmt.Errorf("mr: job %q reduce task %d loading side inputs: %w", job.Name, p, err)
 			}
 		}
+		// The partition's sorted record stream: the sorted in-memory slice,
+		// or a k-way merge over the map tasks' spilled and leftover runs.
+		var it recordIter
+		var segRead int64
+		if spillCap > 0 {
+			its, rerr := partitionRuns(results, p, spillDir, &segRead)
+			if rerr != nil {
+				return fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, p, rerr)
+			}
+			m, merr := newMergeIter(its)
+			if merr != nil {
+				return fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, p, merr)
+			}
+			defer m.close()
+			it = m
+		} else {
+			it = &sliceIter{rows: reduceInput[p]}
+		}
 		em := &listEmitter{}
+		var inRecords, inBytes int64
 		if job.Reducer == nil {
 			// Map-only job: pass shuffled records through.
-			for _, r := range reduceInput[p] {
+			for {
+				r, ok, rerr := it.next()
+				if rerr != nil {
+					return fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, p, rerr)
+				}
+				if !ok {
+					break
+				}
+				inRecords++
+				inBytes += r.Size()
 				em.out = append(em.out, r)
 				em.byteSum += r.Size()
 			}
 		} else {
-			if err := reduceGroups(ctx, job, cm, reduceInput[p], em); err != nil {
-				return err
+			n, b, rerr := reduceGroups(ctx, job, cm, it, em)
+			if rerr != nil {
+				return rerr
 			}
+			inRecords, inBytes = n, b
 		}
 		out.Partitions[p] = em.out
 		reduceIOs[p] = TaskIO{
-			InRecords:  int64(len(reduceInput[p])),
+			InRecords:  inRecords,
 			OutRecords: int64(len(em.out)),
 			InBytes:    inBytes,
 			OutBytes:   em.byteSum,
 			ExtraIO:    ctx.extraIO,
 			ExtraCPU:   ctx.extraCPU,
+			SpillIO:    segRead,
 		}
 		return nil
 	})
@@ -451,6 +545,7 @@ func Run(cluster ClusterConfig, job Job) (*mrfs.Dataset, JobStats, error) {
 			OutBytes:   res.outBytes,
 			ExtraIO:    res.extraIO,
 			ExtraCPU:   res.extraCPU,
+			SpillIO:    res.spillBytes,
 		}
 		if job.Combiner != nil {
 			mapIOs[t].CombineRecords = res.outRecords // combine pass
@@ -511,18 +606,20 @@ func combinePartition(ctx *TaskContext, job Job, rows []mrfs.Record) ([]mrfs.Rec
 	return em.out, int64(len(em.out)), nil
 }
 
-// reduceGroups walks a sorted reduce partition, slicing it into per-key
-// groups and invoking the reducer on each. The scheduler deadline is
-// checked between groups so a runaway reduce task is killed mid-flight.
-func reduceGroups(ctx *TaskContext, job Job, cm CostModel, rows []mrfs.Record, em Emitter) error {
-	start := 0
-	var inRecords int64
+// reduceGroups walks a sorted reduce record stream, slicing it into
+// per-key groups and invoking the reducer on each; only one group is
+// materialized at a time, so a merged (spilled) partition never has to fit
+// in memory. The scheduler deadline is checked between groups so a runaway
+// reduce task is killed mid-flight. It returns the record and byte counts
+// consumed from the stream.
+func reduceGroups(ctx *TaskContext, job Job, cm CostModel, it recordIter, em Emitter) (int64, int64, error) {
+	var inRecords, inBytes int64
 	listEm, _ := em.(*listEmitter)
-	for i := 1; i <= len(rows); i++ {
-		if i < len(rows) && bytesEqual(rows[i].Key, rows[start].Key) {
-			continue
+	var group []mrfs.Record
+	flush := func() error {
+		if len(group) == 0 {
+			return nil
 		}
-		group := rows[start:i]
 		vals := makeValues(group)
 		if err := job.Reducer.Reduce(ctx, group[0].Key, vals, em); err != nil {
 			return fmt.Errorf("mr: job %q reduce: %w", job.Name, err)
@@ -539,9 +636,29 @@ func reduceGroups(ctx *TaskContext, job Job, cm CostModel, rows []mrfs.Record, e
 					job.Name, ctx.TaskIndex, running, cm.MaxTaskSeconds, ErrTaskKilled)
 			}
 		}
-		start = i
+		group = group[:0]
+		return nil
 	}
-	return nil
+	for {
+		r, ok, err := it.next()
+		if err != nil {
+			return inRecords, inBytes, fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, ctx.TaskIndex, err)
+		}
+		if !ok {
+			break
+		}
+		inBytes += r.Size()
+		if len(group) > 0 && !bytesEqual(r.Key, group[0].Key) {
+			if err := flush(); err != nil {
+				return inRecords, inBytes, err
+			}
+		}
+		group = append(group, r)
+	}
+	if err := flush(); err != nil {
+		return inRecords, inBytes, err
+	}
+	return inRecords, inBytes, nil
 }
 
 func makeValues(group []mrfs.Record) *Values {

@@ -1,0 +1,359 @@
+package mr
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vsmartjoin/internal/mrfs"
+)
+
+// Spill-to-disk shuffle. When ClusterConfig.ShuffleBufferBytes is set, a
+// map task's emitter bounds its in-memory buffer: whenever the buffered
+// bytes exceed the cap, every partition's buffer is sorted (and combined,
+// when the job has a dedicated combiner) and written out as one sorted
+// run per (map task, reduce partition) segment file. The reduce stage then
+// streams each partition through a k-way merge of its runs instead of
+// materializing and sorting the whole partition in memory.
+//
+// Because runs are sorted by the total order (key, sec, val) and equal
+// records are byte-identical, the merged stream of a combiner-less job is
+// byte-for-byte the sequence an in-memory concatenate-and-sort produces.
+// With a dedicated combiner, combining happens once per spill run, so the
+// reducer may see several partial records per key where the in-memory
+// path delivers one — shuffle volumes and combine counts then differ, and
+// only the final reduce output (and determinism) is identical across the
+// two modes.
+
+// spill writes every buffered partition out as sorted segment files and
+// resets the in-memory buffers.
+func (e *bufEmitter) spill() error {
+	job := e.job
+	spillIdx := e.spills
+	for p := range e.parts {
+		rows := e.parts[p]
+		if len(rows) == 0 {
+			continue
+		}
+		rows, combined, err := e.prepareRun(rows)
+		if err != nil {
+			return err
+		}
+		e.combineOut += combined
+		path := filepath.Join(e.dir, fmt.Sprintf("map%04d-spill%04d-part%04d.seg", e.task, spillIdx, p))
+		w, err := mrfs.CreateSegment(path)
+		if err != nil {
+			return fmt.Errorf("mr: job %q map task %d: %w", job.Name, e.task, err)
+		}
+		for _, r := range rows {
+			if err := w.Write(r); err != nil {
+				w.Close()
+				return fmt.Errorf("mr: job %q map task %d: %w", job.Name, e.task, err)
+			}
+			e.outBytes += r.Size()
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("mr: job %q map task %d: %w", job.Name, e.task, err)
+		}
+		e.runs[p] = append(e.runs[p], path)
+		e.spilledRecs += int64(len(rows))
+		e.spilledBytes += w.Bytes()
+		e.parts[p] = nil
+	}
+	e.spills++
+	e.curBytes = 0
+	return nil
+}
+
+// prepareRun sorts one partition buffer and, when the job has a dedicated
+// combiner, combines it; the returned rows are sorted by (key, sec, val)
+// so they form a valid merge run.
+func (e *bufEmitter) prepareRun(rows []mrfs.Record) ([]mrfs.Record, int64, error) {
+	if e.job.Combiner == nil {
+		sort.Slice(rows, func(i, j int) bool { return mrfs.Less(rows[i], rows[j]) })
+		return rows, int64(len(rows)), nil
+	}
+	combined, n, err := combinePartition(e.ctx, e.job, rows)
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.Slice(combined, func(i, j int) bool { return mrfs.Less(combined[i], combined[j]) })
+	return combined, n, nil
+}
+
+// finish completes a map task's shuffle output. With no spill cap it
+// combines each partition in place (the historical in-memory behavior);
+// under a cap it turns the leftover buffers into sorted in-memory runs so
+// the reduce merge can consume them alongside the on-disk segments.
+func (e *bufEmitter) finish() error {
+	if e.cap <= 0 {
+		if e.job.Combiner == nil {
+			e.combineOut = e.n
+		} else {
+			for p := range e.parts {
+				combined, n, err := combinePartition(e.ctx, e.job, e.parts[p])
+				if err != nil {
+					return err
+				}
+				e.parts[p] = combined
+				e.combineOut += n
+			}
+		}
+		for p := range e.parts {
+			for _, r := range e.parts[p] {
+				e.outBytes += r.Size()
+			}
+		}
+		return nil
+	}
+	for p := range e.parts {
+		rows, combined, err := e.prepareRun(e.parts[p])
+		if err != nil {
+			return err
+		}
+		e.combineOut += combined
+		e.parts[p] = rows
+		for _, r := range rows {
+			e.outBytes += r.Size()
+		}
+	}
+	return nil
+}
+
+// recordIter streams one sorted run of records.
+type recordIter interface {
+	next() (mrfs.Record, bool, error)
+	close() error
+}
+
+// sliceIter iterates an in-memory sorted run.
+type sliceIter struct {
+	rows []mrfs.Record
+	i    int
+}
+
+func (s *sliceIter) next() (mrfs.Record, bool, error) {
+	if s.i >= len(s.rows) {
+		return mrfs.Record{}, false, nil
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true, nil
+}
+
+func (s *sliceIter) close() error { return nil }
+
+// segmentIter iterates a spilled on-disk run, tracking the file bytes read
+// so the reduce task can be charged for re-reading spilled data.
+type segmentIter struct {
+	r    *mrfs.SegmentReader
+	read *int64
+}
+
+func (s *segmentIter) next() (mrfs.Record, bool, error) {
+	before := s.r.Bytes()
+	rec, ok, err := s.r.Next()
+	*s.read += s.r.Bytes() - before
+	return rec, ok, err
+}
+
+func (s *segmentIter) close() error { return s.r.Close() }
+
+// mergeItem is one heap entry of the k-way merge.
+type mergeItem struct {
+	rec mrfs.Record
+	src int
+	it  recordIter
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if mrfs.Less(h[i].rec, h[j].rec) {
+		return true
+	}
+	if mrfs.Less(h[j].rec, h[i].rec) {
+		return false
+	}
+	return h[i].src < h[j].src // equal records: stable by run index
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeIter merges sorted runs into one globally sorted stream.
+type mergeIter struct {
+	h   mergeHeap
+	its []recordIter
+}
+
+// newMergeIter primes a merge over the given runs. It takes ownership of
+// the iterators; all of them are closed together by close().
+func newMergeIter(its []recordIter) (*mergeIter, error) {
+	m := &mergeIter{its: its}
+	for i, it := range its {
+		rec, ok, err := it.next()
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		if ok {
+			m.h = append(m.h, mergeItem{rec: rec, src: i, it: it})
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *mergeIter) next() (mrfs.Record, bool, error) {
+	if len(m.h) == 0 {
+		return mrfs.Record{}, false, nil
+	}
+	top := m.h[0]
+	rec, ok, err := top.it.next()
+	if err != nil {
+		return mrfs.Record{}, false, err
+	}
+	if ok {
+		m.h[0] = mergeItem{rec: rec, src: top.src, it: top.it}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.rec, true, nil
+}
+
+func (m *mergeIter) close() error {
+	var first error
+	for _, it := range m.its {
+		if err := it.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.its = nil
+	return first
+}
+
+// maxMergeFanIn caps how many segment files a single merge keeps open at
+// once. A heavily spilling job can leave mapTasks × spillRounds runs per
+// partition; merging them in one pass would exhaust file descriptors at
+// exactly the scales spilling exists for, so wider run sets are first
+// compacted into intermediate segments, maxMergeFanIn at a time.
+const maxMergeFanIn = 64
+
+// partitionRuns assembles the sorted runs of one reduce partition across
+// all finished map tasks: the in-memory leftovers plus every spilled
+// segment. Run sets wider than maxMergeFanIn are pre-merged on disk.
+// readBytes accumulates the spill I/O performed (segment bytes read, plus
+// intermediate merge reads and writes).
+func partitionRuns(results []*taskResult, p int, dir string, readBytes *int64) ([]recordIter, error) {
+	var paths []string
+	var its []recordIter
+	for _, res := range results {
+		if len(res.parts[p]) > 0 {
+			its = append(its, &sliceIter{rows: res.parts[p]})
+		}
+		paths = append(paths, res.runs[p]...)
+	}
+	paths, err := compactRuns(dir, p, paths, readBytes)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range paths {
+		r, err := mrfs.OpenSegment(path)
+		if err != nil {
+			for _, it := range its {
+				it.close()
+			}
+			return nil, err
+		}
+		its = append(its, &segmentIter{r: r, read: readBytes})
+	}
+	return its, nil
+}
+
+// compactRuns repeatedly merges batches of maxMergeFanIn segment files
+// into larger intermediate segments until at most maxMergeFanIn remain,
+// deleting each batch's inputs to bound disk usage. Merging sorted runs
+// yields a sorted run, so the final k-way merge output is unchanged.
+func compactRuns(dir string, p int, paths []string, ioBytes *int64) ([]string, error) {
+	for round := 0; len(paths) > maxMergeFanIn; round++ {
+		var next []string
+		for start := 0; start < len(paths); start += maxMergeFanIn {
+			end := start + maxMergeFanIn
+			if end > len(paths) {
+				end = len(paths)
+			}
+			batch := paths[start:end]
+			if len(batch) == 1 {
+				next = append(next, batch[0])
+				continue
+			}
+			out := filepath.Join(dir, fmt.Sprintf("compact-part%04d-round%02d-%06d.seg", p, round, start))
+			if err := mergeSegments(batch, out, ioBytes); err != nil {
+				return nil, err
+			}
+			next = append(next, out)
+		}
+		paths = next
+	}
+	return paths, nil
+}
+
+// mergeSegments merges the sorted runs in paths into a single sorted
+// segment at outPath, removing the inputs afterwards. The bytes read and
+// written are added to ioBytes.
+func mergeSegments(paths []string, outPath string, ioBytes *int64) error {
+	var read int64
+	var its []recordIter
+	for _, path := range paths {
+		r, err := mrfs.OpenSegment(path)
+		if err != nil {
+			for _, it := range its {
+				it.close()
+			}
+			return err
+		}
+		its = append(its, &segmentIter{r: r, read: &read})
+	}
+	m, err := newMergeIter(its)
+	if err != nil {
+		return err
+	}
+	defer m.close()
+	w, err := mrfs.CreateSegment(outPath)
+	if err != nil {
+		return err
+	}
+	for {
+		rec, ok, err := m.next()
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	*ioBytes += read + w.Bytes()
+	for _, path := range paths {
+		os.Remove(path)
+	}
+	return nil
+}

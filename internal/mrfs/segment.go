@@ -1,0 +1,122 @@
+package mrfs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"vsmartjoin/internal/codec"
+)
+
+// Segment files hold one sorted run of records spilled by a map task for a
+// single reduce partition. Each record is framed as a uvarint payload
+// length followed by the codec encoding of (key, sec, val), so segment
+// sizes — and therefore the simulated spill I/O — track the same framing
+// the cost model charges for records at rest.
+
+// SegmentWriter streams records into a segment file.
+type SegmentWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	buf *codec.Buffer
+	hdr [binary.MaxVarintLen64]byte
+
+	records int64
+	bytes   int64
+}
+
+// CreateSegment opens a new segment file at path, truncating any previous
+// contents.
+func CreateSegment(path string) (*SegmentWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("mrfs: create segment: %w", err)
+	}
+	return &SegmentWriter{f: f, w: bufio.NewWriter(f), buf: codec.NewBuffer(256)}, nil
+}
+
+// Write appends one record to the segment. Callers are responsible for
+// writing records in sorted order when the segment will be merged.
+func (s *SegmentWriter) Write(r Record) error {
+	s.buf.Reset()
+	s.buf.PutBytes(r.Key)
+	s.buf.PutBytes(r.Sec)
+	s.buf.PutBytes(r.Val)
+	frame := s.buf.Bytes()
+	hdr := binary.AppendUvarint(s.hdr[:0], uint64(len(frame)))
+	if _, err := s.w.Write(hdr); err != nil {
+		return fmt.Errorf("mrfs: write segment: %w", err)
+	}
+	if _, err := s.w.Write(frame); err != nil {
+		return fmt.Errorf("mrfs: write segment: %w", err)
+	}
+	s.records++
+	s.bytes += int64(len(hdr) + len(frame))
+	return nil
+}
+
+// Records reports the number of records written so far.
+func (s *SegmentWriter) Records() int64 { return s.records }
+
+// Bytes reports the number of file bytes written so far.
+func (s *SegmentWriter) Bytes() int64 { return s.bytes }
+
+// Close flushes and closes the segment file.
+func (s *SegmentWriter) Close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("mrfs: flush segment: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("mrfs: close segment: %w", err)
+	}
+	return nil
+}
+
+// SegmentReader streams records back out of a segment file.
+type SegmentReader struct {
+	f     *os.File
+	r     *bufio.Reader
+	bytes int64
+}
+
+// OpenSegment opens a segment file for reading.
+func OpenSegment(path string) (*SegmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mrfs: open segment: %w", err)
+	}
+	return &SegmentReader{f: f, r: bufio.NewReader(f)}, nil
+}
+
+// Next decodes the next record. It returns ok=false at a clean end of
+// file; the returned record's slices are freshly allocated and do not
+// alias reader state.
+func (s *SegmentReader) Next() (Record, bool, error) {
+	frameLen, err := binary.ReadUvarint(s.r)
+	if err == io.EOF {
+		return Record{}, false, nil
+	}
+	if err != nil {
+		return Record{}, false, fmt.Errorf("mrfs: read segment: %w", err)
+	}
+	payload := make([]byte, frameLen)
+	if _, err := io.ReadFull(s.r, payload); err != nil {
+		return Record{}, false, fmt.Errorf("mrfs: read segment: truncated record: %w", err)
+	}
+	dec := codec.NewReader(payload)
+	rec := Record{Key: dec.Bytes(), Sec: dec.Bytes(), Val: dec.Bytes()}
+	if dec.Err() != nil {
+		return Record{}, false, fmt.Errorf("mrfs: read segment: %w", dec.Err())
+	}
+	s.bytes += int64(codec.UvarintLen(frameLen)) + int64(frameLen)
+	return rec, true, nil
+}
+
+// Bytes reports the number of file bytes consumed so far.
+func (s *SegmentReader) Bytes() int64 { return s.bytes }
+
+// Close closes the underlying file.
+func (s *SegmentReader) Close() error { return s.f.Close() }

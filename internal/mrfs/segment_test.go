@@ -1,0 +1,118 @@
+package mrfs
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.seg")
+	recs := []Record{
+		{Key: []byte("a"), Sec: []byte("s"), Val: []byte("v1")},
+		{Key: []byte("a"), Val: []byte("v2")}, // nil Sec
+		{Key: []byte("bb"), Sec: []byte(""), Val: nil},
+		{Key: bytes.Repeat([]byte("k"), 300), Val: bytes.Repeat([]byte("x"), 1000)},
+	}
+	w, err := CreateSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != int64(len(recs)) {
+		t.Fatalf("writer records = %d, want %d", w.Records(), len(recs))
+	}
+	written := w.Bytes()
+	if written <= 0 {
+		t.Fatal("writer tracked no bytes")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, want := range recs {
+		got, ok, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("record %d: early EOF", i)
+		}
+		if !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Sec, want.Sec) || !bytes.Equal(got.Val, want.Val) {
+			t.Fatalf("record %d: got %q/%q/%q want %q/%q/%q",
+				i, got.Key, got.Sec, got.Val, want.Key, want.Sec, want.Val)
+		}
+	}
+	if _, ok, err := r.Next(); err != nil || ok {
+		t.Fatalf("expected clean EOF, got ok=%v err=%v", ok, err)
+	}
+	if r.Bytes() != written {
+		t.Fatalf("reader consumed %d bytes, writer wrote %d", r.Bytes(), written)
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.seg")
+	w, err := CreateSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok, err := r.Next(); err != nil || ok {
+		t.Fatalf("empty segment: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSegmentManyRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "many.seg")
+	w, err := CreateSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := w.Write(Record{
+			Key: []byte(fmt.Sprintf("key-%06d", i)),
+			Val: []byte(fmt.Sprintf("val-%d", i*i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < n; i++ {
+		got, ok, err := r.Next()
+		if err != nil || !ok {
+			t.Fatalf("record %d: ok=%v err=%v", i, ok, err)
+		}
+		if want := fmt.Sprintf("key-%06d", i); string(got.Key) != want {
+			t.Fatalf("record %d: key %q want %q", i, got.Key, want)
+		}
+	}
+	if _, ok, _ := r.Next(); ok {
+		t.Fatal("trailing records")
+	}
+}
