@@ -1,0 +1,272 @@
+package vsmartjoin
+
+// The differential harness: every Options.Algorithm × every Measure ×
+// thresholds {0, 0.3, 0.5, 0.9} on seeded randomized datasets must produce
+// the exact pair set of an O(n²) brute-force oracle built on the public
+// Similarity function, and the online Index.QueryThreshold must agree with
+// AllPairs restricted to the query entity. This is the end-to-end
+// exactness gate of the whole system: the batch MR pipelines, the online
+// index with its pruning bounds, and the public plumbing around both.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// diffAlgorithms and diffMeasures enumerate the full public surface.
+var diffAlgorithms = []string{AlgorithmOnlineAggregation, AlgorithmLookup, AlgorithmSharding}
+
+var diffMeasures = []string{
+	"ruzicka", "jaccard", "dice", "set-dice",
+	"cosine", "set-cosine", "vector-cosine", "overlap",
+}
+
+var diffThresholds = []float64{0, 0.3, 0.5, 0.9}
+
+// randomEntities synthesizes a seeded dataset as public-API inputs: entity
+// name → element multiplicities. Some entity pairs share elements heavily
+// (cluster structure) so every threshold bucket is populated.
+func randomEntities(rng *rand.Rand, n, alphabet, maxLen, maxCount int) map[string]map[string]uint32 {
+	out := make(map[string]map[string]uint32, n)
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(maxLen)
+		counts := make(map[string]uint32, l)
+		base := rng.Intn(alphabet)
+		for j := 0; j < l; j++ {
+			// Cluster structure: half the elements come from a narrow band
+			// around base, so near-duplicates exist at every threshold.
+			var elem int
+			if j%2 == 0 {
+				elem = (base + rng.Intn(4)) % alphabet
+			} else {
+				elem = rng.Intn(alphabet)
+			}
+			counts[fmt.Sprintf("e%d", elem)] += uint32(1 + rng.Intn(maxCount))
+		}
+		out[fmt.Sprintf("entity-%03d", i)] = counts
+	}
+	return out
+}
+
+func datasetOf(entities map[string]map[string]uint32) *Dataset {
+	d := NewDataset()
+	names := make([]string, 0, len(entities))
+	for name := range entities {
+		names = append(names, name)
+	}
+	// Dataset construction must not depend on map order (determinism of
+	// the simulated runs); sort like the CLI's first-seen ordering would.
+	sort.Strings(names)
+	for _, name := range names {
+		d.Add(name, entities[name])
+	}
+	return d
+}
+
+// sharesElement reports whether two entities overlap in at least one
+// element — the oracle's candidate condition: algorithms that pair
+// entities through shared elements can never see disjoint pairs.
+func sharesElement(a, b map[string]uint32) bool {
+	for e, c := range a {
+		if c > 0 && b[e] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// oraclePairs brute-forces the expected pair set through the public
+// Similarity function.
+func oraclePairs(t *testing.T, entities map[string]map[string]uint32, measure string, thr float64) map[[2]string]float64 {
+	t.Helper()
+	names := make([]string, 0, len(entities))
+	for name := range entities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[[2]string]float64)
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			if !sharesElement(entities[a], entities[b]) {
+				continue
+			}
+			sim, err := Similarity(measure, entities[a], entities[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim+1e-12 >= thr {
+				out[[2]string{a, b}] = sim
+			}
+		}
+	}
+	return out
+}
+
+// TestDifferentialAllPairs is the batch harness: all algorithms × measures
+// × thresholds against the oracle.
+func TestDifferentialAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	trials := 2
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		entities := randomEntities(rng, 36, 30, 8, 4)
+		d := datasetOf(entities)
+		for _, measure := range diffMeasures {
+			for _, thr := range diffThresholds {
+				want := oraclePairs(t, entities, measure, thr)
+				for _, alg := range diffAlgorithms {
+					tag := fmt.Sprintf("trial %d %s/%s t=%v", trial, alg, measure, thr)
+					res, err := AllPairs(d, Options{
+						Measure: measure, Threshold: thr, Algorithm: alg, Machines: 4,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", tag, err)
+					}
+					if len(res.Pairs) != len(want) {
+						t.Fatalf("%s: got %d pairs want %d", tag, len(res.Pairs), len(want))
+					}
+					for _, p := range res.Pairs {
+						sim, ok := want[[2]string{p.A, p.B}]
+						if !ok {
+							t.Fatalf("%s: unexpected pair %v", tag, p)
+						}
+						if d := sim - p.Similarity; d < -1e-9 || d > 1e-9 {
+							t.Fatalf("%s: pair %s~%s sim %v want %v", tag, p.A, p.B, p.Similarity, sim)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialIndexVsAllPairs is the online-vs-batch harness:
+// Index.QueryThreshold for each entity must equal the AllPairs result
+// restricted to that entity, for every measure and threshold.
+func TestDifferentialIndexVsAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	entities := randomEntities(rng, 40, 28, 8, 4)
+	d := datasetOf(entities)
+	names := make([]string, 0, len(entities))
+	for name := range entities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, measure := range diffMeasures {
+		ix, err := BuildIndex(d, IndexOptions{Measure: measure})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, thr := range diffThresholds {
+			res, err := AllPairs(d, Options{Measure: measure, Threshold: thr, Machines: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Batch result, re-keyed per entity.
+			perEntity := make(map[string]map[string]float64)
+			for _, p := range res.Pairs {
+				for _, side := range [][2]string{{p.A, p.B}, {p.B, p.A}} {
+					m := perEntity[side[0]]
+					if m == nil {
+						m = make(map[string]float64)
+						perEntity[side[0]] = m
+					}
+					m[side[1]] = p.Similarity
+				}
+			}
+			for _, name := range names {
+				tag := fmt.Sprintf("%s t=%v q=%s", measure, thr, name)
+				got, err := ix.QueryEntity(name, thr)
+				if err != nil {
+					t.Fatalf("%s: %v", tag, err)
+				}
+				want := perEntity[name]
+				if len(got) != len(want) {
+					t.Fatalf("%s: index %d matches, batch %d\nindex: %v\nbatch: %v",
+						tag, len(got), len(want), got, want)
+				}
+				for _, m := range got {
+					sim, ok := want[m.Entity]
+					if !ok {
+						t.Fatalf("%s: index-only match %v", tag, m)
+					}
+					if d := sim - m.Similarity; d < -1e-9 || d > 1e-9 {
+						t.Fatalf("%s: match %s sim %v batch %v", tag, m.Entity, m.Similarity, sim)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialIndexIncremental re-runs the online-vs-batch comparison
+// after mutations: the index after removals and re-adds must answer like a
+// batch join over the surviving dataset.
+func TestDifferentialIndexIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	entities := randomEntities(rng, 30, 24, 7, 3)
+	ix, err := BuildIndex(datasetOf(entities), IndexOptions{Measure: "ruzicka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entities))
+	for name := range entities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Remove a third, replace (upsert) another third with fresh contents.
+	for i, name := range names {
+		switch i % 3 {
+		case 0:
+			ix.Remove(name)
+			delete(entities, name)
+		case 1:
+			fresh := randomEntities(rng, 1, 24, 7, 3)
+			for _, counts := range fresh {
+				ix.Add(name, counts)
+				entities[name] = counts
+			}
+		}
+	}
+
+	const thr = 0.3
+	d := datasetOf(entities)
+	res, err := AllPairs(d, Options{Measure: "ruzicka", Threshold: thr, Machines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[[2]string]float64, len(res.Pairs))
+	for _, p := range res.Pairs {
+		want[[2]string{p.A, p.B}] = p.Similarity
+	}
+	got := make(map[[2]string]float64)
+	for name := range entities {
+		ms, err := ix.QueryEntity(name, thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			key := [2]string{name, m.Entity}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			got[key] = m.Similarity
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("after churn: index %d pairs, batch %d\nindex: %v\nbatch: %v", len(got), len(want), got, want)
+	}
+	for key, sim := range want {
+		gsim, ok := got[key]
+		if !ok || gsim-sim > 1e-9 || sim-gsim > 1e-9 {
+			t.Fatalf("after churn: pair %v index %v batch %v (present %v)", key, gsim, sim, ok)
+		}
+	}
+}

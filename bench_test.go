@@ -343,6 +343,92 @@ func BenchmarkShuffleSpill(b *testing.B) {
 	}
 }
 
+// --- online serving benchmarks ---
+
+// benchIndexEntities synthesizes entity→counts inputs for the online
+// index: zipf-ish element popularity so posting lists are skewed the way
+// real traffic is.
+func benchIndexEntities(n int) []map[string]uint32 {
+	out := make([]map[string]uint32, n)
+	for i := range out {
+		counts := make(map[string]uint32, 12)
+		for j := 0; j < 12; j++ {
+			// Quadratic skew: low element IDs are shared by many entities.
+			elem := (i*31 + j*j*7) % (n/2 + 64)
+			counts[fmt.Sprintf("e%d", elem)] = uint32(j%5 + 1)
+		}
+		out[i] = counts
+	}
+	return out
+}
+
+// BenchmarkIndexAdd measures incremental insertion into a live index,
+// including posting-list upkeep and the periodic compaction triggered by
+// the upserts that wrap around the key space.
+func BenchmarkIndexAdd(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			entities := benchIndexEntities(n)
+			ix, err := NewIndex(IndexOptions{Measure: "ruzicka"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.Add(fmt.Sprintf("entity-%d", i%n), entities[i%n])
+			}
+		})
+	}
+}
+
+// BenchmarkIndexQuery measures threshold queries across dataset sizes and
+// thresholds. Higher thresholds let the prefix and length filters cut the
+// probe short, so sims/op (exact verifications per query) falls with t.
+func BenchmarkIndexQuery(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		entities := benchIndexEntities(n)
+		ix, err := NewIndex(IndexOptions{Measure: "ruzicka"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, counts := range entities {
+			ix.Add(fmt.Sprintf("entity-%d", i), counts)
+		}
+		for _, t := range []float64{0.1, 0.5, 0.9} {
+			b.Run(fmt.Sprintf("n=%d/t=%v", n, t), func(b *testing.B) {
+				before := ix.Stats()
+				for i := 0; i < b.N; i++ {
+					if _, err := ix.QueryThreshold(entities[i%len(entities)], t); err != nil {
+						b.Fatal(err)
+					}
+				}
+				after := ix.Stats()
+				b.ReportMetric(float64(after.Verified-before.Verified)/float64(b.N), "sims/op")
+				b.ReportMetric(float64(after.Results-before.Results)/float64(b.N), "matches/op")
+			})
+		}
+	}
+}
+
+// BenchmarkIndexTopK measures ranked queries with the rising-floor cutoff.
+func BenchmarkIndexTopK(b *testing.B) {
+	entities := benchIndexEntities(10000)
+	ix, err := NewIndex(IndexOptions{Measure: "ruzicka"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, counts := range entities {
+		ix.Add(fmt.Sprintf("entity-%d", i), counts)
+	}
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.QueryTopK(entities[i%len(entities)], k)
+			}
+		})
+	}
+}
+
 // BenchmarkEngine measures the raw MapReduce substrate on a word-count
 // shaped job.
 func BenchmarkEngine(b *testing.B) {

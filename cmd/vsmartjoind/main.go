@@ -1,0 +1,253 @@
+// Command vsmartjoind serves similarity queries over HTTP from an
+// incremental in-memory index — the online counterpart of the cmd/vsmartjoin
+// batch join. Entities can be added and removed while queries run.
+//
+// Endpoints (JSON request/response):
+//
+//	POST /add     {"entity": "ip-1", "elements": {"cookie-a": 3}}
+//	POST /remove  {"entity": "ip-1"}
+//	POST /query   {"elements": {"cookie-a": 3}, "threshold": 0.5}
+//	POST /query   {"elements": {"cookie-a": 3}, "topk": 10}
+//	POST /query   {"entity": "ip-1", "threshold": 0.5}   (query by indexed entity)
+//	GET  /stats
+//
+// Add replaces any previous entity of the same name (upsert). A query
+// names either "elements" or an indexed "entity", and either a
+// "threshold" in [0,1] or a positive "topk".
+//
+// Example:
+//
+//	vsmartjoind -measure ruzicka -addr :8321 -load trace.tsv &
+//	curl -s localhost:8321/query -d '{"elements":{"cookie-a":3},"threshold":0.5}'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"vsmartjoin"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vsmartjoind: ")
+	var (
+		addr    = flag.String("addr", "localhost:8321", "listen address")
+		measure = flag.String("measure", "ruzicka", "similarity measure: ruzicka, jaccard, dice, set-dice, cosine, set-cosine, vector-cosine, overlap")
+		load    = flag.String("load", "", "TSV trace to preload (entity<TAB>element[<TAB>count] per line)")
+	)
+	flag.Parse()
+
+	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: *measure})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *load != "" {
+		n, err := preload(ix, *load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("preloaded %d entities from %s", n, *load)
+	}
+	log.Printf("serving %s similarity on http://%s", *measure, *addr)
+	log.Fatal(http.ListenAndServe(*addr, newServer(ix)))
+}
+
+// preload feeds a cmd/vsmartjoin-format TSV trace into the index,
+// merging repeated observations of an entity before the (upsert) Add.
+func preload(ix *vsmartjoin.Index, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	counts := map[string]map[string]uint32{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) < 2 {
+			return 0, fmt.Errorf("%s:%d: want entity<TAB>element[<TAB>count], got %q", path, line, text)
+		}
+		count := uint32(1)
+		if len(fields) >= 3 {
+			n, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return 0, fmt.Errorf("%s:%d: bad count %q: %v", path, line, fields[2], err)
+			}
+			count = uint32(n)
+		}
+		m := counts[fields[0]]
+		if m == nil {
+			m = map[string]uint32{}
+			counts[fields[0]] = m
+		}
+		m[fields[1]] += count
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	for entity, m := range counts {
+		ix.Add(entity, m)
+	}
+	return len(counts), nil
+}
+
+// server wires the index to the HTTP API. Split from main so tests can
+// drive it through httptest.
+type server struct {
+	ix  *vsmartjoin.Index
+	mux *http.ServeMux
+}
+
+func newServer(ix *vsmartjoin.Index) http.Handler {
+	s := &server{ix: ix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /add", s.handleAdd)
+	s.mux.HandleFunc("POST /remove", s.handleRemove)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s.mux
+}
+
+type addRequest struct {
+	Entity   string            `json:"entity"`
+	Elements map[string]uint32 `json:"elements"`
+}
+
+type removeRequest struct {
+	Entity string `json:"entity"`
+}
+
+type queryRequest struct {
+	// Exactly one of Entity (an indexed entity name) or Elements (an
+	// ad-hoc multiset) names the query.
+	Entity   string            `json:"entity"`
+	Elements map[string]uint32 `json:"elements"`
+	// Exactly one of Threshold or TopK selects the query kind. Threshold
+	// is a pointer so that an explicit 0 ("any overlap") is distinguishable
+	// from absent.
+	Threshold *float64 `json:"threshold"`
+	TopK      int      `json:"topk"`
+}
+
+type matchResponse struct {
+	Entity     string  `json:"entity"`
+	Similarity float64 `json:"similarity"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Entity == "" {
+		writeError(w, http.StatusBadRequest, "missing entity")
+		return
+	}
+	// Require at least one nonzero count: Index.Add drops zeros, and an
+	// all-zero body would index a permanently unmatchable empty entity.
+	hasMass := false
+	for _, c := range req.Elements {
+		if c > 0 {
+			hasMass = true
+			break
+		}
+	}
+	if !hasMass {
+		writeError(w, http.StatusBadRequest, "missing elements")
+		return
+	}
+	s.ix.Add(req.Entity, req.Elements)
+	writeJSON(w, http.StatusOK, map[string]any{"entities": s.ix.Len()})
+}
+
+func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req removeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Entity == "" {
+		writeError(w, http.StatusBadRequest, "missing entity")
+		return
+	}
+	removed := s.ix.Remove(req.Entity)
+	writeJSON(w, http.StatusOK, map[string]any{"removed": removed, "entities": s.ix.Len()})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if (req.Entity == "") == (len(req.Elements) == 0) {
+		writeError(w, http.StatusBadRequest, "name the query with exactly one of entity or elements")
+		return
+	}
+	if (req.Threshold == nil) == (req.TopK == 0) {
+		writeError(w, http.StatusBadRequest, "select exactly one of threshold or topk")
+		return
+	}
+	var matches []vsmartjoin.Match
+	var err error
+	switch {
+	case req.TopK < 0:
+		writeError(w, http.StatusBadRequest, "topk must be positive")
+		return
+	case req.TopK > 0 && req.Entity != "":
+		// QueryEntity has no top-k form; reject rather than guess.
+		writeError(w, http.StatusBadRequest, "topk queries take elements, not an entity")
+		return
+	case req.TopK > 0:
+		matches = s.ix.QueryTopK(req.Elements, req.TopK)
+	case req.Entity != "":
+		matches, err = s.ix.QueryEntity(req.Entity, *req.Threshold)
+	default:
+		matches, err = s.ix.QueryThreshold(req.Elements, *req.Threshold)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]matchResponse, len(matches))
+	for i, m := range matches {
+		out[i] = matchResponse{Entity: m.Entity, Similarity: m.Similarity}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ix.Stats())
+}

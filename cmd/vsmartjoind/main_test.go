@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vsmartjoin"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: "ruzicka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(ix))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decode: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestDaemonRoundTrip(t *testing.T) {
+	ts := testServer(t)
+	for _, body := range []string{
+		`{"entity": "ip-1", "elements": {"a": 3, "b": 1, "c": 2}}`,
+		`{"entity": "ip-2", "elements": {"a": 2, "b": 2, "c": 2}}`,
+		`{"entity": "ip-3", "elements": {"z": 9}}`,
+	} {
+		if code, out := post(t, ts, "/add", body); code != http.StatusOK {
+			t.Fatalf("add: %d %v", code, out)
+		}
+	}
+
+	code, out := post(t, ts, "/query", `{"elements": {"a": 3, "b": 1, "c": 2}, "threshold": 0.5}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, out)
+	}
+	matches := out["matches"].([]any)
+	if len(matches) != 2 {
+		t.Fatalf("matches: %v", matches)
+	}
+	first := matches[0].(map[string]any)
+	if first["entity"] != "ip-1" || first["similarity"].(float64) != 1 {
+		t.Fatalf("first match: %v", first)
+	}
+
+	// Query by indexed entity excludes the entity itself.
+	code, out = post(t, ts, "/query", `{"entity": "ip-1", "threshold": 0.5}`)
+	if code != http.StatusOK {
+		t.Fatalf("entity query: %d %v", code, out)
+	}
+	matches = out["matches"].([]any)
+	if len(matches) != 1 || matches[0].(map[string]any)["entity"] != "ip-2" {
+		t.Fatalf("entity query matches: %v", matches)
+	}
+
+	// Top-k.
+	code, out = post(t, ts, "/query", `{"elements": {"a": 1}, "topk": 1}`)
+	if code != http.StatusOK || len(out["matches"].([]any)) != 1 {
+		t.Fatalf("topk: %d %v", code, out)
+	}
+
+	// Remove, then the pair is gone.
+	if code, out := post(t, ts, "/remove", `{"entity": "ip-2"}`); code != http.StatusOK || out["removed"] != true {
+		t.Fatalf("remove: %d %v", code, out)
+	}
+	if code, out := post(t, ts, "/remove", `{"entity": "ip-2"}`); code != http.StatusOK || out["removed"] != false {
+		t.Fatalf("re-remove: %d %v", code, out)
+	}
+	code, out = post(t, ts, "/query", `{"entity": "ip-1", "threshold": 0.5}`)
+	if code != http.StatusOK || len(out["matches"].([]any)) != 0 {
+		t.Fatalf("query after remove: %d %v", code, out)
+	}
+
+	// Stats reflect the traffic.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats vsmartjoin.IndexStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Measure != "ruzicka" || stats.Entities != 2 || stats.Adds != 3 || stats.Removes != 1 || stats.Queries < 4 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestDaemonValidation(t *testing.T) {
+	ts := testServer(t)
+	for path, bodies := range map[string][]string{
+		"/add": {
+			`{"elements": {"a": 1}}`,     // missing entity
+			`{"entity": "e"}`,            // missing elements
+			`{"entity": "e", "nope": 1}`, // unknown field
+			`not json`,
+		},
+		"/remove": {
+			`{}`,
+		},
+		"/query": {
+			`{"elements": {"a": 1}}`,                              // neither threshold nor topk
+			`{"elements": {"a": 1}, "threshold": 0.5, "topk": 3}`, // both
+			`{"threshold": 0.5}`,                                  // no query
+			`{"entity": "e", "elements": {"a": 1}, "topk": 2}`,    // both query forms
+			`{"elements": {"a": 1}, "threshold": 1.5}`,            // threshold range
+			`{"elements": {"a": 1}, "topk": -1}`,                  // negative k
+			`{"entity": "e", "topk": 2}`,                          // topk by entity unsupported
+			`{"entity": "never-added-entity", "threshold": 0.5}`,  // unknown entity
+		},
+	} {
+		for _, body := range bodies {
+			if code, out := post(t, ts, path, body); code != http.StatusBadRequest || out["error"] == "" {
+				t.Fatalf("%s %s: %d %v", path, body, code, out)
+			}
+		}
+	}
+	// Wrong method is routed away by the mux.
+	resp, err := http.Get(ts.URL + "/add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /add: %d", resp.StatusCode)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.tsv")
+	trace := "# comment\n" +
+		"ip-1\ta\t3\n" +
+		"ip-1\ta\t2\n" + // repeated observations merge
+		"ip-1\tb\n" + // count defaults to 1
+		"ip-2\ta\t5\n" +
+		"ip-2\tb\t1\n"
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := preload(ix, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || ix.Len() != 2 {
+		t.Fatalf("preloaded %d, len %d", n, ix.Len())
+	}
+	got, err := ix.QueryEntity("ip-1", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Entity != "ip-2" || got[0].Similarity != 1 {
+		t.Fatalf("merged trace mismatch: %v", got)
+	}
+
+	if _, err := preload(ix, filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.tsv")
+	if err := os.WriteFile(bad, []byte("only-one-field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := preload(ix, bad); err == nil {
+		t.Fatal("malformed line should error")
+	}
+}

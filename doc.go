@@ -31,6 +31,23 @@
 //		fmt.Printf("%s ~ %s: %.3f\n", p.A, p.B, p.Similarity)
 //	}
 //
+// # Online serving
+//
+// AllPairs answers "find every similar pair, once"; Index answers "what
+// is similar to this, right now" against a dataset that keeps changing.
+// It is an incremental inverted index with measure-derived prefix and
+// length filtering, safe for concurrent mutation and queries:
+//
+//	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: "ruzicka"})
+//	ix.Add("ip-1", map[string]uint32{"cookie-a": 3, "cookie-b": 1})
+//	matches, err := ix.QueryThreshold(map[string]uint32{"cookie-a": 3}, 0.5)
+//	top := ix.QueryTopK(map[string]uint32{"cookie-a": 3}, 10)
+//
+// BuildIndex bulk-loads the same Dataset AllPairs consumes, and the two
+// paths return provably consistent results (see api_diff_test.go). The
+// cmd/vsmartjoind daemon serves an Index over HTTP, and examples/serving
+// is a worked walkthrough.
+//
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package vsmartjoin

@@ -1,0 +1,273 @@
+package vsmartjoin
+
+import (
+	"fmt"
+	"sync"
+
+	"vsmartjoin/internal/index"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/similarity"
+)
+
+// IndexOptions configures NewIndex and BuildIndex.
+type IndexOptions struct {
+	// Measure is the similarity measure name (default "ruzicka"); it is
+	// fixed for the life of the index because posting-list pruning bounds
+	// are measure-specific.
+	Measure string
+}
+
+// Match is one online query result.
+type Match struct {
+	Entity     string
+	Similarity float64
+}
+
+// IndexStats snapshots the size and traffic counters of an Index; see
+// the field docs on internal/index.Stats for the pruning pipeline the
+// Probes → Candidates → Verified → Results funnel describes.
+type IndexStats struct {
+	Measure  string `json:"measure"`
+	Entities int    `json:"entities"`
+	Elements int    `json:"elements"`
+	Postings int    `json:"postings"`
+
+	Adds        int64 `json:"adds"`
+	Removes     int64 `json:"removes"`
+	Compactions int64 `json:"compactions"`
+
+	Queries      int64 `json:"queries"`
+	Probes       int64 `json:"probes"`
+	Candidates   int64 `json:"candidates"`
+	LengthPruned int64 `json:"length_pruned"`
+	Verified     int64 `json:"verified"`
+	Results      int64 `json:"results"`
+}
+
+// Index is the online counterpart of AllPairs: an incremental inverted
+// similarity index serving threshold and top-k queries against a live
+// dataset. Entities can be added and removed at any time, concurrently
+// with queries; see internal/index for the data structure and locking
+// design. Use AllPairs for periodic full joins and an Index for
+// interactive lookups against the same entities.
+type Index struct {
+	measure similarity.Measure
+	inner   *index.Index
+
+	// mu guards the name tables only; the inner index has its own lock.
+	mu     sync.RWMutex
+	dict   *multiset.Dict
+	byName map[string]multiset.ID
+	names  map[multiset.ID]string
+	nextID multiset.ID
+}
+
+// NewIndex returns an empty online index.
+func NewIndex(opts IndexOptions) (*Index, error) {
+	name := opts.Measure
+	if name == "" {
+		name = "ruzicka"
+	}
+	m, err := similarity.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		measure: m,
+		inner:   index.New(m),
+		dict:    multiset.NewDict(),
+		byName:  make(map[string]multiset.ID),
+		names:   make(map[multiset.ID]string),
+		nextID:  1,
+	}, nil
+}
+
+// BuildIndex bulk-loads every entity of a Dataset into a fresh index.
+func BuildIndex(d *Dataset, opts IndexOptions) (*Index, error) {
+	ix, err := NewIndex(opts)
+	if err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return ix, nil
+	}
+	for _, m := range d.sets {
+		name, ok := d.names[m.ID]
+		if !ok {
+			name = fmt.Sprintf("%d", uint64(m.ID))
+		}
+		counts := make(map[string]uint32, len(m.Entries))
+		for _, e := range m.Entries {
+			// Named datasets intern through d.dict; numbered (AddByID)
+			// datasets have no string alphabet, so synthesize one. Branch
+			// on the dataset kind, not on Name() == "" — the empty string
+			// is a legitimate interned element name.
+			var elem string
+			if d.numbered {
+				elem = fmt.Sprintf("#%d", uint64(e.Elem))
+			} else {
+				elem = d.dict.Name(e.Elem)
+			}
+			counts[elem] += e.Count
+		}
+		ix.Add(name, counts)
+	}
+	return ix, nil
+}
+
+// Add indexes an entity with its element multiplicities, replacing any
+// previous entity of the same name (upsert semantics — unlike
+// Dataset.Add, which merges). Zero counts are ignored.
+//
+// The inner insert happens under the name-table lock: if it didn't, a
+// concurrent Remove of the same name could run between the two steps and
+// leave a nameless ghost entity in the inner index. The inner index's own
+// lock always nests inside ix.mu, so the nesting cannot deadlock.
+func (ix *Index) Add(entity string, counts map[string]uint32) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, ok := ix.byName[entity]
+	if !ok {
+		id = ix.nextID
+		ix.nextID++
+		ix.byName[entity] = id
+		ix.names[id] = entity
+	}
+	entries := make([]multiset.Entry, 0, len(counts))
+	for elem, c := range counts {
+		if c == 0 {
+			continue
+		}
+		entries = append(entries, multiset.Entry{Elem: ix.dict.Intern(elem), Count: c})
+	}
+	ix.inner.Add(multiset.New(id, entries))
+}
+
+// Remove deletes an entity by name, reporting whether it was indexed. The
+// inner removal stays under the name-table lock for the same reason as in
+// Add: both mutations of the two tables must be atomic as a pair.
+func (ix *Index) Remove(entity string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, ok := ix.byName[entity]
+	if !ok {
+		return false
+	}
+	delete(ix.byName, entity)
+	delete(ix.names, id)
+	return ix.inner.Remove(id)
+}
+
+// Len reports the number of indexed entities.
+func (ix *Index) Len() int { return ix.inner.Len() }
+
+// buildQuery maps query element names into the index alphabet without
+// interning them. Unknown elements can match nothing, but they still count
+// toward the query's cardinalities (every measure's denominator), so they
+// are folded into the query's Extra stats.
+func (ix *Index) buildQuery(counts map[string]uint32) index.Query {
+	// Map iteration order is irrelevant here: Extra accumulation is
+	// commutative and multiset.New sorts the entries by element.
+	var q index.Query
+	entries := make([]multiset.Entry, 0, len(counts))
+	ix.mu.RLock()
+	for elem, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if id, ok := ix.dict.Lookup(elem); ok {
+			entries = append(entries, multiset.Entry{Elem: id, Count: c})
+		} else {
+			q.Extra.AccumulateUni(c)
+		}
+	}
+	ix.mu.RUnlock()
+	q.Set = multiset.New(0, entries)
+	return q
+}
+
+// resolve translates ID matches back to entity names. Matches whose
+// entity was removed between the query and the lookup are dropped.
+func (ix *Index) resolve(ms []index.Match) []Match {
+	out := make([]Match, 0, len(ms))
+	ix.mu.RLock()
+	for _, m := range ms {
+		if name, ok := ix.names[m.ID]; ok {
+			out = append(out, Match{Entity: name, Similarity: m.Sim})
+		}
+	}
+	ix.mu.RUnlock()
+	return out
+}
+
+// QueryThreshold returns every indexed entity whose similarity to the
+// query multiset is at least t, sorted by decreasing similarity (entity
+// ID order on ties). A zero t returns every entity sharing at least one
+// element with the query — the same overlap convention as AllPairs.
+func (ix *Index) QueryThreshold(counts map[string]uint32, t float64) ([]Match, error) {
+	if err := checkThreshold(t); err != nil {
+		return nil, err
+	}
+	return ix.resolve(ix.inner.QueryThreshold(ix.buildQuery(counts), t)), nil
+}
+
+// QueryEntity runs QueryThreshold with an indexed entity as the query;
+// the entity itself is excluded from the results.
+func (ix *Index) QueryEntity(entity string, t float64) ([]Match, error) {
+	if err := checkThreshold(t); err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	id, ok := ix.byName[entity]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("vsmartjoin: entity %q not indexed", entity)
+	}
+	ms := ix.inner.QueryThreshold(ix.queryByID(id), t)
+	return ix.resolve(ms), nil
+}
+
+// QueryTopK returns the k most similar indexed entities, best first.
+func (ix *Index) QueryTopK(counts map[string]uint32, k int) []Match {
+	return ix.resolve(ix.inner.QueryTopK(ix.buildQuery(counts), k))
+}
+
+// queryByID rebuilds a query from an indexed entity's current multiset.
+// The probe carries the entity's own ID so the index skips the self-pair.
+func (ix *Index) queryByID(id multiset.ID) index.Query {
+	// The inner index owns the authoritative multiset; query it back via a
+	// threshold-0 self lookup would be circular, so re-read from postings
+	// is avoided by keeping this translation here: QueryEntity is only a
+	// convenience, a removed-in-between entity just yields no matches.
+	return index.Query{Set: ix.inner.Snapshot(id)}
+}
+
+// Stats returns a snapshot of the index counters.
+func (ix *Index) Stats() IndexStats {
+	s := ix.inner.Stats()
+	return IndexStats{
+		Measure:      ix.measure.Name(),
+		Entities:     s.Entities,
+		Elements:     s.Elements,
+		Postings:     s.Postings,
+		Adds:         s.Adds,
+		Removes:      s.Removes,
+		Compactions:  s.Compactions,
+		Queries:      s.Queries,
+		Probes:       s.Probes,
+		Candidates:   s.Candidates,
+		LengthPruned: s.LengthPruned,
+		Verified:     s.Verified,
+		Results:      s.Results,
+	}
+}
+
+// checkThreshold applies the same threshold convention as AllPairs, except
+// that the online API has no "default" sentinel: the caller always states
+// the cut-off explicitly.
+func checkThreshold(t float64) error {
+	if t != t || t < 0 || t > 1 {
+		return fmt.Errorf("vsmartjoin: threshold %v outside [0, 1]", t)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package vsmartjoin
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestIndexQuickstart(t *testing.T) {
+	ix, err := NewIndex(IndexOptions{Measure: "ruzicka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Add("ip-1", map[string]uint32{"a": 3, "b": 1, "c": 2})
+	ix.Add("ip-2", map[string]uint32{"a": 2, "b": 2, "c": 2})
+	ix.Add("ip-3", map[string]uint32{"z": 9, "y": 4})
+	if ix.Len() != 3 {
+		t.Fatalf("len: %d", ix.Len())
+	}
+	got, err := ix.QueryThreshold(map[string]uint32{"a": 3, "b": 1, "c": 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Entity != "ip-1" || got[0].Similarity != 1 || got[1].Entity != "ip-2" {
+		t.Fatalf("matches: %v", got)
+	}
+	// Unknown query elements dilute the similarity but never error.
+	diluted, err := ix.QueryThreshold(map[string]uint32{"a": 3, "never-seen": 50}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range diluted {
+		if m.Similarity >= got[1].Similarity {
+			t.Fatalf("unknown mass did not dilute: %v", diluted)
+		}
+	}
+}
+
+func TestIndexQueryEntity(t *testing.T) {
+	ix, err := NewIndex(IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Add("a", map[string]uint32{"x": 2, "y": 2})
+	ix.Add("b", map[string]uint32{"x": 2, "y": 2})
+	got, err := ix.QueryEntity("a", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Entity != "b" || got[0].Similarity != 1 {
+		t.Fatalf("matches: %v", got)
+	}
+	if _, err := ix.QueryEntity("missing", 0.5); err == nil {
+		t.Fatal("missing entity should error")
+	}
+}
+
+func TestIndexUpsertAndRemove(t *testing.T) {
+	ix, err := NewIndex(IndexOptions{Measure: "jaccard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Add("doc", map[string]uint32{"w1": 1, "w2": 1})
+	ix.Add("doc", map[string]uint32{"w9": 1}) // replace, not merge
+	got, err := ix.QueryThreshold(map[string]uint32{"w1": 1, "w2": 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("old contents still match: %v", got)
+	}
+	got, err = ix.QueryThreshold(map[string]uint32{"w9": 1}, 0.9)
+	if err != nil || len(got) != 1 || got[0].Entity != "doc" {
+		t.Fatalf("new contents: %v %v", got, err)
+	}
+	if !ix.Remove("doc") || ix.Remove("doc") {
+		t.Fatal("remove semantics")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("len after remove: %d", ix.Len())
+	}
+}
+
+func TestIndexTopK(t *testing.T) {
+	ix, err := NewIndex(IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Add("near", map[string]uint32{"a": 4, "b": 4})
+	ix.Add("mid", map[string]uint32{"a": 4, "c": 4})
+	ix.Add("far", map[string]uint32{"a": 1, "z": 9})
+	got := ix.QueryTopK(map[string]uint32{"a": 4, "b": 4}, 2)
+	if len(got) != 2 || got[0].Entity != "near" || got[1].Entity != "mid" {
+		t.Fatalf("topk: %v", got)
+	}
+	if got[0].Similarity != 1 || got[1].Similarity >= got[0].Similarity {
+		t.Fatalf("topk order: %v", got)
+	}
+}
+
+func TestBuildIndexFromDataset(t *testing.T) {
+	d := demoDataset()
+	ix, err := BuildIndex(d, IndexOptions{Measure: "ruzicka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != d.Len() {
+		t.Fatalf("len: %d vs %d", ix.Len(), d.Len())
+	}
+	got, err := ix.QueryEntity("ip-1", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Entity != "ip-2" {
+		t.Fatalf("matches: %v", got)
+	}
+
+	// Numbered datasets load too, with synthesized names.
+	n := NewDataset()
+	n.AddByID(10, map[uint64]uint32{1: 1, 2: 1})
+	n.AddByID(20, map[uint64]uint32{1: 1, 2: 1})
+	nx, err := BuildIndex(n, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := nx.QueryEntity("10", 0.9)
+	if err != nil || len(nm) != 1 || nm[0].Entity != "20" {
+		t.Fatalf("numbered: %v %v", nm, err)
+	}
+
+	// The empty string is a legitimate element name and must survive the
+	// round trip through BuildIndex's name translation.
+	e := NewDataset()
+	e.Add("p", map[string]uint32{"": 2})
+	e.Add("q", map[string]uint32{"": 2})
+	ex, err := BuildIndex(e, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := ex.QueryThreshold(map[string]uint32{"": 2}, 0.9)
+	if err != nil || len(em) != 2 {
+		t.Fatalf("empty-string element: %v %v", em, err)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	if _, err := NewIndex(IndexOptions{Measure: "nope"}); err == nil {
+		t.Fatal("unknown measure should fail")
+	}
+	ix, err := NewIndex(IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := ix.QueryThreshold(map[string]uint32{"a": 1}, bad); err == nil {
+			t.Fatalf("threshold %v should fail", bad)
+		}
+		if _, err := ix.QueryEntity("a", bad); err == nil {
+			t.Fatalf("entity threshold %v should fail", bad)
+		}
+	}
+}
+
+func TestIndexStatsSnapshot(t *testing.T) {
+	ix, err := NewIndex(IndexOptions{Measure: "dice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Add("a", map[string]uint32{"x": 1, "y": 2})
+	ix.Add("b", map[string]uint32{"x": 3})
+	if _, err := ix.QueryThreshold(map[string]uint32{"x": 1}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.Measure != "dice" || s.Entities != 2 || s.Elements != 2 || s.Adds != 2 || s.Queries != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestIndexAddRemoveRace hammers Add/Remove of the same name from many
+// goroutines: the name tables and the inner index must mutate as an
+// atomic pair, or interleavings leave nameless ghost entities behind
+// (Len never returns to 0 and queries verify entities that resolve to
+// nothing).
+func TestIndexAddRemoveRace(t *testing.T) {
+	ix, err := NewIndex(IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				ix.Add("x", map[string]uint32{"a": 1})
+				ix.Remove("x")
+			}
+		}()
+	}
+	wg.Wait()
+	ix.Remove("x")
+	if n := ix.Len(); n != 0 {
+		t.Fatalf("ghost entities after churn: %d", n)
+	}
+}
+
+// TestIndexConcurrentUse is the public-API race gate: names, dict, and
+// inner index all churn while queries run.
+func TestIndexConcurrentUse(t *testing.T) {
+	ix, err := NewIndex(IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	elems := []string{"a", "b", "c", "d", "e", "f"}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				name := string(rune('w' + g%2))
+				counts := map[string]uint32{
+					elems[(g+i)%len(elems)]:   uint32(i%5 + 1),
+					elems[(g+i+1)%len(elems)]: 1,
+				}
+				switch i % 4 {
+				case 0, 1:
+					ix.Add(name+elems[i%len(elems)], counts)
+				case 2:
+					if _, err := ix.QueryThreshold(counts, 0.3); err != nil {
+						t.Error(err)
+					}
+					ix.QueryTopK(counts, 3)
+				case 3:
+					ix.Remove(name + elems[i%len(elems)])
+					ix.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,464 @@
+// Package index implements the online half of the system: an incremental
+// inverted index over multisets that answers threshold and top-k
+// similarity queries against a live, mutable dataset.
+//
+// Where the batch join (internal/core) recomputes every pair from scratch
+// on a simulated cluster, the index serves point lookups: per-element
+// posting lists map alphabet elements to the entities containing them, a
+// query probes the lists of its own elements to gather candidates, and the
+// measure-derived bounds of internal/similarity prune the probe in two
+// ways before exact verification:
+//
+//   - prefix filter: posting lists are probed in decreasing-multiplicity
+//     order, and probing stops once ResidualUpperBound shows the unprobed
+//     tail of the query cannot reach the threshold — entities overlapping
+//     the query only in that tail are provably below it;
+//   - length filter: each candidate's UniStats are checked with
+//     SimUpperBound before the candidate is verified.
+//
+// Concurrency: a single RWMutex guards the tables. Mutations (Add, Remove,
+// compaction) take the write lock; queries share the read lock, so the hot
+// path never serializes reads against each other. Entities are immutable
+// once inserted (Add replaces the stored record wholesale), which lets
+// QueryThreshold release the lock before the exact-verification loop — the
+// most expensive part of a query runs with no lock held at all. Stale
+// posting entries left behind by Remove or replacement are skipped by
+// pointer identity and reclaimed by an amortized compaction pass.
+package index
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/similarity"
+)
+
+// boundEps is the slack applied when comparing pruning bounds against the
+// threshold; it is looser than verifyEps so filters never drop a pair that
+// verification would keep.
+const boundEps = 1e-9
+
+// verifyEps matches the ppjoin.Naive oracle's inclusion tolerance.
+const verifyEps = 1e-12
+
+// entry is one indexed entity. Entries are immutable after insertion:
+// Add of an existing ID swaps in a fresh entry, so a query that captured
+// the old pointer can keep verifying against a consistent snapshot.
+type entry struct {
+	set multiset.Multiset
+	uni similarity.UniStats
+}
+
+// Match is one query result.
+type Match struct {
+	ID  multiset.ID
+	Sim float64
+}
+
+// Query is a query multiset. Set holds the elements drawn from the index
+// alphabet; Extra accounts elements outside it, which can match no posting
+// list but still weigh into the query's cardinalities (and therefore into
+// every similarity denominator).
+type Query struct {
+	Set   multiset.Multiset
+	Extra similarity.UniStats
+}
+
+// QueryOf wraps a multiset whose elements all come from the index alphabet.
+func QueryOf(m multiset.Multiset) Query { return Query{Set: m} }
+
+// Stats is a point-in-time snapshot of index size and traffic counters.
+type Stats struct {
+	// Entities is the number of live entities; Elements the number of
+	// distinct alphabet elements with a posting list; Postings the total
+	// posting entries including tombstoned ones awaiting compaction.
+	Entities int
+	Elements int
+	Postings int
+
+	// Adds, Removes, Compactions count mutations since creation.
+	Adds        int64
+	Removes     int64
+	Compactions int64
+
+	// Queries counts lookups; the remaining counters expose how far each
+	// pruning stage narrowed them: Probes is posting entries scanned,
+	// Candidates is distinct live candidates gathered, LengthPruned is
+	// candidates dropped by SimUpperBound, Verified is exact similarity
+	// computations, Results is matches returned.
+	Queries      int64
+	Probes       int64
+	Candidates   int64
+	LengthPruned int64
+	Verified     int64
+	Results      int64
+}
+
+// Index is an incremental inverted similarity index. The zero value is not
+// usable; construct with New.
+type Index struct {
+	measure similarity.Measure
+
+	mu       sync.RWMutex
+	entities map[multiset.ID]*entry
+	postings map[multiset.Elem][]*entry
+	// postingCount tracks total posting entries; deadPostings those whose
+	// entry is no longer current. Compaction triggers when dead entries
+	// outnumber live ones, keeping probe work amortized-linear.
+	postingCount int
+	deadPostings int
+
+	adds        atomic.Int64
+	removes     atomic.Int64
+	compactions atomic.Int64
+	queries     atomic.Int64
+	probes      atomic.Int64
+	candidates  atomic.Int64
+	lenPruned   atomic.Int64
+	verified    atomic.Int64
+	results     atomic.Int64
+}
+
+// New returns an empty index verifying with the given measure.
+func New(m similarity.Measure) *Index {
+	return &Index{
+		measure:  m,
+		entities: make(map[multiset.ID]*entry),
+		postings: make(map[multiset.Elem][]*entry),
+	}
+}
+
+// Measure reports the measure the index verifies with.
+func (ix *Index) Measure() similarity.Measure { return ix.measure }
+
+// Len reports the number of live entities.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entities)
+}
+
+// Add inserts an entity, replacing any previous entity with the same ID.
+// The index takes ownership of m: callers must not mutate its entries
+// afterwards (the hot insert path avoids a defensive copy; Snapshot
+// clones on the way out instead).
+func (ix *Index) Add(m multiset.Multiset) {
+	e := &entry{set: m, uni: similarity.UniOf(m)}
+	ix.mu.Lock()
+	if old, ok := ix.entities[m.ID]; ok {
+		// The old entry's postings become stale the moment the map points
+		// at the new one; count them for compaction.
+		ix.deadPostings += len(old.set.Entries)
+	}
+	ix.entities[m.ID] = e
+	for _, ent := range e.set.Entries {
+		ix.postings[ent.Elem] = append(ix.postings[ent.Elem], e)
+	}
+	ix.postingCount += len(e.set.Entries)
+	ix.maybeCompactLocked()
+	ix.mu.Unlock()
+	ix.adds.Add(1)
+}
+
+// Remove deletes the entity with the given ID, reporting whether it was
+// present.
+func (ix *Index) Remove(id multiset.ID) bool {
+	ix.mu.Lock()
+	e, ok := ix.entities[id]
+	if ok {
+		delete(ix.entities, id)
+		ix.deadPostings += len(e.set.Entries)
+		ix.maybeCompactLocked()
+	}
+	ix.mu.Unlock()
+	if ok {
+		ix.removes.Add(1)
+	}
+	return ok
+}
+
+// maybeCompactLocked rewrites every posting list without stale entries
+// once they outnumber live ones. Caller holds the write lock.
+func (ix *Index) maybeCompactLocked() {
+	if ix.deadPostings <= ix.postingCount-ix.deadPostings {
+		return
+	}
+	for elem, list := range ix.postings {
+		w := 0
+		for _, e := range list {
+			if ix.entities[e.set.ID] == e {
+				list[w] = e
+				w++
+			}
+		}
+		if w == 0 {
+			delete(ix.postings, elem)
+			continue
+		}
+		ix.postings[elem] = list[:w]
+	}
+	ix.postingCount -= ix.deadPostings
+	ix.deadPostings = 0
+	ix.compactions.Add(1)
+}
+
+// Snapshot returns a copy of the entity's current multiset (keeping its
+// ID, so querying with it skips the self-pair), or an empty multiset if
+// the ID is not indexed.
+func (ix *Index) Snapshot(id multiset.ID) multiset.Multiset {
+	ix.mu.RLock()
+	e, ok := ix.entities[id]
+	ix.mu.RUnlock()
+	if !ok {
+		return multiset.Multiset{ID: id}
+	}
+	return e.set.Clone()
+}
+
+// Stats returns a snapshot of the index counters.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	s := Stats{
+		Entities: len(ix.entities),
+		Elements: len(ix.postings),
+		Postings: ix.postingCount,
+	}
+	ix.mu.RUnlock()
+	s.Adds = ix.adds.Load()
+	s.Removes = ix.removes.Load()
+	s.Compactions = ix.compactions.Load()
+	s.Queries = ix.queries.Load()
+	s.Probes = ix.probes.Load()
+	s.Candidates = ix.candidates.Load()
+	s.LengthPruned = ix.lenPruned.Load()
+	s.Verified = ix.verified.Load()
+	s.Results = ix.results.Load()
+	return s
+}
+
+// queryStats is the full unilateral view of a query: indexed elements plus
+// out-of-alphabet extras.
+func queryStats(q Query) similarity.UniStats {
+	u := similarity.UniOf(q.Set)
+	u.Add(q.Extra)
+	return u
+}
+
+// probeOrder returns the query entries sorted for probing: decreasing
+// multiplicity first so the residual bound collapses as fast as possible,
+// element ID second for determinism.
+func probeOrder(q multiset.Multiset) []multiset.Entry {
+	ord := make([]multiset.Entry, len(q.Entries))
+	copy(ord, q.Entries)
+	sort.Slice(ord, func(i, j int) bool {
+		if ord[i].Count != ord[j].Count {
+			return ord[i].Count > ord[j].Count
+		}
+		return ord[i].Elem < ord[j].Elem
+	})
+	return ord
+}
+
+// gather probes the query's posting lists under the read lock and returns
+// the deduplicated live candidates that survive both filters. stop is the
+// residual-bound cut-off: probing ends once the unprobed tail of the query
+// cannot reach it. An entity whose ID equals the query's own ID is never a
+// candidate (self-pairs are meaningless; use ID 0 for ad-hoc queries).
+func (ix *Index) gather(q Query, qUni similarity.UniStats, stop float64) []*entry {
+	order := probeOrder(q.Set)
+	residual := qUni
+	residual.Sub(q.Extra) // extras match nothing; they never feed postings
+	seen := make(map[*entry]struct{})
+	var cands []*entry
+	var probes, lenPruned int64
+
+	ix.mu.RLock()
+	for _, ent := range order {
+		if similarity.ResidualUpperBound(ix.measure, qUni, residual)+boundEps < stop {
+			break
+		}
+		for _, e := range ix.postings[ent.Elem] {
+			probes++
+			if e.set.ID == q.Set.ID {
+				continue
+			}
+			if ix.entities[e.set.ID] != e {
+				continue // tombstoned or replaced
+			}
+			if _, ok := seen[e]; ok {
+				continue
+			}
+			seen[e] = struct{}{}
+			if similarity.SimUpperBound(ix.measure, qUni, e.uni)+boundEps < stop {
+				lenPruned++
+				continue
+			}
+			cands = append(cands, e)
+		}
+		var probed similarity.UniStats
+		probed.AccumulateUni(ent.Count)
+		residual.Sub(probed)
+	}
+	ix.mu.RUnlock()
+
+	ix.probes.Add(probes)
+	ix.candidates.Add(int64(len(cands)) + lenPruned)
+	ix.lenPruned.Add(lenPruned)
+	return cands
+}
+
+// QueryThreshold returns every indexed entity whose similarity to q is at
+// least t, sorted by decreasing similarity (ID ascending on ties). The
+// exact-verification loop runs after the read lock is released: entries
+// are immutable, so a concurrent Add/Remove cannot corrupt the snapshot —
+// it only makes the answer reflect the index as of the probe.
+func (ix *Index) QueryThreshold(q Query, t float64) []Match {
+	ix.queries.Add(1)
+	if len(q.Set.Entries) == 0 {
+		return nil
+	}
+	qUni := queryStats(q)
+	cands := ix.gather(q, qUni, t)
+
+	out := make([]Match, 0, len(cands))
+	for _, e := range cands {
+		sim := ix.measure.Sim(qUni, e.uni, similarity.ConjOf(q.Set, e.set))
+		if sim+verifyEps >= t {
+			out = append(out, Match{ID: e.set.ID, Sim: sim})
+		}
+	}
+	ix.verified.Add(int64(len(cands)))
+	ix.results.Add(int64(len(out)))
+	sortMatches(out)
+	return out
+}
+
+// QueryTopK returns the k most similar indexed entities, sorted by
+// decreasing similarity (ID ascending on ties). Verification interleaves
+// with probing so the current k-th best similarity becomes a rising
+// residual-bound floor; the whole pass holds the read lock to keep the
+// floor consistent with the probed snapshot.
+func (ix *Index) QueryTopK(q Query, k int) []Match {
+	ix.queries.Add(1)
+	if k <= 0 || len(q.Set.Entries) == 0 {
+		return nil
+	}
+	qUni := queryStats(q)
+	order := probeOrder(q.Set)
+	residual := qUni
+	residual.Sub(q.Extra)
+	seen := make(map[*entry]struct{})
+	var heap topkHeap
+	var probes, cands, lenPruned, verified int64
+
+	ix.mu.RLock()
+	for _, ent := range order {
+		// Below k results every candidate is wanted, so the floor is 0
+		// (with t=0 semantics: any overlap qualifies).
+		floor := 0.0
+		if len(heap) == k {
+			floor = heap[0].Sim
+			if similarity.ResidualUpperBound(ix.measure, qUni, residual) < floor-boundEps {
+				break
+			}
+		}
+		for _, e := range ix.postings[ent.Elem] {
+			probes++
+			if e.set.ID == q.Set.ID {
+				continue
+			}
+			if ix.entities[e.set.ID] != e {
+				continue
+			}
+			if _, ok := seen[e]; ok {
+				continue
+			}
+			seen[e] = struct{}{}
+			cands++
+			if len(heap) == k && similarity.SimUpperBound(ix.measure, qUni, e.uni) < floor-boundEps {
+				lenPruned++
+				continue
+			}
+			verified++
+			sim := ix.measure.Sim(qUni, e.uni, similarity.ConjOf(q.Set, e.set))
+			heap.offer(Match{ID: e.set.ID, Sim: sim}, k)
+			if len(heap) == k {
+				floor = heap[0].Sim
+			}
+		}
+		var probed similarity.UniStats
+		probed.AccumulateUni(ent.Count)
+		residual.Sub(probed)
+	}
+	ix.mu.RUnlock()
+
+	ix.probes.Add(probes)
+	ix.candidates.Add(cands)
+	ix.lenPruned.Add(lenPruned)
+	ix.verified.Add(verified)
+	out := []Match(heap)
+	sortMatches(out)
+	ix.results.Add(int64(len(out)))
+	return out
+}
+
+// worseMatch is the single result-ordering comparator: a ranks below b on
+// lower similarity, or on higher ID at equal similarities. Threshold
+// sorting, the top-k heap, and the tests all defer to it, so identical
+// index states always answer identically.
+func worseMatch(a, b Match) bool {
+	if a.Sim != b.Sim {
+		return a.Sim < b.Sim
+	}
+	return a.ID > b.ID
+}
+
+// sortMatches orders results best first under worseMatch.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool { return worseMatch(ms[j], ms[i]) })
+}
+
+// topkHeap is a bounded min-heap under worseMatch, so the root is always
+// the match the next better candidate should evict; among equal
+// similarities the smallest IDs survive.
+type topkHeap []Match
+
+func (h topkHeap) worse(i, j int) bool { return worseMatch(h[i], h[j]) }
+
+func (h *topkHeap) offer(m Match, k int) {
+	if len(*h) < k {
+		*h = append(*h, m)
+		i := len(*h) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !h.worse(i, parent) {
+				break
+			}
+			(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+			i = parent
+		}
+		return
+	}
+	if !worseMatch((*h)[0], m) {
+		return // m does not beat the current k-th best
+	}
+	(*h)[0] = m
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(*h) && h.worse(l, least) {
+			least = l
+		}
+		if r < len(*h) && h.worse(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		(*h)[i], (*h)[least] = (*h)[least], (*h)[i]
+		i = least
+	}
+}

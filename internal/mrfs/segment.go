@@ -45,6 +45,9 @@ func (s *SegmentWriter) Write(r Record) error {
 	s.buf.PutBytes(r.Sec)
 	s.buf.PutBytes(r.Val)
 	frame := s.buf.Bytes()
+	if len(frame) > MaxFrameLen {
+		return fmt.Errorf("mrfs: write segment: record frame %d exceeds %d", len(frame), MaxFrameLen)
+	}
 	hdr := binary.AppendUvarint(s.hdr[:0], uint64(len(frame)))
 	if _, err := s.w.Write(hdr); err != nil {
 		return fmt.Errorf("mrfs: write segment: %w", err)
@@ -75,6 +78,14 @@ func (s *SegmentWriter) Close() error {
 	return nil
 }
 
+// MaxFrameLen caps a single record frame. Frames are map-task spill
+// records (a key, a secondary key, and a value — tuples of at most a few
+// kilobytes), far below this bound in any legitimate segment; a larger
+// length prefix can only come from a corrupt or truncated file, and must
+// fail cleanly instead of driving a giant allocation. Writers enforce the
+// same cap so no reader-rejected segment can ever be produced.
+const MaxFrameLen = 1 << 24
+
 // SegmentReader streams records back out of a segment file.
 type SegmentReader struct {
 	f     *os.File
@@ -93,14 +104,21 @@ func OpenSegment(path string) (*SegmentReader, error) {
 
 // Next decodes the next record. It returns ok=false at a clean end of
 // file; the returned record's slices are freshly allocated and do not
-// alias reader state.
+// alias reader state. Corruption — an oversized or truncated frame, a
+// malformed payload, or trailing garbage inside a frame — is an error,
+// never a panic.
 func (s *SegmentReader) Next() (Record, bool, error) {
-	frameLen, err := binary.ReadUvarint(s.r)
-	if err == io.EOF {
-		return Record{}, false, nil
+	hdr := &countingByteReader{r: s.r}
+	frameLen, err := binary.ReadUvarint(hdr)
+	if err == io.EOF && hdr.n == 0 {
+		return Record{}, false, nil // clean end of file; mid-varint EOF
+		// arrives as io.ErrUnexpectedEOF from ReadUvarint itself
 	}
 	if err != nil {
 		return Record{}, false, fmt.Errorf("mrfs: read segment: %w", err)
+	}
+	if frameLen > MaxFrameLen {
+		return Record{}, false, fmt.Errorf("mrfs: read segment: corrupt frame length %d exceeds %d", frameLen, MaxFrameLen)
 	}
 	payload := make([]byte, frameLen)
 	if _, err := io.ReadFull(s.r, payload); err != nil {
@@ -111,8 +129,27 @@ func (s *SegmentReader) Next() (Record, bool, error) {
 	if dec.Err() != nil {
 		return Record{}, false, fmt.Errorf("mrfs: read segment: %w", dec.Err())
 	}
-	s.bytes += int64(codec.UvarintLen(frameLen)) + int64(frameLen)
+	if !dec.Done() {
+		return Record{}, false, fmt.Errorf("mrfs: read segment: %d trailing bytes in frame", dec.Remaining())
+	}
+	s.bytes += int64(hdr.n) + int64(frameLen)
 	return rec, true, nil
+}
+
+// countingByteReader counts the bytes ReadUvarint consumes, so Bytes()
+// stays exact even on non-minimally encoded (i.e. corrupt) length
+// prefixes.
+type countingByteReader struct {
+	r io.ByteReader
+	n int
+}
+
+func (c *countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
 }
 
 // Bytes reports the number of file bytes consumed so far.

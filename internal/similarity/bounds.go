@@ -1,0 +1,113 @@
+package similarity
+
+import "math"
+
+// This file derives the pruning bounds the online index (internal/index)
+// uses to skip candidates without computing conjunctive partials. Both
+// bounds are functions of unilateral stats only, so an inverted index can
+// evaluate them from its per-entity UniStats table before touching the
+// entities themselves.
+//
+// Every bound below follows from two facts about ConjStats:
+//
+//   - SumMin ≤ min(a.Card, b.Card), Common ≤ min(a.UCard, b.UCard), and
+//     SumProd ≤ √(a.SumSq · b.SumSq) (Cauchy–Schwarz);
+//   - every supported measure is nondecreasing in its conjunctive
+//     component, so substituting the component's maximum yields an upper
+//     bound on the similarity.
+//
+// Unknown measures get the trivial bound 1, which disables pruning but
+// never loses results.
+
+// SimUpperBound returns an upper bound on m.Sim(a, b, c) over every
+// ConjStats c consistent with the unilateral stats — the index's length
+// (size) filter: if the bound is below the threshold, no overlap pattern
+// can make the pair similar enough.
+func SimUpperBound(m Measure, a, b UniStats) float64 {
+	switch m.(type) {
+	case Ruzicka:
+		// SumMin ≤ min(Card); denominator ≥ max(Card).
+		return ratio(min(a.Card, b.Card), max(a.Card, b.Card))
+	case Jaccard:
+		return ratio(min(a.UCard, b.UCard), max(a.UCard, b.UCard))
+	case MultisetDice:
+		return 2 * ratio(min(a.Card, b.Card), a.Card+b.Card)
+	case SetDice:
+		return 2 * ratio(min(a.UCard, b.UCard), a.UCard+b.UCard)
+	case MultisetCosine:
+		// SumMin/√(ab) ≤ min/√(ab) = √(min/max).
+		return math.Sqrt(ratio(min(a.Card, b.Card), max(a.Card, b.Card)))
+	case SetCosine:
+		return math.Sqrt(ratio(min(a.UCard, b.UCard), max(a.UCard, b.UCard)))
+	case VectorCosine:
+		// Norms alone cannot bound the cosine below 1: any two parallel
+		// vectors have cosine 1 regardless of their lengths.
+		if a.SumSq == 0 || b.SumSq == 0 {
+			return 0
+		}
+		return 1
+	case Overlap:
+		// A candidate fully contained in the other entity reaches 1 at any
+		// size, so sizes prune nothing beyond emptiness.
+		if a.Card == 0 || b.Card == 0 {
+			return 0
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// ResidualUpperBound returns an upper bound on Sim(q, c) over every
+// candidate c whose common elements with q all lie in a residual portion
+// of q with stats r (r ≤ q component-wise) — the index's prefix filter.
+// Probing q's posting lists in decreasing-multiplicity order, the index
+// may stop as soon as the bound for the unprobed tail drops below the
+// threshold: any entity not yet seen overlaps q only inside that tail.
+func ResidualUpperBound(m Measure, q, r UniStats) float64 {
+	switch m.(type) {
+	case Ruzicka:
+		// SumMin ≤ r.Card and c.Card ≥ SumMin make the denominator ≥ q.Card.
+		return ratio(r.Card, q.Card)
+	case Jaccard:
+		return ratio(r.UCard, q.UCard)
+	case MultisetDice:
+		// 2x/(q.Card+x) is increasing in x = SumMin ≤ r.Card.
+		return 2 * ratio(r.Card, q.Card+r.Card)
+	case SetDice:
+		return 2 * ratio(r.UCard, q.UCard+r.UCard)
+	case MultisetCosine:
+		// x/√(q.Card·x) = √(x/q.Card) is increasing in x = SumMin ≤ r.Card.
+		return math.Sqrt(ratio(r.Card, q.Card))
+	case SetCosine:
+		return math.Sqrt(ratio(r.UCard, q.UCard))
+	case VectorCosine:
+		// Cauchy–Schwarz over the residual coordinates:
+		// SumProd ≤ √(r.SumSq)·‖c‖, so Sim ≤ √(r.SumSq/q.SumSq).
+		return math.Sqrt(ratio(r.SumSq, q.SumSq))
+	case Overlap:
+		// A candidate of cardinality SumMin ≤ r.Card still reaches 1.
+		if r.Card == 0 || q.Card == 0 {
+			return 0
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Sub removes a previously accumulated partial from u (the residual update
+// of the index's prefix probe). Callers must only subtract stats that were
+// accumulated into u.
+func (u *UniStats) Sub(v UniStats) {
+	u.Card -= v.Card
+	u.UCard -= v.UCard
+	u.SumSq -= v.SumSq
+}
+
+func ratio(num, denom uint64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return float64(num) / float64(denom)
+}

@@ -1,0 +1,219 @@
+package similarity
+
+// Property tests over randomized multisets: the algebraic invariants every
+// measure must satisfy, agreement between the streamed partial-result path
+// (UniStats/ConjStats accumulated element-wise, merged combiner-style) and
+// the Exact reference, and soundness of the pruning bounds the online
+// index relies on.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vsmartjoin/internal/multiset"
+)
+
+func randomMultiset(rng *rand.Rand, id multiset.ID, alphabet, maxLen, maxCount int) multiset.Multiset {
+	l := 1 + rng.Intn(maxLen)
+	entries := make([]multiset.Entry, l)
+	for j := range entries {
+		entries[j] = multiset.Entry{
+			Elem:  multiset.Elem(rng.Intn(alphabet)),
+			Count: uint32(1 + rng.Intn(maxCount)),
+		}
+	}
+	return multiset.New(id, entries)
+}
+
+// pairCases yields overlapping and disjoint random pairs.
+func pairCases(rng *rand.Rand, n int) [][2]multiset.Multiset {
+	out := make([][2]multiset.Multiset, 0, n)
+	for i := 0; i < n; i++ {
+		a := randomMultiset(rng, 1, 24, 12, 6)
+		var b multiset.Multiset
+		if i%4 == 0 {
+			// Force disjointness by shifting the alphabet.
+			b = randomMultiset(rng, 2, 24, 12, 6)
+			for j := range b.Entries {
+				b.Entries[j].Elem += 1000
+			}
+		} else {
+			b = randomMultiset(rng, 2, 24, 12, 6)
+		}
+		out = append(out, [2]multiset.Multiset{a, b})
+	}
+	return out
+}
+
+func TestPropertySymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, pair := range pairCases(rng, 200) {
+		a, b := pair[0], pair[1]
+		for _, m := range All() {
+			if sab, sba := Exact(m, a, b), Exact(m, b, a); sab != sba {
+				t.Fatalf("%s: Sim(a,b)=%v != Sim(b,a)=%v\na=%v\nb=%v", m.Name(), sab, sba, a, b)
+			}
+		}
+	}
+}
+
+func TestPropertySelfSimilarityIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 100; i++ {
+		a := randomMultiset(rng, 1, 20, 10, 5)
+		for _, m := range All() {
+			if sim := Exact(m, a, a); sim != 1 {
+				t.Fatalf("%s: Sim(a,a)=%v for nonempty %v", m.Name(), sim, a)
+			}
+		}
+	}
+	// Empty sets define similarity 0, not NaN.
+	empty := multiset.Multiset{ID: 9}
+	for _, m := range All() {
+		if sim := Exact(m, empty, empty); sim != 0 || math.IsNaN(sim) {
+			t.Fatalf("%s: Sim(∅,∅)=%v", m.Name(), sim)
+		}
+	}
+}
+
+func TestPropertyRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, pair := range pairCases(rng, 300) {
+		a, b := pair[0], pair[1]
+		for _, m := range All() {
+			sim := Exact(m, a, b)
+			if math.IsNaN(sim) || sim < 0 || sim > 1+1e-12 {
+				t.Fatalf("%s: Sim=%v outside [0,1]\na=%v\nb=%v", m.Name(), sim, a, b)
+			}
+		}
+	}
+}
+
+// streamedSim recomputes Sim through the incremental path: unilateral
+// stats accumulated one element at a time and merged from two halves (the
+// combiner step), conjunctive stats accumulated per shared element.
+func streamedSim(m Measure, a, b multiset.Multiset) float64 {
+	stream := func(s multiset.Multiset) UniStats {
+		var lo, hi UniStats
+		for i, e := range s.Entries {
+			if i%2 == 0 {
+				lo.AccumulateUni(e.Count)
+			} else {
+				hi.AccumulateUni(e.Count)
+			}
+		}
+		lo.Add(hi)
+		return lo
+	}
+	var lo, hi ConjStats
+	i := 0
+	for _, ea := range a.Entries {
+		if c := b.Count(ea.Elem); c > 0 {
+			if i%2 == 0 {
+				lo.AccumulateConj(ea.Count, c)
+			} else {
+				hi.AccumulateConj(ea.Count, c)
+			}
+			i++
+		}
+	}
+	lo.Add(hi)
+	return m.Sim(stream(a), stream(b), lo)
+}
+
+func TestPropertyStreamedAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for _, pair := range pairCases(rng, 200) {
+		a, b := pair[0], pair[1]
+		for _, m := range All() {
+			exact, streamed := Exact(m, a, b), streamedSim(m, a, b)
+			if exact != streamed {
+				t.Fatalf("%s: streamed %v != exact %v\na=%v\nb=%v", m.Name(), streamed, exact, a, b)
+			}
+		}
+	}
+}
+
+// TestPropertyUpperBoundSound: the length filter may never cut below the
+// true similarity.
+func TestPropertyUpperBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for _, pair := range pairCases(rng, 300) {
+		a, b := pair[0], pair[1]
+		ua, ub := UniOf(a), UniOf(b)
+		for _, m := range All() {
+			sim, bound := Exact(m, a, b), SimUpperBound(m, ua, ub)
+			if sim > bound+1e-12 {
+				t.Fatalf("%s: Sim=%v exceeds SimUpperBound=%v\na=%v\nb=%v", m.Name(), sim, bound, a, b)
+			}
+		}
+	}
+}
+
+// TestPropertyResidualBoundSound: for any split of the query into a probed
+// prefix and an unprobed residual, a candidate overlapping only the
+// residual may never exceed ResidualUpperBound — the prefix filter's
+// correctness condition.
+func TestPropertyResidualBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 200; trial++ {
+		q := randomMultiset(rng, 1, 20, 12, 6)
+		cut := rng.Intn(len(q.Entries) + 1)
+		// Residual = entries[cut:]; a candidate confined to it.
+		var residual UniStats
+		for _, e := range q.Entries[cut:] {
+			residual.AccumulateUni(e.Count)
+		}
+		entries := make([]multiset.Entry, 0, len(q.Entries)-cut+2)
+		for _, e := range q.Entries[cut:] {
+			// Candidate multiplicities vary both ways around the query's.
+			c := uint32(rng.Intn(int(e.Count)*2) + 1)
+			entries = append(entries, multiset.Entry{Elem: e.Elem, Count: c})
+		}
+		// Extra candidate-only elements outside the query alphabet.
+		for j := 0; j < rng.Intn(3); j++ {
+			entries = append(entries, multiset.Entry{
+				Elem:  multiset.Elem(5000 + rng.Intn(10)),
+				Count: uint32(1 + rng.Intn(6)),
+			})
+		}
+		cand := multiset.New(2, entries)
+		qUni := UniOf(q)
+		for _, m := range All() {
+			sim, bound := Exact(m, q, cand), ResidualUpperBound(m, qUni, residual)
+			if sim > bound+1e-12 {
+				t.Fatalf("%s: candidate confined to residual has Sim=%v > bound=%v\nq=%v cut=%d\ncand=%v",
+					m.Name(), sim, bound, q, cut, cand)
+			}
+		}
+	}
+}
+
+// TestUniStatsSub pins the residual-update arithmetic.
+func TestUniStatsSub(t *testing.T) {
+	var total, part UniStats
+	for _, c := range []uint32{3, 1, 4, 1, 5} {
+		total.AccumulateUni(c)
+	}
+	for _, c := range []uint32{4, 1} {
+		part.AccumulateUni(c)
+	}
+	got := total
+	got.Sub(part)
+	want := UniStats{Card: 3 + 1 + 5, UCard: 3, SumSq: 9 + 1 + 25}
+	if got != want {
+		t.Fatalf("sub: %+v want %+v", got, want)
+	}
+}
+
+// TestBoundsUnknownMeasureDefaultsToOne: unknown measures must disable
+// pruning, not break it.
+func TestBoundsUnknownMeasureDefaultsToOne(t *testing.T) {
+	type custom struct{ Measure }
+	m := custom{Ruzicka{}}
+	u := UniStats{Card: 3, UCard: 2, SumSq: 5}
+	if SimUpperBound(m, u, u) != 1 || ResidualUpperBound(m, u, u) != 1 {
+		t.Fatal("unknown measure must bound at 1")
+	}
+}

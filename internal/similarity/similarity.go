@@ -205,7 +205,10 @@ type VectorCosine struct{}
 func (VectorCosine) Name() string { return "vector-cosine" }
 
 func (VectorCosine) Sim(a, b UniStats, c ConjStats) float64 {
-	denom := math.Sqrt(float64(a.SumSq)) * math.Sqrt(float64(b.SumSq))
+	// √(x·y), not √x·√y: the single correctly-rounded square root makes
+	// Sim(a,a) exactly 1 (√(s²) == s for any float s), and the product
+	// cannot overflow float64 (each factor is at most 2⁶⁴ ≈ 1.8e19).
+	denom := math.Sqrt(float64(a.SumSq) * float64(b.SumSq))
 	if denom == 0 {
 		return 0
 	}
