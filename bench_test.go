@@ -429,6 +429,70 @@ func BenchmarkIndexTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedQuery compares the query fan-out across shard widths:
+// threshold and top-k queries against the identical 10k-entity dataset
+// partitioned 1/4/8 ways. Sharding trades a little per-query fan-out
+// overhead for parallel probing and, above all, per-shard write locks;
+// single-threaded query latency is the cost side of that trade.
+func BenchmarkShardedQuery(b *testing.B) {
+	entities := benchIndexEntities(10000)
+	for _, shards := range []int{1, 4, 8} {
+		ix, err := NewIndex(IndexOptions{Measure: "ruzicka", Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, counts := range entities {
+			if err := ix.Add(fmt.Sprintf("entity-%d", i), counts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("shards=%d/threshold", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.QueryThreshold(entities[i%len(entities)], 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("shards=%d/topk", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.QueryTopK(entities[i%len(entities)], 10)
+			}
+		})
+	}
+}
+
+// BenchmarkWALAppend measures write throughput with durability off and
+// on: the WAL-on figure includes encoding, framing, checksumming, and
+// the unbuffered write into the OS cache on every Add (but no fsync,
+// matching the documented durability granularity). SnapshotEvery is
+// disabled so the numbers isolate the append path.
+func BenchmarkWALAppend(b *testing.B) {
+	entities := benchIndexEntities(4096)
+	for _, durable := range []bool{false, true} {
+		name := "wal=off"
+		opts := IndexOptions{Measure: "ruzicka"}
+		if durable {
+			name = "wal=on"
+			opts.Dir = b.TempDir()
+			opts.SnapshotEvery = -1
+		}
+		b.Run(name, func(b *testing.B) {
+			ix, err := NewIndex(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := i % len(entities)
+				if err := ix.Add(fmt.Sprintf("entity-%d", n), entities[n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngine measures the raw MapReduce substrate on a word-count
 // shaped job.
 func BenchmarkEngine(b *testing.B) {

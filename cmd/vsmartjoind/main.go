@@ -1,36 +1,51 @@
 // Command vsmartjoind serves similarity queries over HTTP from an
-// incremental in-memory index — the online counterpart of the cmd/vsmartjoin
+// incremental index — the online counterpart of the cmd/vsmartjoin
 // batch join. Entities can be added and removed while queries run.
 //
 // Endpoints (JSON request/response):
 //
-//	POST /add     {"entity": "ip-1", "elements": {"cookie-a": 3}}
-//	POST /remove  {"entity": "ip-1"}
-//	POST /query   {"elements": {"cookie-a": 3}, "threshold": 0.5}
-//	POST /query   {"elements": {"cookie-a": 3}, "topk": 10}
-//	POST /query   {"entity": "ip-1", "threshold": 0.5}   (query by indexed entity)
+//	POST /add      {"entity": "ip-1", "elements": {"cookie-a": 3}}
+//	POST /remove   {"entity": "ip-1"}
+//	POST /query    {"elements": {"cookie-a": 3}, "threshold": 0.5}
+//	POST /query    {"elements": {"cookie-a": 3}, "topk": 10}
+//	POST /query    {"entity": "ip-1", "threshold": 0.5}   (query by indexed entity)
+//	POST /snapshot {}                                     (force a durable snapshot)
 //	GET  /stats
 //
 // Add replaces any previous entity of the same name (upsert). A query
 // names either "elements" or an indexed "entity", and either a
 // "threshold" in [0,1] or a positive "topk".
 //
+// With -data-dir the index is durable: mutations are written ahead to a
+// log under the directory, snapshots truncate it every -snapshot-every
+// mutations (or on POST /snapshot), and a killed daemon restarts into
+// exactly its prior state. -shards partitions the index for parallel
+// query fan-out and per-shard write locking. On SIGINT/SIGTERM the
+// daemon stops accepting connections, drains in-flight requests, writes
+// a final snapshot, and exits.
+//
 // Example:
 //
-//	vsmartjoind -measure ruzicka -addr :8321 -load trace.tsv &
+//	vsmartjoind -measure ruzicka -addr :8321 -data-dir /var/lib/vsmartjoin -shards 8 &
 //	curl -s localhost:8321/query -d '{"elements":{"cookie-a":3},"threshold":0.5}'
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"vsmartjoin"
 )
@@ -39,15 +54,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vsmartjoind: ")
 	var (
-		addr    = flag.String("addr", "localhost:8321", "listen address")
-		measure = flag.String("measure", "ruzicka", "similarity measure: ruzicka, jaccard, dice, set-dice, cosine, set-cosine, vector-cosine, overlap")
-		load    = flag.String("load", "", "TSV trace to preload (entity<TAB>element[<TAB>count] per line)")
+		addr          = flag.String("addr", "localhost:8321", "listen address")
+		measure       = flag.String("measure", "ruzicka", "similarity measure: ruzicka, jaccard, dice, set-dice, cosine, set-cosine, vector-cosine, overlap")
+		load          = flag.String("load", "", "TSV trace to preload (entity<TAB>element[<TAB>count] per line)")
+		shards        = flag.Int("shards", 1, "hash-partitioned index shards (parallel query fan-out, per-shard write locks)")
+		dataDir       = flag.String("data-dir", "", "durability directory (write-ahead log + snapshots); empty = volatile")
+		snapshotEvery = flag.Int("snapshot-every", 4096, "mutations between automatic snapshots (needs -data-dir; negative = only on /snapshot and shutdown)")
 	)
 	flag.Parse()
 
-	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: *measure})
+	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{
+		Measure:       *measure,
+		Shards:        *shards,
+		Dir:           *dataDir,
+		SnapshotEvery: *snapshotEvery,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		log.Printf("recovered %d entities from %s", ix.Len(), *dataDir)
 	}
 	if *load != "" {
 		n, err := preload(ix, *load)
@@ -56,8 +82,40 @@ func main() {
 		}
 		log.Printf("preloaded %d entities from %s", n, *load)
 	}
-	log.Printf("serving %s similarity on http://%s", *measure, *addr)
-	log.Fatal(http.ListenAndServe(*addr, newServer(ix)))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving %s similarity on http://%s (%d shards)", *measure, ln.Addr(), *shards)
+	if err := serve(ctx, &http.Server{Handler: newServer(ix)}, ln, ix); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained; index closed cleanly")
+}
+
+// serve runs srv on ln until it fails or ctx is cancelled (a shutdown
+// signal); on cancellation it drains in-flight requests and closes the
+// index, writing a final snapshot when the index is durable. Split from
+// main so tests can drive the full shutdown path.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, ix *vsmartjoin.Index) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// Drain failure must not skip the final snapshot.
+		ix.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	return ix.Close()
 }
 
 // preload feeds a cmd/vsmartjoin-format TSV trace into the index,
@@ -101,7 +159,9 @@ func preload(ix *vsmartjoin.Index, path string) (int, error) {
 		return 0, err
 	}
 	for entity, m := range counts {
-		ix.Add(entity, m)
+		if err := ix.Add(entity, m); err != nil {
+			return 0, err
+		}
 	}
 	return len(counts), nil
 }
@@ -118,6 +178,7 @@ func newServer(ix *vsmartjoin.Index) http.Handler {
 	s.mux.HandleFunc("POST /add", s.handleAdd)
 	s.mux.HandleFunc("POST /remove", s.handleRemove)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s.mux
 }
@@ -143,6 +204,8 @@ type queryRequest struct {
 	TopK      int      `json:"topk"`
 }
 
+type snapshotRequest struct{}
+
 type matchResponse struct {
 	Entity     string  `json:"entity"`
 	Similarity float64 `json:"similarity"`
@@ -158,11 +221,26 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// decodeBody parses exactly one JSON value into v with unknown fields
+// rejected. Every failure is answered with a JSON error payload: 400
+// for malformed, unknown-field, or trailing-garbage bodies, 413 when
+// the body exceeds the size cap.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	// A well-formed first value followed by more input is a malformed
+	// request, not something to silently ignore.
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after request body")
 		return false
 	}
 	return true
@@ -190,7 +268,10 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing elements")
 		return
 	}
-	s.ix.Add(req.Entity, req.Elements)
+	if err := s.ix.Add(req.Entity, req.Elements); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"entities": s.ix.Len()})
 }
 
@@ -203,7 +284,11 @@ func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing entity")
 		return
 	}
-	removed := s.ix.Remove(req.Entity)
+	removed, err := s.ix.Remove(req.Entity)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": removed, "entities": s.ix.Len()})
 }
 
@@ -233,6 +318,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case req.TopK > 0:
 		matches = s.ix.QueryTopK(req.Elements, req.TopK)
 	case req.Entity != "":
+		// Threshold range (and NaN) validation happens inside the index,
+		// with the same rules AllPairs applies; its error becomes a 400.
 		matches, err = s.ix.QueryEntity(req.Entity, *req.Threshold)
 	default:
 		matches, err = s.ix.QueryThreshold(req.Elements, *req.Threshold)
@@ -246,6 +333,29 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out[i] = matchResponse{Entity: m.Entity, Similarity: m.Similarity}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"matches": out})
+}
+
+// handleSnapshot forces a snapshot + log truncation on a durable index;
+// on a volatile one it reports 409 (there is nothing to snapshot to).
+// The body is optional: empty and "{}" both trigger a snapshot, but a
+// non-empty body still has to be well-formed.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if r.ContentLength != 0 && !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.ix.Snapshot(); err != nil {
+		// No durability dir (or a closed index) is the caller's state
+		// conflict; anything else is a real server-side persistence
+		// failure and must not hide among the 4xx.
+		status := http.StatusInternalServerError
+		if errors.Is(err, vsmartjoin.ErrNotDurable) || errors.Is(err, vsmartjoin.ErrIndexClosed) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshot": true, "entities": s.ix.Len()})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

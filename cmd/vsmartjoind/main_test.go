@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"vsmartjoin"
 )
@@ -122,10 +125,12 @@ func TestDaemonValidation(t *testing.T) {
 			`{"elements": {"a": 1}, "threshold": 0.5, "topk": 3}`, // both
 			`{"threshold": 0.5}`,                                  // no query
 			`{"entity": "e", "elements": {"a": 1}, "topk": 2}`,    // both query forms
-			`{"elements": {"a": 1}, "threshold": 1.5}`,            // threshold range
+			`{"elements": {"a": 1}, "threshold": 1.5}`,            // above range
+			`{"elements": {"a": 1}, "threshold": -0.1}`,           // below range (AllPairs' rules)
 			`{"elements": {"a": 1}, "topk": -1}`,                  // negative k
 			`{"entity": "e", "topk": 2}`,                          // topk by entity unsupported
 			`{"entity": "never-added-entity", "threshold": 0.5}`,  // unknown entity
+			`{"elements": {"a": 1}, "threshold": 0.5} trailing`,   // trailing garbage
 		},
 	} {
 		for _, body := range bodies {
@@ -142,6 +147,79 @@ func TestDaemonValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /add: %d", resp.StatusCode)
+	}
+}
+
+// TestDaemonDurableRestart drives the full daemon lifecycle: serve a
+// durable sharded index, mutate it over HTTP, force a snapshot via
+// POST /snapshot, shut down gracefully (the SIGINT path minus the
+// signal), and restart into exactly the prior state.
+func TestDaemonDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := vsmartjoin.IndexOptions{Measure: "ruzicka", Dir: dir, Shards: 2, SnapshotEvery: -1}
+	ix, err := vsmartjoin.NewIndex(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, &http.Server{Handler: newServer(ix)}, ln, ix) }()
+	ts := &httptest.Server{URL: "http://" + ln.Addr().String()}
+
+	for _, body := range []string{
+		`{"entity": "ip-1", "elements": {"a": 3, "b": 1}}`,
+		`{"entity": "ip-2", "elements": {"a": 3, "b": 1}}`,
+		`{"entity": "gone", "elements": {"z": 1}}`,
+	} {
+		if code, out := post(t, ts, "/add", body); code != http.StatusOK {
+			t.Fatalf("add: %d %v", code, out)
+		}
+	}
+	if code, out := post(t, ts, "/snapshot", `{}`); code != http.StatusOK || out["snapshot"] != true {
+		t.Fatalf("snapshot: %d %v", code, out)
+	}
+	// Mutations after the snapshot land in the new WAL generation.
+	if code, out := post(t, ts, "/remove", `{"entity": "gone"}`); code != http.StatusOK || out["removed"] != true {
+		t.Fatalf("remove: %d %v", code, out)
+	}
+
+	cancel() // the shutdown signal: drain, final snapshot, close
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not drain")
+	}
+
+	reopened, err := vsmartjoin.NewIndex(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != 2 {
+		t.Fatalf("recovered %d entities, want 2", reopened.Len())
+	}
+	got, err := reopened.QueryEntity("ip-1", 0.9)
+	if err != nil || len(got) != 1 || got[0].Entity != "ip-2" || got[0].Similarity != 1 {
+		t.Fatalf("recovered query: %v %v", got, err)
+	}
+	if _, err := reopened.QueryEntity("gone", 0); err == nil {
+		t.Fatal("removed entity survived restart")
+	}
+}
+
+// TestDaemonSnapshotVolatile: /snapshot on an index without -data-dir
+// is a conflict, not a crash.
+func TestDaemonSnapshotVolatile(t *testing.T) {
+	ts := testServer(t)
+	if code, out := post(t, ts, "/snapshot", `{}`); code != http.StatusConflict || out["error"] == "" {
+		t.Fatalf("volatile snapshot: %d %v", code, out)
 	}
 }
 

@@ -48,6 +48,38 @@
 // cmd/vsmartjoind daemon serves an Index over HTTP, and examples/serving
 // is a worked walkthrough.
 //
+// # Durability and sharding
+//
+// IndexOptions configures both serving-scale concerns:
+//
+//   - Measure fixes the similarity measure ("ruzicka" by default); a
+//     durable index records it in every snapshot and refuses to reopen
+//     under a different one.
+//
+//   - Shards hash-partitions the index by entity: mutations lock only
+//     the owning shard and queries fan out to every shard in parallel,
+//     merging into exactly the single-shard answer (internal/shard).
+//
+//   - Dir makes the index durable: every Add/Remove is appended to a
+//     write-ahead log before it is applied, so a killed process — even
+//     one dying mid-append, leaving a torn frame — reopens into exactly
+//     its prior state (internal/wal).
+//
+//   - SnapshotEvery sets how many logged mutations trigger an automatic
+//     full snapshot, which truncates the log; Snapshot forces one and
+//     Close writes a final one.
+//
+// A production-shaped serving index combines them:
+//
+//	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{
+//		Measure:       "ruzicka",
+//		Shards:        8,
+//		Dir:           "/var/lib/vsmartjoin",
+//		SnapshotEvery: 4096,
+//	})
+//	if err != nil { ... }
+//	defer ix.Close()
+//
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package vsmartjoin

@@ -1,0 +1,309 @@
+package vsmartjoin
+
+// Durability and sharding gates at the public-API level, reusing the
+// api_diff_test.go harness (randomEntities + exact-match comparison):
+//
+//   - crash recovery: an Index with a Dir, killed at arbitrary points
+//     (including a torn final WAL frame), must reopen into a state that
+//     answers every query exactly like an uninterrupted in-memory
+//     oracle that saw the same mutations;
+//   - sharding: for shard counts {1, 3, 8}, every query must match the
+//     single-shard index exactly — same matches, same scores, same
+//     top-k order.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tearWALTail appends a partial frame to the current WAL file under
+// dir, simulating a process killed mid-append.
+func tearWALTail(t *testing.T, dir string, rng *rand.Rand) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var current string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && e.Name() > current {
+			current = e.Name()
+		}
+	}
+	if current == "" {
+		t.Fatal("no wal file to tear")
+	}
+	f, err := os.OpenFile(filepath.Join(dir, current), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// A frame header claiming more payload than follows: garbage length
+	// byte, bogus checksum, and a few bytes of a record that never
+	// finished hitting the disk.
+	torn := []byte{0x40, 0xde, 0xad, 0xbe, 0xef}
+	for i := 0; i < rng.Intn(8); i++ {
+		torn = append(torn, byte(rng.Intn(256)))
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustAgree compares a recovered/sharded index against the oracle on
+// Len plus threshold and top-k probes, demanding exact equality of
+// matches, scores, and order.
+func mustAgree(t *testing.T, tag string, got, oracle *Index, probes []map[string]uint32) {
+	t.Helper()
+	if g, w := got.Len(), oracle.Len(); g != w {
+		t.Fatalf("%s: len %d, oracle %d", tag, g, w)
+	}
+	for pi, probe := range probes {
+		for _, thr := range []float64{0, 0.3, 0.7} {
+			g, err := got.QueryThreshold(probe, thr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := oracle.QueryThreshold(probe, thr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(g) != len(w) {
+				t.Fatalf("%s probe %d t=%v: %d matches, oracle %d\ngot    %v\noracle %v", tag, pi, thr, len(g), len(w), g, w)
+			}
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("%s probe %d t=%v match %d: got %v oracle %v", tag, pi, thr, i, g[i], w[i])
+				}
+			}
+		}
+		g, w := got.QueryTopK(probe, 5), oracle.QueryTopK(probe, 5)
+		if len(g) != len(w) {
+			t.Fatalf("%s probe %d topk: %d vs %d", tag, pi, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s probe %d topk %d: got %v oracle %v", tag, pi, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryDifferential interleaves Add/Remove/Query on a
+// durable sharded index and an in-memory oracle, hard-stops the durable
+// one (abandoned without Close, WAL tail torn mid-frame), reopens it,
+// and requires the recovered index to answer exactly like the oracle.
+// The tight SnapshotEvery forces several snapshot rotations along the
+// way, so recovery exercises snapshot-load + log-replay, not just one.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	dir := t.TempDir()
+	opts := IndexOptions{Measure: "ruzicka", Dir: dir, Shards: 3, SnapshotEvery: 17}
+	durable, err := NewIndex(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewIndex(IndexOptions{Measure: "ruzicka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	randomCounts := func() map[string]uint32 {
+		counts := make(map[string]uint32)
+		base := rng.Intn(24)
+		for j := 0; j < 1+rng.Intn(7); j++ {
+			var elem int
+			if j%2 == 0 {
+				elem = (base + rng.Intn(4)) % 24
+			} else {
+				elem = rng.Intn(24)
+			}
+			counts[fmt.Sprintf("e%d", elem)] += uint32(1 + rng.Intn(3))
+		}
+		return counts
+	}
+	var probes []map[string]uint32
+	for i := 0; i < 6; i++ {
+		probes = append(probes, randomCounts())
+	}
+
+	for round := 0; round < 5; round++ {
+		for op := 0; op < 60; op++ {
+			name := fmt.Sprintf("entity-%02d", rng.Intn(40))
+			if rng.Float64() < 0.3 {
+				dr, err := durable.Remove(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				or, err := oracle.Remove(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dr != or {
+					t.Fatalf("round %d op %d: Remove(%s) %v, oracle %v", round, op, name, dr, or)
+				}
+			} else {
+				counts := randomCounts()
+				if err := durable.Add(name, counts); err != nil {
+					t.Fatal(err)
+				}
+				if err := oracle.Add(name, counts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		mustAgree(t, fmt.Sprintf("round %d pre-crash", round), durable, oracle, probes)
+
+		// Hard stop: no Close, no final snapshot, and a torn frame at the
+		// WAL tail as if the process died mid-append.
+		tearWALTail(t, dir, rng)
+		durable, err = NewIndex(opts)
+		if err != nil {
+			t.Fatalf("round %d: reopen: %v", round, err)
+		}
+		mustAgree(t, fmt.Sprintf("round %d recovered", round), durable, oracle, probes)
+	}
+
+	// Graceful path: Close writes a final snapshot; reopening replays no
+	// log at all and must still agree.
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := NewIndex(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	mustAgree(t, "after graceful close", reopened, oracle, probes)
+}
+
+// TestDurableMutationsAfterClose: a closed index refuses mutations but
+// keeps serving queries.
+func TestDurableMutationsAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := NewIndex(IndexOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add("a", map[string]uint32{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := ix.Add("b", map[string]uint32{"y": 1}); err == nil {
+		t.Fatal("add after close should fail")
+	}
+	if err := ix.Snapshot(); err == nil {
+		t.Fatal("snapshot after close should fail")
+	}
+	got, err := ix.QueryThreshold(map[string]uint32{"x": 1}, 0.5)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("query after close: %v %v", got, err)
+	}
+}
+
+// TestDurableOptionValidation covers the new IndexOptions surface.
+func TestDurableOptionValidation(t *testing.T) {
+	if _, err := NewIndex(IndexOptions{Shards: -1}); err == nil {
+		t.Fatal("negative shards should fail")
+	}
+	if _, err := NewIndex(IndexOptions{Shards: 5000}); err == nil {
+		t.Fatal("absurd shard count should fail")
+	}
+	vol, err := NewIndex(IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.Snapshot(); err == nil {
+		t.Fatal("snapshot of a volatile index should fail")
+	}
+	if err := vol.Close(); err != nil {
+		t.Fatalf("closing a volatile index is a no-op: %v", err)
+	}
+
+	// Reopening under a different measure is refused once a snapshot
+	// exists — replaying it would silently change every score.
+	dir := t.TempDir()
+	ix, err := NewIndex(IndexOptions{Measure: "ruzicka", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add("a", map[string]uint32{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIndex(IndexOptions{Measure: "jaccard", Dir: dir}); err == nil {
+		t.Fatal("measure mismatch should fail")
+	}
+}
+
+// TestDifferentialShardedIndex is the public sharded gate: for shard
+// counts {1, 3, 8} the full query surface must match the single-shard
+// index exactly, before and after churn.
+func TestDifferentialShardedIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	entities := randomEntities(rng, 40, 28, 8, 4)
+	d := datasetOf(entities)
+	single, err := BuildIndex(d, IndexOptions{Measure: "ruzicka", Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes []map[string]uint32
+	for _, counts := range entities {
+		probes = append(probes, counts)
+		if len(probes) == 8 {
+			break
+		}
+	}
+	for _, shards := range []int{1, 3, 8} {
+		sharded, err := BuildIndex(d, IndexOptions{Measure: "ruzicka", Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sharded.Stats().Shards; got != shards {
+			t.Fatalf("stats report %d shards, want %d", got, shards)
+		}
+		mustAgree(t, fmt.Sprintf("shards=%d", shards), sharded, single, probes)
+
+		// Churn both the same way, then compare again.
+		i := 0
+		for name := range entities {
+			switch i % 3 {
+			case 0:
+				if _, err := sharded.Remove(name); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := single.Remove(name); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				counts := map[string]uint32{fmt.Sprintf("e%d", i%28): uint32(i%4 + 1)}
+				if err := sharded.Add(name, counts); err != nil {
+					t.Fatal(err)
+				}
+				if err := single.Add(name, counts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i++
+		}
+		mustAgree(t, fmt.Sprintf("shards=%d churned", shards), sharded, single, probes)
+
+		// Rebuild the single oracle for the next shard width (the churn
+		// above mutated it).
+		single, err = BuildIndex(d, IndexOptions{Measure: "ruzicka", Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

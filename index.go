@@ -1,20 +1,62 @@
 package vsmartjoin
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"vsmartjoin/internal/index"
 	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/shard"
 	"vsmartjoin/internal/similarity"
+	"vsmartjoin/internal/wal"
 )
+
+// ErrNotDurable is returned by Index.Snapshot on an index opened
+// without a Dir: there is nowhere to snapshot to.
+var ErrNotDurable = errors.New("vsmartjoin: index has no durability directory")
+
+// ErrIndexClosed is returned by mutations and snapshots after Close.
+var ErrIndexClosed = errors.New("vsmartjoin: index is closed")
+
+// defaultSnapshotEvery is the automatic snapshot cadence: the number of
+// logged mutations after which a durable index cuts a snapshot and
+// truncates its write-ahead log.
+const defaultSnapshotEvery = 4096
+
+// maxShards bounds IndexOptions.Shards: past this the fan-out overhead
+// of a query dwarfs any lock-contention win.
+const maxShards = 1024
 
 // IndexOptions configures NewIndex and BuildIndex.
 type IndexOptions struct {
 	// Measure is the similarity measure name (default "ruzicka"); it is
 	// fixed for the life of the index because posting-list pruning bounds
-	// are measure-specific.
+	// are measure-specific. For a durable index the measure is recorded
+	// in every snapshot and reopening under a different one is refused.
 	Measure string
+
+	// Shards is the number of hash-partitioned sub-indexes (default 1,
+	// maximum 1024). Entities are routed to shards by their ID, queries
+	// fan out to all shards in parallel and merge, and mutations lock
+	// only the owning shard — identical results to one shard, but
+	// writers stop serializing against the whole dataset. Shard counts
+	// around GOMAXPROCS are a good default for write-heavy loads; a
+	// read-only index gains little from sharding.
+	Shards int
+
+	// Dir, when non-empty, makes the index durable: every Add/Remove is
+	// appended to a write-ahead log under Dir before it is applied, and
+	// periodic snapshots truncate the log. NewIndex recovers the prior
+	// state (snapshot load + log replay, tolerating a torn final frame)
+	// from a Dir that already holds one. Empty means fully in-memory.
+	Dir string
+
+	// SnapshotEvery is the number of logged mutations between automatic
+	// snapshots (default 4096). Negative disables automatic snapshots —
+	// the log then grows until Snapshot or Close. Ignored without Dir.
+	SnapshotEvery int
 }
 
 // Match is one online query result.
@@ -25,9 +67,13 @@ type Match struct {
 
 // IndexStats snapshots the size and traffic counters of an Index; see
 // the field docs on internal/index.Stats for the pruning pipeline the
-// Probes → Candidates → Verified → Results funnel describes.
+// Probes → Candidates → Verified → Results funnel describes. Entities,
+// Adds, Removes and the query counters are global; Elements and
+// Postings are summed across shards (an element present in several
+// shards counts once per shard).
 type IndexStats struct {
 	Measure  string `json:"measure"`
+	Shards   int    `json:"shards"`
 	Entities int    `json:"entities"`
 	Elements int    `json:"elements"`
 	Postings int    `json:"postings"`
@@ -48,21 +94,32 @@ type IndexStats struct {
 // similarity index serving threshold and top-k queries against a live
 // dataset. Entities can be added and removed at any time, concurrently
 // with queries; see internal/index for the data structure and locking
-// design. Use AllPairs for periodic full joins and an Index for
-// interactive lookups against the same entities.
+// design, internal/shard for the hash-partitioned fan-out, and
+// internal/wal for the durability layer. Use AllPairs for periodic full
+// joins and an Index for interactive lookups against the same entities.
 type Index struct {
 	measure similarity.Measure
-	inner   *index.Index
+	inner   *shard.Set
 
-	// mu guards the name tables only; the inner index has its own lock.
+	// mu guards the name tables and serializes logged mutations against
+	// snapshots; the shards have their own locks, always nested inside
+	// mu, so the nesting cannot deadlock.
 	mu     sync.RWMutex
 	dict   *multiset.Dict
 	byName map[string]multiset.ID
 	names  map[multiset.ID]string
 	nextID multiset.ID
+
+	log           *wal.Log // nil for a volatile index
+	snapshotEvery int
+	logged        int   // mutations since the last snapshot; guarded by mu
+	snapErr       error // last automatic-snapshot failure; guarded by mu
+	closed        bool
 }
 
-// NewIndex returns an empty online index.
+// NewIndex returns an index configured by opts. With a Dir it opens (or
+// creates) the durability directory and recovers any prior state, so a
+// killed process restarts into exactly the entities it had indexed.
 func NewIndex(opts IndexOptions) (*Index, error) {
 	name := opts.Measure
 	if name == "" {
@@ -72,14 +129,46 @@ func NewIndex(opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{
-		measure: m,
-		inner:   index.New(m),
-		dict:    multiset.NewDict(),
-		byName:  make(map[string]multiset.ID),
-		names:   make(map[multiset.ID]string),
-		nextID:  1,
-	}, nil
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 0 || shards > maxShards {
+		return nil, fmt.Errorf("vsmartjoin: shard count %d outside [1, %d]", opts.Shards, maxShards)
+	}
+	snapshotEvery := opts.SnapshotEvery
+	if snapshotEvery == 0 {
+		snapshotEvery = defaultSnapshotEvery
+	}
+	ix := &Index{
+		measure:       m,
+		inner:         shard.New(m, shards),
+		dict:          multiset.NewDict(),
+		byName:        make(map[string]multiset.ID),
+		names:         make(map[multiset.ID]string),
+		nextID:        1,
+		snapshotEvery: snapshotEvery,
+	}
+	if opts.Dir != "" {
+		// Recovery replays into the same apply path live mutations use.
+		// The index is not yet shared, so no locking is needed here.
+		l, err := wal.Open(opts.Dir, m.Name(), func(rec wal.Record) error {
+			switch rec.Op {
+			case wal.OpAdd:
+				ix.applyAddLocked(rec.Entity, ix.internElements(rec.Elements))
+			case wal.OpRemove:
+				ix.applyRemoveLocked(rec.Entity)
+			default:
+				return fmt.Errorf("vsmartjoin: recover: unknown wal op %d", rec.Op)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("vsmartjoin: open index dir: %w", err)
+		}
+		ix.log = l
+	}
+	return ix, nil
 }
 
 // BuildIndex bulk-loads every entity of a Dataset into a fresh index.
@@ -110,28 +199,89 @@ func BuildIndex(d *Dataset, opts IndexOptions) (*Index, error) {
 			}
 			counts[elem] += e.Count
 		}
-		ix.Add(name, counts)
+		if err := ix.Add(name, counts); err != nil {
+			return nil, err
+		}
 	}
 	return ix, nil
 }
 
-// Add indexes an entity with its element multiplicities, replacing any
-// previous entity of the same name (upsert semantics — unlike
-// Dataset.Add, which merges). Zero counts are ignored.
-//
-// The inner insert happens under the name-table lock: if it didn't, a
-// concurrent Remove of the same name could run between the two steps and
-// leave a nameless ghost entity in the inner index. The inner index's own
-// lock always nests inside ix.mu, so the nesting cannot deadlock.
-func (ix *Index) Add(entity string, counts map[string]uint32) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+// internElements interns WAL element names into index entries, dropping
+// zero counts (multiset.New merges duplicates and sorts).
+func (ix *Index) internElements(elems []wal.Element) []multiset.Entry {
+	entries := make([]multiset.Entry, 0, len(elems))
+	for _, el := range elems {
+		if el.Count == 0 {
+			continue
+		}
+		entries = append(entries, multiset.Entry{Elem: ix.dict.Intern(el.Name), Count: el.Count})
+	}
+	return entries
+}
+
+// walAddRecord builds the logged form of an Add: element names sorted,
+// zero counts dropped, so identical mutations always encode identically.
+func walAddRecord(entity string, counts map[string]uint32) wal.Record {
+	names := make([]string, 0, len(counts))
+	for name, c := range counts {
+		if c > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	elems := make([]wal.Element, len(names))
+	for i, name := range names {
+		elems[i] = wal.Element{Name: name, Count: counts[name]}
+	}
+	return wal.Record{Op: wal.OpAdd, Entity: entity, Elements: elems}
+}
+
+// applyAddLocked upserts into the name tables and the owning shard.
+// Caller holds ix.mu (or owns the index exclusively, during recovery).
+func (ix *Index) applyAddLocked(entity string, entries []multiset.Entry) {
 	id, ok := ix.byName[entity]
 	if !ok {
 		id = ix.nextID
 		ix.nextID++
 		ix.byName[entity] = id
 		ix.names[id] = entity
+	}
+	ix.inner.Add(multiset.New(id, entries))
+}
+
+// applyRemoveLocked deletes from the name tables and the owning shard.
+func (ix *Index) applyRemoveLocked(entity string) bool {
+	id, ok := ix.byName[entity]
+	if !ok {
+		return false
+	}
+	delete(ix.byName, entity)
+	delete(ix.names, id)
+	return ix.inner.Remove(id)
+}
+
+// Add indexes an entity with its element multiplicities, replacing any
+// previous entity of the same name (upsert semantics — unlike
+// Dataset.Add, which merges). Zero counts are ignored. On a durable
+// index the mutation is appended to the write-ahead log first; if the
+// append fails the in-memory index is left untouched and the error is
+// returned — a returned error always means the mutation did NOT happen
+// (automatic snapshot trouble is reported by Snapshot/Close instead).
+// A volatile Add never fails.
+//
+// The inner insert happens under the name-table lock: if it didn't, a
+// concurrent Remove of the same name could run between the two steps and
+// leave a nameless ghost entity in the inner index.
+func (ix *Index) Add(entity string, counts map[string]uint32) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return ErrIndexClosed
+	}
+	if ix.log != nil {
+		if err := ix.log.Append(walAddRecord(entity, counts)); err != nil {
+			return fmt.Errorf("vsmartjoin: add %q: %w", entity, err)
+		}
 	}
 	entries := make([]multiset.Entry, 0, len(counts))
 	for elem, c := range counts {
@@ -140,22 +290,113 @@ func (ix *Index) Add(entity string, counts map[string]uint32) {
 		}
 		entries = append(entries, multiset.Entry{Elem: ix.dict.Intern(elem), Count: c})
 	}
-	ix.inner.Add(multiset.New(id, entries))
+	ix.applyAddLocked(entity, entries)
+	ix.maybeSnapshotLocked()
+	return nil
 }
 
-// Remove deletes an entity by name, reporting whether it was indexed. The
-// inner removal stays under the name-table lock for the same reason as in
-// Add: both mutations of the two tables must be atomic as a pair.
-func (ix *Index) Remove(entity string) bool {
+// Remove deletes an entity by name, reporting whether it was indexed.
+// The removal of a name that is not indexed is a no-op and is not
+// logged. Like Add, the WAL append happens before the in-memory
+// mutation, and a returned error (never for a volatile index) means
+// the removal did not happen — it reports log trouble, not absence.
+func (ix *Index) Remove(entity string) (bool, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	id, ok := ix.byName[entity]
-	if !ok {
-		return false
+	if ix.closed {
+		return false, ErrIndexClosed
 	}
-	delete(ix.byName, entity)
-	delete(ix.names, id)
-	return ix.inner.Remove(id)
+	if _, ok := ix.byName[entity]; !ok {
+		return false, nil
+	}
+	if ix.log != nil {
+		if err := ix.log.Append(wal.Record{Op: wal.OpRemove, Entity: entity}); err != nil {
+			return false, fmt.Errorf("vsmartjoin: remove %q: %w", entity, err)
+		}
+	}
+	removed := ix.applyRemoveLocked(entity)
+	ix.maybeSnapshotLocked()
+	return removed, nil
+}
+
+// maybeSnapshotLocked counts a logged mutation and cuts a snapshot once
+// the cadence is reached. A snapshot failure is NOT the mutation's
+// failure — the record is already durably logged and applied — so it is
+// remembered (surfaced by the next explicit Snapshot or Close) and the
+// cadence counter is left unreset, which retries the snapshot on the
+// next mutation. Caller holds ix.mu.
+func (ix *Index) maybeSnapshotLocked() {
+	if ix.log == nil {
+		return
+	}
+	ix.logged++
+	if ix.snapshotEvery < 0 || ix.logged < ix.snapshotEvery {
+		return
+	}
+	ix.snapErr = ix.snapshotLocked()
+}
+
+// snapshotLocked writes a full snapshot and truncates the log. Caller
+// holds ix.mu, which quiesces all mutations (they all take ix.mu), so
+// the shard iteration is an atomic view.
+func (ix *Index) snapshotLocked() error {
+	err := ix.log.Snapshot(func(emit func(wal.Record) error) error {
+		var emitErr error
+		ix.inner.Range(func(m multiset.Multiset) bool {
+			elems := make([]wal.Element, len(m.Entries))
+			for i, e := range m.Entries {
+				elems[i] = wal.Element{Name: ix.dict.Name(e.Elem), Count: e.Count}
+			}
+			emitErr = emit(wal.Record{Op: wal.OpAdd, Entity: ix.names[m.ID], Elements: elems})
+			return emitErr == nil
+		})
+		return emitErr
+	})
+	if err != nil {
+		return fmt.Errorf("vsmartjoin: snapshot: %w", err)
+	}
+	ix.logged = 0
+	ix.snapErr = nil // the durable state is current again
+	return nil
+}
+
+// Snapshot forces a full snapshot and log truncation on a durable
+// index, regardless of the SnapshotEvery cadence. It returns
+// ErrNotDurable on a volatile index and ErrIndexClosed after Close;
+// any other error is a real persistence failure (an earlier automatic
+// snapshot that failed keeps being retried here and on every mutation
+// until one succeeds).
+func (ix *Index) Snapshot() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.log == nil {
+		return ErrNotDurable
+	}
+	if ix.closed {
+		return ErrIndexClosed
+	}
+	return ix.snapshotLocked()
+}
+
+// Close writes a final snapshot (if any mutations were logged since the
+// last one) and closes the write-ahead log. Further mutations fail;
+// queries keep working against the in-memory state. Closing a volatile
+// or already-closed index is a no-op.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.log == nil || ix.closed {
+		return nil
+	}
+	ix.closed = true
+	var first error
+	if ix.logged > 0 {
+		first = ix.snapshotLocked()
+	}
+	if err := ix.log.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Len reports the number of indexed entities.
@@ -247,6 +488,7 @@ func (ix *Index) Stats() IndexStats {
 	s := ix.inner.Stats()
 	return IndexStats{
 		Measure:      ix.measure.Name(),
+		Shards:       ix.inner.Shards(),
 		Entities:     s.Entities,
 		Elements:     s.Elements,
 		Postings:     s.Postings,

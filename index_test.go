@@ -73,8 +73,11 @@ func TestIndexUpsertAndRemove(t *testing.T) {
 	if err != nil || len(got) != 1 || got[0].Entity != "doc" {
 		t.Fatalf("new contents: %v %v", got, err)
 	}
-	if !ix.Remove("doc") || ix.Remove("doc") {
-		t.Fatal("remove semantics")
+	if removed, err := ix.Remove("doc"); err != nil || !removed {
+		t.Fatalf("remove: %v %v", removed, err)
+	}
+	if removed, err := ix.Remove("doc"); err != nil || removed {
+		t.Fatalf("re-remove: %v %v", removed, err)
 	}
 	if ix.Len() != 0 {
 		t.Fatalf("len after remove: %d", ix.Len())

@@ -204,6 +204,27 @@ func (ix *Index) maybeCompactLocked() {
 	ix.compactions.Add(1)
 }
 
+// Range calls fn for every live entity in ascending ID order, stopping
+// early if fn returns false. The multisets passed are the index's own
+// immutable entries — callers must not mutate them. The iteration works
+// over a point-in-time capture of the entity table: fn runs with no
+// lock held, so it may query or mutate the index, at the price of not
+// observing entities added after Range started.
+func (ix *Index) Range(fn func(m multiset.Multiset) bool) {
+	ix.mu.RLock()
+	snap := make([]*entry, 0, len(ix.entities))
+	for _, e := range ix.entities {
+		snap = append(snap, e)
+	}
+	ix.mu.RUnlock()
+	sort.Slice(snap, func(i, j int) bool { return snap[i].set.ID < snap[j].set.ID })
+	for _, e := range snap {
+		if !fn(e.set) {
+			return
+		}
+	}
+}
+
 // Snapshot returns a copy of the entity's current multiset (keeping its
 // ID, so querying with it skips the self-pair), or an empty multiset if
 // the ID is not indexed.
@@ -331,7 +352,7 @@ func (ix *Index) QueryThreshold(q Query, t float64) []Match {
 	}
 	ix.verified.Add(int64(len(cands)))
 	ix.results.Add(int64(len(out)))
-	sortMatches(out)
+	SortMatches(out)
 	return out
 }
 
@@ -399,7 +420,7 @@ func (ix *Index) QueryTopK(q Query, k int) []Match {
 	ix.lenPruned.Add(lenPruned)
 	ix.verified.Add(verified)
 	out := []Match(heap)
-	sortMatches(out)
+	SortMatches(out)
 	ix.results.Add(int64(len(out)))
 	return out
 }
@@ -415,9 +436,32 @@ func worseMatch(a, b Match) bool {
 	return a.ID > b.ID
 }
 
-// sortMatches orders results best first under worseMatch.
-func sortMatches(ms []Match) {
+// SortMatches orders results best first under worseMatch. It is the one
+// canonical result ordering: threshold queries, the top-k heap, and the
+// sharded fan-out merge (internal/shard) all defer to it, so any
+// partitioning of the same entities answers identically.
+func SortMatches(ms []Match) {
 	sort.Slice(ms, func(i, j int) bool { return worseMatch(ms[j], ms[i]) })
+}
+
+// MergeTopK folds per-partition top-k lists into the global top-k,
+// best first — the merge step of a sharded QueryTopK fan-out. Feeding
+// each partition's local top-k through the same bounded heap the
+// single-index query uses preserves exactness: an entity in the global
+// top-k is necessarily in its own partition's top-k.
+func MergeTopK(k int, lists ...[]Match) []Match {
+	if k <= 0 {
+		return nil
+	}
+	var heap topkHeap
+	for _, list := range lists {
+		for _, m := range list {
+			heap.offer(m, k)
+		}
+	}
+	out := []Match(heap)
+	SortMatches(out)
+	return out
 }
 
 // topkHeap is a bounded min-heap under worseMatch, so the root is always

@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vsmartjoin/internal/index"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/similarity"
+)
+
+// randomSets synthesizes clustered multisets so every threshold bucket
+// is populated (same shape as the api-level differential datasets).
+func randomSets(rng *rand.Rand, n, alphabet, maxLen, maxCount int) []multiset.Multiset {
+	out := make([]multiset.Multiset, n)
+	for i := range out {
+		l := 1 + rng.Intn(maxLen)
+		entries := make([]multiset.Entry, 0, l)
+		base := rng.Intn(alphabet)
+		for j := 0; j < l; j++ {
+			var elem int
+			if j%2 == 0 {
+				elem = (base + rng.Intn(4)) % alphabet
+			} else {
+				elem = rng.Intn(alphabet)
+			}
+			entries = append(entries, multiset.Entry{Elem: multiset.Elem(elem), Count: uint32(1 + rng.Intn(maxCount))})
+		}
+		out[i] = multiset.New(multiset.ID(i+1), entries)
+	}
+	return out
+}
+
+func sameMatches(t *testing.T, tag string, got, want []index.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, single index %d\ngot  %v\nwant %v", tag, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d: got %v want %v", tag, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDifferentialVsSingleIndex is the core exactness gate: for shard
+// counts {1, 3, 8}, every threshold and top-k query must return exactly
+// the single-index answer — same matches, same scores, same order.
+func TestDifferentialVsSingleIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, measureName := range []string{"ruzicka", "jaccard", "cosine"} {
+		m, err := similarity.ByName(measureName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := randomSets(rng, 60, 32, 9, 4)
+		single := index.New(m)
+		for _, s := range sets {
+			single.Add(s)
+		}
+		for _, shards := range []int{1, 3, 8} {
+			set := New(m, shards)
+			for _, s := range sets {
+				set.Add(s)
+			}
+			if set.Len() != single.Len() {
+				t.Fatalf("%s/%d: len %d vs %d", measureName, shards, set.Len(), single.Len())
+			}
+			for qi, q := range sets {
+				query := index.QueryOf(q)
+				for _, thr := range []float64{0, 0.3, 0.5, 0.9} {
+					tag := fmt.Sprintf("%s/shards=%d/q=%d/t=%v", measureName, shards, qi, thr)
+					sameMatches(t, tag, set.QueryThreshold(query, thr), single.QueryThreshold(query, thr))
+				}
+				for _, k := range []int{1, 5, 100} {
+					tag := fmt.Sprintf("%s/shards=%d/q=%d/k=%d", measureName, shards, qi, k)
+					sameMatches(t, tag, set.QueryTopK(query, k), single.QueryTopK(query, k))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialAfterChurn repeats the comparison after removals and
+// upserts: routing must stay consistent so upserts land on the shard
+// holding the old version.
+func TestDifferentialAfterChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	m, err := similarity.ByName("ruzicka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := randomSets(rng, 50, 28, 8, 3)
+	single := index.New(m)
+	set := New(m, 5)
+	for _, s := range sets {
+		single.Add(s)
+		set.Add(s)
+	}
+	for i, s := range sets {
+		switch i % 3 {
+		case 0:
+			if set.Remove(s.ID) != single.Remove(s.ID) {
+				t.Fatalf("remove %d disagreed", s.ID)
+			}
+		case 1:
+			fresh := randomSets(rng, 1, 28, 8, 3)[0]
+			fresh.ID = s.ID
+			single.Add(fresh)
+			set.Add(fresh)
+		}
+	}
+	if set.Len() != single.Len() {
+		t.Fatalf("len after churn: %d vs %d", set.Len(), single.Len())
+	}
+	for qi, q := range sets {
+		query := index.QueryOf(q)
+		tag := fmt.Sprintf("churn/q=%d", qi)
+		sameMatches(t, tag, set.QueryThreshold(query, 0.3), single.QueryThreshold(query, 0.3))
+		sameMatches(t, tag, set.QueryTopK(query, 7), single.QueryTopK(query, 7))
+	}
+	// Removing an already-removed ID stays a no-op everywhere.
+	if set.Remove(sets[0].ID) {
+		t.Fatal("double remove reported true")
+	}
+}
+
+// TestRangeOrder: Range must yield every live entity exactly once in
+// ascending ID order regardless of shard width — the WAL snapshot
+// writer depends on it for deterministic snapshots.
+func TestRangeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	m, _ := similarity.ByName("ruzicka")
+	sets := randomSets(rng, 40, 20, 6, 3)
+	for _, shards := range []int{1, 4} {
+		set := New(m, shards)
+		for _, s := range sets {
+			set.Add(s)
+		}
+		set.Remove(sets[7].ID)
+		var ids []multiset.ID
+		set.Range(func(got multiset.Multiset) bool {
+			ids = append(ids, got.ID)
+			return true
+		})
+		if len(ids) != len(sets)-1 {
+			t.Fatalf("shards=%d: ranged %d of %d", shards, len(ids), len(sets)-1)
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1] >= ids[i] {
+				t.Fatalf("shards=%d: out of order at %d: %v", shards, i, ids[i-1:i+1])
+			}
+		}
+		// Early stop is honored.
+		n := 0
+		set.Range(func(multiset.Multiset) bool { n++; return n < 3 })
+		if n != 3 {
+			t.Fatalf("shards=%d: early stop ranged %d", shards, n)
+		}
+	}
+}
+
+// TestStats: sizes and mutation counters sum across shards; queries are
+// counted once per fan-out, not once per shard.
+func TestStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	m, _ := similarity.ByName("ruzicka")
+	set := New(m, 4)
+	sets := randomSets(rng, 30, 16, 6, 3)
+	for _, s := range sets {
+		set.Add(s)
+	}
+	set.Remove(sets[0].ID)
+	set.QueryThreshold(index.QueryOf(sets[1]), 0.5)
+	set.QueryTopK(index.QueryOf(sets[2]), 3)
+	st := set.Stats()
+	if st.Entities != 29 || st.Adds != 30 || st.Removes != 1 {
+		t.Fatalf("sizes: %+v", st)
+	}
+	if st.Queries != 2 {
+		t.Fatalf("queries counted per shard, not per fan-out: %+v", st)
+	}
+	if st.Probes == 0 || st.Verified == 0 {
+		t.Fatalf("probe funnel empty: %+v", st)
+	}
+}
+
+// TestConcurrentFanOut hammers mutations and fan-out queries together;
+// run under -race this is the locking gate for the sharded path.
+func TestConcurrentFanOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	m, _ := similarity.ByName("ruzicka")
+	set := New(m, 8)
+	sets := randomSets(rng, 64, 24, 8, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				s := sets[(g*17+i)%len(sets)]
+				switch i % 4 {
+				case 0, 1:
+					set.Add(s)
+				case 2:
+					set.QueryThreshold(index.QueryOf(s), 0.3)
+					set.QueryTopK(index.QueryOf(s), 5)
+				case 3:
+					set.Remove(s.ID)
+					set.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,547 @@
+// Package wal persists the online index: an append-only write-ahead log
+// of Add/Remove records plus periodic full snapshots, so a serving
+// process killed at any point restarts into exactly its prior state.
+//
+// On disk a log directory holds at most one generation of two files,
+// "snap-<gen>" and "wal-<gen>". A snapshot is the full entity set at the
+// moment it was cut; the WAL of the same generation holds every mutation
+// logged since. Snapshot writes go through a temp file and an atomic
+// rename, then a fresh (empty) WAL of the next generation is created and
+// the previous generation is deleted — so recovery never has to reason
+// about a half-written snapshot under its final name.
+//
+// Both files are sequences of frames in the internal/codec wire format:
+// a uvarint payload length, a fixed 4-byte CRC-32C of the payload, and
+// the payload itself. Frame lengths are capped at MaxFrameLen (the same
+// hardening as internal/mrfs segment files) so a corrupt length prefix
+// fails cleanly instead of driving a giant allocation.
+//
+// Recovery (Open) loads the newest snapshot, replays the matching WAL,
+// and truncates the WAL at the first torn or corrupt frame — the
+// expected shape of a crash mid-append. Corruption inside a snapshot is
+// a hard error instead: snapshots are renamed into place only after an
+// fsync, so a bad one means real damage the caller must see.
+//
+// Durability granularity: Append pushes frames to the operating system
+// on every call but does not fsync; Snapshot and Close do. A machine
+// (not process) crash can therefore lose the tail of the current WAL,
+// never a snapshot that Open has once returned.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vsmartjoin/internal/codec"
+	"vsmartjoin/internal/mrfs"
+)
+
+// MaxFrameLen caps a single log or snapshot frame, reusing the
+// internal/mrfs bound: legitimate records are a name and a bag of
+// elements, far below it, so a larger prefix can only be corruption.
+const MaxFrameLen = mrfs.MaxFrameLen
+
+// snapMagic heads every snapshot file, versioned so a future format can
+// be told apart from corruption.
+const snapMagic = "vsmartjoin-snap-v1"
+
+// Record operation kinds. The zero byte is reserved for the snapshot
+// trailer so a truncated snapshot can never alias a record.
+const (
+	opTrailer byte = 0
+	// OpAdd upserts Entity with Elements.
+	OpAdd byte = 1
+	// OpRemove deletes Entity; Elements is empty.
+	OpRemove byte = 2
+)
+
+// Element is one named element of an entity with its multiplicity.
+type Element struct {
+	Name  string
+	Count uint32
+}
+
+// Record is one logical mutation of the index: an upsert (OpAdd) or a
+// deletion (OpRemove) of a named entity. Records carry element names,
+// not interned IDs, so a log replays into a fresh dictionary.
+type Record struct {
+	Op       byte
+	Entity   string
+	Elements []Element
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use, though callers replaying or snapshotting an index normally hold
+// their own lock to keep the emitted records consistent.
+type Log struct {
+	dir     string
+	measure string
+
+	mu      sync.Mutex
+	gen     uint64
+	f       *os.File // current WAL, open for append; nil after Close
+	off     int64    // bytes of intact frames in f; write rollback point
+	werr    error    // sticky: the WAL tail is torn and could not be rewound
+	payload *codec.Buffer
+	frame   []byte
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%08d", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%08d", gen) }
+
+// parseGen extracts the generation from a "snap-NNNNNNNN" or
+// "wal-NNNNNNNN" file name.
+func parseGen(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(name[len(prefix):], 10, 64)
+	return gen, err == nil && gen > 0
+}
+
+// Open recovers the log in dir, creating the directory if needed:
+// it loads the newest snapshot, replays the matching WAL (truncating a
+// torn tail), feeds every recovered Record to apply in log order, and
+// returns the log ready for appends. measure names the similarity
+// measure of the index being persisted; a snapshot recorded under a
+// different measure is refused, since replaying it would silently
+// change every score.
+func Open(dir, measure string, apply func(Record) error) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var snaps, wals []uint64
+	var stale []string
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			stale = append(stale, name) // interrupted snapshot write
+		default:
+			if gen, ok := parseGen(name, "snap-"); ok {
+				snaps = append(snaps, gen)
+			} else if gen, ok := parseGen(name, "wal-"); ok {
+				wals = append(wals, gen)
+			}
+		}
+	}
+	gen := uint64(1)
+	for _, g := range append(append([]uint64{}, snaps...), wals...) {
+		if g > gen {
+			gen = g
+		}
+	}
+
+	l := &Log{dir: dir, measure: measure, gen: gen, payload: codec.NewBuffer(256)}
+	if _, err := os.Stat(filepath.Join(dir, snapName(gen))); err == nil {
+		if err := l.loadSnapshot(filepath.Join(dir, snapName(gen)), apply); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.replayWAL(filepath.Join(dir, walName(gen)), apply); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName(gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	if st, err := f.Stat(); err == nil {
+		l.off = st.Size() // every byte below is an intact, replayed frame
+	}
+
+	// Earlier generations are fully captured by the current one; leftover
+	// temp files never made it into any generation. Best-effort cleanup.
+	for _, g := range snaps {
+		if g != gen {
+			os.Remove(filepath.Join(dir, snapName(g)))
+		}
+	}
+	for _, g := range wals {
+		if g != gen {
+			os.Remove(filepath.Join(dir, walName(g)))
+		}
+	}
+	for _, name := range stale {
+		os.Remove(filepath.Join(dir, name))
+	}
+	return l, nil
+}
+
+// Dir reports the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Gen reports the current generation number (advanced by Snapshot).
+func (l *Log) Gen() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// appendFrame frames payload onto dst: uvarint length, CRC-32C, bytes.
+func appendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrameLen {
+		return dst, fmt.Errorf("wal: frame %d exceeds %d", len(payload), MaxFrameLen)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...), nil
+}
+
+// parseFrame reads one frame from data at off. It returns the payload,
+// the offset just past the frame, and whether the frame was intact; a
+// torn or corrupt frame reports ok=false, never an error or a panic.
+func parseFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	n, w := binary.Uvarint(data[off:])
+	if w <= 0 || n > MaxFrameLen {
+		return nil, off, false
+	}
+	off += w
+	if len(data)-off < 4+int(n) {
+		return nil, off, false
+	}
+	want := binary.LittleEndian.Uint32(data[off:])
+	payload = data[off+4 : off+4+int(n)]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, off, false
+	}
+	return payload, off + 4 + int(n), true
+}
+
+// encodeRecord appends rec's payload encoding to buf.
+func encodeRecord(buf *codec.Buffer, rec Record) error {
+	switch rec.Op {
+	case OpAdd, OpRemove:
+	default:
+		return fmt.Errorf("wal: cannot encode op %d", rec.Op)
+	}
+	buf.PutByte(rec.Op)
+	buf.PutString(rec.Entity)
+	if rec.Op == OpAdd {
+		buf.PutUvarint(uint64(len(rec.Elements)))
+		for _, el := range rec.Elements {
+			buf.PutString(el.Name)
+			buf.PutUint32(el.Count)
+		}
+	}
+	return nil
+}
+
+// decodeRecord parses one record payload.
+func decodeRecord(payload []byte) (Record, error) {
+	r := codec.NewReader(payload)
+	rec := Record{Op: r.Byte(), Entity: r.String()}
+	switch rec.Op {
+	case OpAdd:
+		n := r.Uvarint()
+		if r.Err() == nil && n > uint64(r.Remaining()) {
+			return Record{}, fmt.Errorf("wal: record claims %d elements in %d bytes", n, r.Remaining())
+		}
+		rec.Elements = make([]Element, 0, n)
+		for i := uint64(0); i < n; i++ {
+			rec.Elements = append(rec.Elements, Element{Name: r.String(), Count: r.Uint32()})
+		}
+	case OpRemove:
+	default:
+		return Record{}, fmt.Errorf("wal: unknown op %d", rec.Op)
+	}
+	if r.Err() != nil {
+		return Record{}, fmt.Errorf("wal: corrupt record: %w", r.Err())
+	}
+	if !r.Done() {
+		return Record{}, fmt.Errorf("wal: %d trailing bytes in record", r.Remaining())
+	}
+	return rec, nil
+}
+
+// loadSnapshot replays every entity of a snapshot file through apply.
+// Any corruption is a hard error: snapshots are fsynced before they are
+// renamed into place, so a damaged one cannot be a routine crash.
+func (l *Log) loadSnapshot(path string, apply func(Record) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	header, off, ok := parseFrame(data, 0)
+	if !ok {
+		return fmt.Errorf("wal: %s: corrupt snapshot header", path)
+	}
+	hr := codec.NewReader(header)
+	magic, measure := hr.String(), hr.String()
+	if hr.Err() != nil || !hr.Done() || magic != snapMagic {
+		return fmt.Errorf("wal: %s: not a snapshot file", path)
+	}
+	if measure != l.measure {
+		return fmt.Errorf("wal: %s: snapshot measure %q, index measure %q", path, measure, l.measure)
+	}
+	var count uint64
+	for {
+		payload, next, ok := parseFrame(data, off)
+		if !ok {
+			return fmt.Errorf("wal: %s: corrupt snapshot frame at byte %d", path, off)
+		}
+		off = next
+		if len(payload) > 0 && payload[0] == opTrailer {
+			tr := codec.NewReader(payload)
+			tr.Byte()
+			want := tr.Uvarint()
+			if tr.Err() != nil || !tr.Done() || want != count {
+				return fmt.Errorf("wal: %s: snapshot trailer wants %d entities, read %d", path, want, count)
+			}
+			if off != len(data) {
+				return fmt.Errorf("wal: %s: %d bytes after snapshot trailer", path, len(data)-off)
+			}
+			return nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("wal: %s: %w", path, err)
+		}
+		if rec.Op != OpAdd {
+			return fmt.Errorf("wal: %s: op %d record in snapshot", path, rec.Op)
+		}
+		count++
+		if err := apply(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// replayWAL feeds every intact record of the WAL at path to apply and
+// truncates the file at the first torn or corrupt frame — the shape a
+// crash mid-append leaves behind. A missing file replays nothing.
+func (l *Log) replayWAL(path string, apply func(Record) error) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	good := 0
+	for good < len(data) {
+		payload, next, ok := parseFrame(data, good)
+		if !ok {
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break // undecodable payload with a valid checksum: treat as torn
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+		good = next
+	}
+	if good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Append logs one record. The frame reaches the operating system before
+// Append returns (a process crash loses nothing) but is not fsynced (a
+// machine crash can lose it; Snapshot and Close fsync).
+//
+// A failed write may leave a partial frame at the file tail; appending
+// past it would strand every later record behind bytes recovery treats
+// as the torn end of the log. Append therefore rewinds the file to the
+// last intact frame on error, and if even that fails it poisons the
+// log: further appends are refused until a successful Snapshot rotates
+// to a fresh WAL file.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if l.werr != nil {
+		return l.werr
+	}
+	l.payload.Reset()
+	if err := encodeRecord(l.payload, rec); err != nil {
+		return err
+	}
+	frame, err := appendFrame(l.frame[:0], l.payload.Bytes())
+	l.frame = frame[:0]
+	if err != nil {
+		return err
+	}
+	n, err := l.f.Write(frame)
+	if err != nil {
+		if n > 0 {
+			if terr := l.f.Truncate(l.off); terr != nil {
+				l.werr = fmt.Errorf("wal: tail torn at %d and not rewindable (%v); snapshot to rotate the log", l.off, terr)
+			}
+		}
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.off += int64(n)
+	return nil
+}
+
+// Sync fsyncs the current WAL file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	return l.f.Sync()
+}
+
+// Snapshot cuts a new generation: it writes every record the iterator
+// emits (all must be OpAdd) to a temp snapshot, fsyncs and renames it
+// into place, starts a fresh empty WAL, and deletes the previous
+// generation. On error the log keeps its current generation and stays
+// usable. The iterator runs with the log lock held; it must not call
+// back into the log.
+func (l *Log) Snapshot(iter func(emit func(Record) error) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	next := l.gen + 1
+	tmp := filepath.Join(l.dir, snapName(next)+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+
+	var scratch []byte
+	writeFrame := func(payload []byte) error {
+		frame, err := appendFrame(scratch[:0], payload)
+		scratch = frame[:0]
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(frame)
+		return err
+	}
+	l.payload.Reset()
+	l.payload.PutString(snapMagic)
+	l.payload.PutString(l.measure)
+	if err := writeFrame(l.payload.Bytes()); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	var count uint64
+	err = iter(func(rec Record) error {
+		if rec.Op != OpAdd {
+			return fmt.Errorf("wal: snapshot records must be OpAdd, got %d", rec.Op)
+		}
+		l.payload.Reset()
+		if err := encodeRecord(l.payload, rec); err != nil {
+			return err
+		}
+		count++
+		return writeFrame(l.payload.Bytes())
+	})
+	if err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	l.payload.Reset()
+	l.payload.PutByte(opTrailer)
+	l.payload.PutUvarint(count)
+	if err := writeFrame(l.payload.Bytes()); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	if err := w.Flush(); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(next))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+
+	nf, err := os.OpenFile(filepath.Join(l.dir, walName(next)), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Roll the rename back: with the new snapshot gone the old
+		// generation stays authoritative and the log remains usable.
+		os.Remove(filepath.Join(l.dir, snapName(next)))
+		return fmt.Errorf("wal: snapshot: rotate wal: %w", err)
+	}
+	syncDir(l.dir)
+	old := l.gen
+	l.gen = next
+	l.f.Close()
+	l.f = nf
+	l.off = 0
+	l.werr = nil // a fresh WAL file clears any poisoned tail
+	os.Remove(filepath.Join(l.dir, snapName(old)))
+	os.Remove(filepath.Join(l.dir, walName(old)))
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable; best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close fsyncs and closes the current WAL. The log is unusable after.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Files lists the current generation's file names (for tests and
+// operational tooling), sorted.
+func (l *Log) Files() []string {
+	l.mu.Lock()
+	gen := l.gen
+	dir := l.dir
+	l.mu.Unlock()
+	var out []string
+	for _, name := range []string{snapName(gen), walName(gen)} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
