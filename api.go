@@ -105,6 +105,37 @@ func (d *Dataset) AddByID(entity uint64, counts map[uint64]uint32) {
 // Len reports the number of entities.
 func (d *Dataset) Len() int { return len(d.sets) }
 
+// Each calls fn for every entity in insertion order with its name and
+// element multiplicities, stopping early if fn returns false. Numbered
+// (AddByID) entities get the same synthesized names and "#<elem>"
+// element strings BuildIndex and AllPairs report for them. The counts
+// map is freshly built per call and may be retained by fn.
+func (d *Dataset) Each(fn func(entity string, counts map[string]uint32) bool) {
+	for _, m := range d.sets {
+		name, ok := d.names[m.ID]
+		if !ok {
+			name = fmt.Sprintf("%d", uint64(m.ID))
+		}
+		counts := make(map[string]uint32, len(m.Entries))
+		for _, e := range m.Entries {
+			// Named datasets intern through d.dict; numbered (AddByID)
+			// datasets have no string alphabet, so synthesize one. Branch
+			// on the dataset kind, not on Name() == "" — the empty string
+			// is a legitimate interned element name.
+			var elem string
+			if d.numbered {
+				elem = fmt.Sprintf("#%d", uint64(e.Elem))
+			} else {
+				elem = d.dict.Name(e.Elem)
+			}
+			counts[elem] += e.Count
+		}
+		if !fn(name, counts) {
+			return
+		}
+	}
+}
+
 // DefaultThreshold is the similarity cut-off used when Options.Threshold
 // is negative (unset).
 const DefaultThreshold = 0.5

@@ -527,3 +527,100 @@ func BenchmarkEngine(b *testing.B) {
 		}
 	}
 }
+
+// benchColdStartDataset builds the shared cold-start corpus once.
+func benchColdStartDataset(n int) *Dataset {
+	entities := benchIndexEntities(n)
+	d := NewDataset()
+	for i, counts := range entities {
+		d.Add(fmt.Sprintf("entity-%d", i), counts)
+	}
+	return d
+}
+
+// BenchmarkBulkBuild measures the offline cold-start path: materialize a
+// corpus as per-shard snapshot files (one batch job, no WAL appends) and
+// open them. Compare with BenchmarkColdStartPerAdd on the same corpus.
+func BenchmarkBulkBuild(b *testing.B) {
+	for _, n := range []int{10000, 50000} {
+		d := benchColdStartDataset(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dir := b.TempDir() + "/idx"
+				if _, err := BuildIndexFiles(d, IndexOptions{Measure: "ruzicka", Shards: 4, Dir: dir}); err != nil {
+					b.Fatal(err)
+				}
+				ix, err := OpenIndex(IndexOptions{Measure: "ruzicka", Shards: 4, Dir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ix.Len() != n {
+					b.Fatalf("len %d", ix.Len())
+				}
+				ix.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entities/s")
+		})
+	}
+}
+
+// BenchmarkColdStartPerAdd measures the same cold start through the
+// serving path: every entity WAL-appended and inserted one by one, with
+// the default snapshot cadence a daemon runs under — the only bootstrap
+// that existed before the bulk builder. The periodic snapshots make
+// this path superlinear in corpus size (every 4096 Adds rewrite the
+// shard so far), which is exactly why bulk loads do not belong on it.
+func BenchmarkColdStartPerAdd(b *testing.B) {
+	for _, n := range []int{10000, 50000} {
+		d := benchColdStartDataset(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix, err := NewIndex(IndexOptions{Measure: "ruzicka", Shards: 4, Dir: b.TempDir() + "/idx"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var addErr error
+				d.Each(func(entity string, counts map[string]uint32) bool {
+					addErr = ix.Add(entity, counts)
+					return addErr == nil
+				})
+				if addErr != nil {
+					b.Fatal(addErr)
+				}
+				if ix.Len() != n {
+					b.Fatalf("len %d", ix.Len())
+				}
+				ix.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entities/s")
+		})
+	}
+}
+
+// BenchmarkIndexOpen measures opening an already-built data dir — the
+// steady-state cold start of a restarting daemon. Snapshots load
+// through the sealed bulk path (no WAL replay, no upsert machinery),
+// so this is the number a -load-every-start bootstrap is up against.
+func BenchmarkIndexOpen(b *testing.B) {
+	for _, n := range []int{10000, 50000} {
+		d := benchColdStartDataset(n)
+		dir := b.TempDir() + "/idx"
+		opts := IndexOptions{Measure: "ruzicka", Shards: 4, Dir: dir}
+		if _, err := BuildIndexFiles(d, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix, err := OpenIndex(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ix.Len() != n {
+					b.Fatalf("len %d", ix.Len())
+				}
+				ix.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entities/s")
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package vsmartjoin
+
+import (
+	"errors"
+	"fmt"
+
+	"vsmartjoin/internal/build"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/similarity"
+)
+
+// BuildStats reports what BuildIndexFiles wrote.
+type BuildStats struct {
+	// Entities is the number of entities written across all shards.
+	Entities int64
+	// Shards is the shard count of the written layout.
+	Shards int
+	// SimulatedSeconds is the simulated cluster time of the underlying
+	// MapReduce build job (the same cost model AllPairs reports).
+	SimulatedSeconds float64
+	// SpilledBytes is the shuffle volume spilled to disk (0 unless
+	// BuildShuffleBufferBytes forced spilling).
+	SpilledBytes int64
+}
+
+// BuildIndexFiles materializes a Dataset as a durable index directory
+// at opts.Dir — the offline bulk path. Where BuildIndex with a Dir
+// WAL-appends every entity through the serving code, BuildIndexFiles
+// streams the corpus through the batch MapReduce machinery and writes
+// each shard's generation-1 snapshot file directly: cold-starting a
+// large corpus becomes one batch job instead of a million logged Adds.
+// The directory then opens with OpenIndex (or vsmartjoind -data-dir)
+// with zero WAL records to replay, answers queries exactly like an
+// index built by the same Adds, and accepts further durable mutations.
+//
+// opts.Dir is required and must not already hold anything; Measure and
+// Shards mean what they do for NewIndex and are fixed into the layout.
+// SnapshotEvery plays no role at build time. Entity IDs are assigned in
+// dataset insertion order, exactly as BuildIndex's Adds would assign
+// them, so the two paths produce identical results down to tie-breaks.
+func BuildIndexFiles(d *Dataset, opts IndexOptions) (BuildStats, error) {
+	var bs BuildStats
+	if opts.Dir == "" {
+		return bs, errors.New("vsmartjoin: BuildIndexFiles requires Dir")
+	}
+	name := opts.Measure
+	if name == "" {
+		name = "ruzicka"
+	}
+	m, err := similarity.ByName(name)
+	if err != nil {
+		return bs, err
+	}
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 0 || shards > maxShards {
+		return bs, fmt.Errorf("vsmartjoin: shard count %d outside [1, %d]", opts.Shards, maxShards)
+	}
+	stats, err := build.Build(bulkSource(d), build.Options{
+		Dir:                opts.Dir,
+		Measure:            m.Name(),
+		Shards:             shards,
+		ShuffleBufferBytes: opts.BuildShuffleBufferBytes,
+	})
+	if err != nil {
+		return bs, fmt.Errorf("vsmartjoin: build index files: %w", err)
+	}
+	bs.Entities = stats.Entities
+	bs.Shards = stats.Shards
+	bs.SimulatedSeconds = stats.Job.TotalSeconds
+	bs.SpilledBytes = stats.Job.SpilledBytes
+	return bs, nil
+}
+
+// bulkSource streams a Dataset into the builder with the exact ID
+// assignment and element encoding the incremental path would make: IDs
+// follow first-seen insertion order, elements encode through the same
+// walAddRecord the serving WAL uses (one canonical encoding keeps the
+// bulk-equals-incremental differential honest), and a name seen twice
+// (possible only via AddByID) yields its first ID again — the builder's
+// last-occurrence-wins dedup then reproduces Add's upsert. The yielded
+// entities are transient: the builder encodes each straight into its
+// job-input record, so beyond that input no intermediate copy of the
+// corpus is materialized.
+func bulkSource(d *Dataset) build.Source {
+	return func(yield func(build.Entity) bool) {
+		if d == nil {
+			return
+		}
+		byName := make(map[string]uint64, d.Len())
+		d.Each(func(entity string, counts map[string]uint32) bool {
+			id, ok := byName[entity]
+			if !ok {
+				id = uint64(len(byName) + 1)
+				byName[entity] = id
+			}
+			rec := walAddRecord(multiset.ID(id), entity, counts)
+			return yield(build.Entity{ID: id, Name: entity, Elements: rec.Elements})
+		})
+	}
+}

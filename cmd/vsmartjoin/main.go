@@ -1,26 +1,34 @@
 // Command vsmartjoin runs an exact all-pair similarity join over a TSV
-// trace of entity–element observations.
+// trace of entity–element observations, or bulk-builds a serving index
+// from the same trace.
 //
-// Input format (stdin or -in file), one observation per line:
+// Input format (stdin or -in file, gzip-decompressed on a .gz suffix),
+// one observation per line:
 //
 //	entity<TAB>element<TAB>count
 //
 // The count column is optional (default 1). Output: one similar pair per
 // line, "entityA<TAB>entityB<TAB>similarity", sorted.
 //
-// Example:
+// With -build-index the trace is not joined: it streams through the
+// batch machinery into a durable index directory — per-shard snapshot
+// files a vsmartjoind daemon (or vsmartjoin.OpenIndex) opens instantly,
+// with no write-ahead log to replay. This is the cold-start path for
+// large corpora: one batch job instead of one logged Add per entity.
+//
+// Examples:
 //
 //	vsmartjoin -measure ruzicka -t 0.5 -algorithm sharding -in trace.tsv
+//	vsmartjoin -measure ruzicka -shards 8 -build-index /var/lib/vsmartjoin -in trace.tsv.gz
+//	vsmartjoind -measure ruzicka -data-dir /var/lib/vsmartjoin
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"strconv"
 	"strings"
 
 	"vsmartjoin"
@@ -30,18 +38,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vsmartjoin: ")
 	var (
-		in        = flag.String("in", "", "input TSV file (default stdin)")
-		measure   = flag.String("measure", "ruzicka", "similarity measure: ruzicka, jaccard, dice, set-dice, cosine, set-cosine, vector-cosine, overlap")
-		threshold = flag.Float64("t", 0.5, "similarity threshold in [0,1]")
-		algorithm = flag.String("algorithm", "online-aggregation", "joining algorithm: online-aggregation, lookup, sharding")
-		machines  = flag.Int("machines", 16, "simulated cluster size")
-		memory    = flag.Int64("memory", 1<<30, "simulated per-machine memory budget in bytes")
-		hadoop    = flag.Bool("hadoop", false, "Hadoop-compatible mode (no secondary keys)")
-		shufbuf   = flag.Int64("shuffle-buffer", 0, "per-map-task shuffle buffer in bytes before spilling sorted runs to disk (0 = all in memory)")
-		stopq     = flag.Int("stopq", 0, "drop elements shared by more than q entities (0 = keep all)")
-		shardc    = flag.Int("shardc", 0, "Sharding split parameter C (0 = default)")
-		comms     = flag.Bool("communities", false, "print connected components instead of pairs")
-		showStats = flag.Bool("stats", false, "print simulated cluster stats to stderr")
+		in         = flag.String("in", "", "input TSV file, .gz accepted (default stdin)")
+		measure    = flag.String("measure", "ruzicka", "similarity measure: ruzicka, jaccard, dice, set-dice, cosine, set-cosine, vector-cosine, overlap")
+		threshold  = flag.Float64("t", 0.5, "similarity threshold in [0,1]")
+		algorithm  = flag.String("algorithm", "online-aggregation", "joining algorithm: online-aggregation, lookup, sharding")
+		machines   = flag.Int("machines", 16, "simulated cluster size")
+		memory     = flag.Int64("memory", 1<<30, "simulated per-machine memory budget in bytes")
+		hadoop     = flag.Bool("hadoop", false, "Hadoop-compatible mode (no secondary keys)")
+		shufbuf    = flag.Int64("shuffle-buffer", 0, "per-map-task shuffle buffer in bytes before spilling sorted runs to disk (0 = all in memory)")
+		stopq      = flag.Int("stopq", 0, "drop elements shared by more than q entities (0 = keep all)")
+		shardc     = flag.Int("shardc", 0, "Sharding split parameter C (0 = default)")
+		comms      = flag.Bool("communities", false, "print connected components instead of pairs")
+		showStats  = flag.Bool("stats", false, "print simulated cluster stats to stderr")
+		buildIndex = flag.String("build-index", "", "bulk-build a durable serving index into this directory instead of joining")
+		shards     = flag.Int("shards", 1, "shard count of the built index (with -build-index)")
 	)
 	flag.Parse()
 	// The library treats negative thresholds as "use the default"; the flag
@@ -50,21 +60,34 @@ func main() {
 		log.Fatalf("threshold %v outside [0, 1]", *threshold)
 	}
 
-	var r io.Reader = os.Stdin
+	var d *vsmartjoin.Dataset
+	var lines int
+	var err error
 	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		r = f
+		d, lines, err = vsmartjoin.ReadTraceFile(*in)
+	} else {
+		d, lines, err = vsmartjoin.ReadTrace(os.Stdin)
 	}
-	d, lines, err := readTrace(r)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *showStats {
 		fmt.Fprintf(os.Stderr, "read %d observations, %d entities\n", lines, d.Len())
+	}
+
+	if *buildIndex != "" {
+		bs, err := vsmartjoin.BuildIndexFiles(d, vsmartjoin.IndexOptions{
+			Measure:                 *measure,
+			Shards:                  *shards,
+			Dir:                     *buildIndex,
+			BuildShuffleBufferBytes: *shufbuf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "built %s: %d entities in %d shards (simulated %.1fs, spilled %dB)\n",
+			*buildIndex, bs.Entities, bs.Shards, bs.SimulatedSeconds, bs.SpilledBytes)
+		return
 	}
 
 	res, err := vsmartjoin.AllPairs(d, vsmartjoin.Options{
@@ -98,50 +121,4 @@ func main() {
 			len(res.Pairs), res.Stats.Jobs, res.Stats.TotalSeconds,
 			res.Stats.JoiningSeconds, res.Stats.SimilaritySeconds, res.Stats.SpilledBytes)
 	}
-}
-
-// readTrace parses the TSV observation format.
-func readTrace(r io.Reader) (*vsmartjoin.Dataset, int, error) {
-	d := vsmartjoin.NewDataset()
-	counts := map[string]map[string]uint32{}
-	var order []string
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lines := 0
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Split(line, "\t")
-		if len(fields) < 2 {
-			return nil, lines, fmt.Errorf("line %d: want entity<TAB>element[<TAB>count], got %q", lines+1, line)
-		}
-		count := uint32(1)
-		if len(fields) >= 3 {
-			n, err := strconv.ParseUint(fields[2], 10, 32)
-			if err != nil {
-				return nil, lines, fmt.Errorf("line %d: bad count %q: %v", lines+1, fields[2], err)
-			}
-			count = uint32(n)
-		}
-		m := counts[fields[0]]
-		if m == nil {
-			m = map[string]uint32{}
-			counts[fields[0]] = m
-			order = append(order, fields[0])
-		}
-		m[fields[1]] += count
-		lines++
-	}
-	if err := sc.Err(); err != nil {
-		return nil, lines, err
-	}
-	// Add entities in first-seen order, not map order: entity IDs feed the
-	// record keys and partition hashes, so identical inputs must produce
-	// identical simulated runs.
-	for _, entity := range order {
-		d.Add(entity, counts[entity])
-	}
-	return d, lines, nil
 }

@@ -10,6 +10,7 @@
 //	POST /query    {"elements": {"cookie-a": 3}, "topk": 10}
 //	POST /query    {"entity": "ip-1", "threshold": 0.5}   (query by indexed entity)
 //	POST /snapshot {}                                     (force a durable snapshot)
+//	GET  /healthz                                         (liveness: 200 once serving)
 //	GET  /stats
 //
 // Add replaces any previous entity of the same name (upsert). A query
@@ -17,12 +18,22 @@
 // "threshold" in [0,1] or a positive "topk".
 //
 // With -data-dir the index is durable: mutations are written ahead to a
-// log under the directory, snapshots truncate it every -snapshot-every
-// mutations (or on POST /snapshot), and a killed daemon restarts into
-// exactly its prior state. -shards partitions the index for parallel
-// query fan-out and per-shard write locking. On SIGINT/SIGTERM the
-// daemon stops accepting connections, drains in-flight requests, writes
-// a final snapshot, and exits.
+// per-shard log under the directory, snapshots truncate each shard's
+// log every -snapshot-every mutations (or on POST /snapshot), and a
+// killed daemon restarts into exactly its prior state. -shards
+// partitions the index for parallel query fan-out and per-shard write
+// locking (0 adopts the shard count found on disk). On SIGINT/SIGTERM
+// the daemon stops accepting connections, drains in-flight requests,
+// writes a final snapshot, and exits.
+//
+// -load preloads a TSV trace (gzip-decompressed on a .gz suffix). When
+// -data-dir names a directory with no index yet, the trace is
+// bulk-built into snapshot files first and then opened — one batch job
+// instead of one write-ahead-logged Add per entity — so cold-starting a
+// large corpus costs what the hardware can stream, not what the WAL
+// path can append. A data dir that already holds an index recovers it
+// and applies the trace as ordinary (logged) upserts; without -data-dir
+// the trace per-Add-loads a volatile index.
 //
 // Example:
 //
@@ -31,7 +42,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -42,8 +52,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
@@ -56,31 +64,22 @@ func main() {
 	var (
 		addr          = flag.String("addr", "localhost:8321", "listen address")
 		measure       = flag.String("measure", "ruzicka", "similarity measure: ruzicka, jaccard, dice, set-dice, cosine, set-cosine, vector-cosine, overlap")
-		load          = flag.String("load", "", "TSV trace to preload (entity<TAB>element[<TAB>count] per line)")
-		shards        = flag.Int("shards", 1, "hash-partitioned index shards (parallel query fan-out, per-shard write locks)")
-		dataDir       = flag.String("data-dir", "", "durability directory (write-ahead log + snapshots); empty = volatile")
+		load          = flag.String("load", "", "TSV trace to preload (entity<TAB>element[<TAB>count] per line, .gz accepted)")
+		shards        = flag.Int("shards", 0, "hash-partitioned index shards (parallel query fan-out, per-shard write locks); 0 = adopt an existing data-dir's count, else 1")
+		dataDir       = flag.String("data-dir", "", "durability directory (per-shard write-ahead logs + snapshots); empty = volatile")
 		snapshotEvery = flag.Int("snapshot-every", 4096, "mutations between automatic snapshots (needs -data-dir; negative = only on /snapshot and shutdown)")
 	)
 	flag.Parse()
 
-	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{
+	opts := vsmartjoin.IndexOptions{
 		Measure:       *measure,
 		Shards:        *shards,
 		Dir:           *dataDir,
 		SnapshotEvery: *snapshotEvery,
-	})
+	}
+	ix, err := openIndex(opts, *load, log.Printf)
 	if err != nil {
 		log.Fatal(err)
-	}
-	if *dataDir != "" {
-		log.Printf("recovered %d entities from %s", ix.Len(), *dataDir)
-	}
-	if *load != "" {
-		n, err := preload(ix, *load)
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("preloaded %d entities from %s", n, *load)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -89,7 +88,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving %s similarity on http://%s (%d shards)", *measure, ln.Addr(), *shards)
+	log.Printf("serving %s similarity on http://%s (%d shards)", *measure, ln.Addr(), ix.Stats().Shards)
 	if err := serve(ctx, &http.Server{Handler: newServer(ix)}, ln, ix); err != nil {
 		log.Fatal(err)
 	}
@@ -118,52 +117,88 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, ix *vsmartjoi
 	return ix.Close()
 }
 
-// preload feeds a cmd/vsmartjoin-format TSV trace into the index,
-// merging repeated observations of an entity before the (upsert) Add.
+// openIndex brings up the index for the flag combination: recover an
+// existing data dir, bulk-build a fresh one from the -load trace, or
+// fall back to a volatile (or freshly created durable) index with the
+// trace applied as per-record Adds. logf keeps the decision visible in
+// the daemon log; tests pass a no-op.
+func openIndex(opts vsmartjoin.IndexOptions, load string, logf func(string, ...any)) (*vsmartjoin.Index, error) {
+	if opts.Dir == "" {
+		ix, err := vsmartjoin.NewIndex(opts)
+		if err != nil {
+			return nil, err
+		}
+		if load != "" {
+			n, err := preload(ix, load)
+			if err != nil {
+				return nil, err
+			}
+			logf("preloaded %d entities from %s", n, load)
+		}
+		return ix, nil
+	}
+
+	ix, err := vsmartjoin.OpenIndex(opts)
+	switch {
+	case err == nil:
+		logf("recovered %d entities from %s (generation %d)", ix.Len(), opts.Dir, ix.Generation())
+		// An existing index already absorbed any earlier bulk load; the
+		// trace applies as ordinary upserts on top of it.
+		if load != "" {
+			n, err := preload(ix, load)
+			if err != nil {
+				ix.Close()
+				return nil, err
+			}
+			logf("preloaded %d entities from %s", n, load)
+		}
+		return ix, nil
+	case errors.Is(err, vsmartjoin.ErrNoIndex) && load != "":
+		// Fresh data dir + trace: the bulk path. Build snapshot files as
+		// a batch job, then open them — no per-record WAL appends.
+		d, _, err := vsmartjoin.ReadTraceFile(load)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := vsmartjoin.BuildIndexFiles(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := vsmartjoin.OpenIndex(opts)
+		if err != nil {
+			return nil, err
+		}
+		logf("bulk-built %d entities in %d shards from %s into %s", bs.Entities, bs.Shards, load, opts.Dir)
+		return ix, nil
+	case errors.Is(err, vsmartjoin.ErrNoIndex):
+		ix, err := vsmartjoin.NewIndex(opts)
+		if err != nil {
+			return nil, err
+		}
+		logf("created empty index at %s", opts.Dir)
+		return ix, nil
+	default:
+		return nil, err
+	}
+}
+
+// preload feeds a cmd/vsmartjoin-format TSV trace (.gz accepted) into
+// the index, merging repeated observations of an entity before the
+// (upsert) Add.
 func preload(ix *vsmartjoin.Index, path string) (int, error) {
-	f, err := os.Open(path)
+	d, _, err := vsmartjoin.ReadTraceFile(path)
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
-	counts := map[string]map[string]uint32{}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Split(text, "\t")
-		if len(fields) < 2 {
-			return 0, fmt.Errorf("%s:%d: want entity<TAB>element[<TAB>count], got %q", path, line, text)
-		}
-		count := uint32(1)
-		if len(fields) >= 3 {
-			n, err := strconv.ParseUint(fields[2], 10, 32)
-			if err != nil {
-				return 0, fmt.Errorf("%s:%d: bad count %q: %v", path, line, fields[2], err)
-			}
-			count = uint32(n)
-		}
-		m := counts[fields[0]]
-		if m == nil {
-			m = map[string]uint32{}
-			counts[fields[0]] = m
-		}
-		m[fields[1]] += count
+	var addErr error
+	d.Each(func(entity string, counts map[string]uint32) bool {
+		addErr = ix.Add(entity, counts)
+		return addErr == nil
+	})
+	if addErr != nil {
+		return 0, addErr
 	}
-	if err := sc.Err(); err != nil {
-		return 0, err
-	}
-	for entity, m := range counts {
-		if err := ix.Add(entity, m); err != nil {
-			return 0, err
-		}
-	}
-	return len(counts), nil
+	return d.Len(), nil
 }
 
 // server wires the index to the HTTP API. Split from main so tests can
@@ -179,6 +214,7 @@ func newServer(ix *vsmartjoin.Index) http.Handler {
 	s.mux.HandleFunc("POST /remove", s.handleRemove)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s.mux
 }
@@ -356,6 +392,19 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"snapshot": true, "entities": s.ix.Len()})
+}
+
+// handleHealthz is the load-balancer liveness probe: the handler is
+// only registered once recovery and preload finished, so any answer at
+// all means the daemon is serving. The payload carries the durable
+// generation (0 for a volatile index) and the live entity count, cheap
+// enough for aggressive probe intervals.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"serving":    true,
+		"generation": s.ix.Generation(),
+		"entities":   s.ix.Len(),
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

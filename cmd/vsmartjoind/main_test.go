@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"net"
@@ -262,5 +264,147 @@ func TestPreload(t *testing.T) {
 	}
 	if _, err := preload(ix, bad); err == nil {
 		t.Fatal("malformed line should error")
+	}
+}
+
+// TestDaemonHealthz: the liveness endpoint answers 200 with the
+// generation and entity count once the handler is serving.
+func TestDaemonHealthz(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: "ruzicka", Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ts := httptest.NewServer(newServer(ix))
+	defer ts.Close()
+	if err := ix.Add("a", map[string]uint32{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["serving"] != true || out["entities"].(float64) != 1 || out["generation"].(float64) != 1 {
+		t.Fatalf("healthz payload: %v", out)
+	}
+}
+
+const healthzTrace = "ip-1\ta\t3\n" +
+	"ip-1\tb\n" +
+	"ip-2\ta\t3\n" +
+	"ip-2\tb\t1\n" +
+	"ip-3\tz\t9\n"
+
+// TestPreloadGzip: -load sniffs a .gz suffix and decompresses.
+func TestPreloadGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.tsv.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(healthzTrace)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := preload(ix, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || ix.Len() != 3 {
+		t.Fatalf("preloaded %d, len %d", n, ix.Len())
+	}
+	got, err := ix.QueryEntity("ip-1", 0.9)
+	if err != nil || len(got) != 1 || got[0].Entity != "ip-2" {
+		t.Fatalf("gzip trace mismatch: %v %v", got, err)
+	}
+}
+
+// TestOpenIndexBulkBootstrap drives the daemon's -load + -data-dir
+// decision: a fresh data dir bulk-builds the trace into snapshot files
+// (zero WAL replay), a second start recovers the files without the
+// trace, and a third start with the trace upserts through the
+// incremental path.
+func TestOpenIndexBulkBootstrap(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.tsv")
+	if err := os.WriteFile(trace, []byte(healthzTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "data")
+	opts := vsmartjoin.IndexOptions{Measure: "ruzicka", Dir: dir, Shards: 2}
+	logf := func(string, ...any) {}
+
+	ix, err := openIndex(opts, trace, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 || ix.Generation() != 1 {
+		t.Fatalf("bulk bootstrap: len %d gen %d", ix.Len(), ix.Generation())
+	}
+	// Bulk path means snapshot files, not WAL records: every shard WAL
+	// must be empty right after the bootstrap.
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), "wal-") {
+			st, err := d.Info()
+			if err != nil {
+				return err
+			}
+			if st.Size() != 0 {
+				t.Fatalf("bootstrap left %d WAL bytes in %s", st.Size(), path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart without the trace: plain recovery.
+	ix2, err := openIndex(opts, "", logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 3 {
+		t.Fatalf("recovered len %d", ix2.Len())
+	}
+	if err := ix2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with the trace against the existing index: incremental
+	// upserts (idempotent here — same entities).
+	ix3, err := openIndex(opts, trace, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix3.Close()
+	if ix3.Len() != 3 {
+		t.Fatalf("re-preloaded len %d", ix3.Len())
+	}
+	got, err := ix3.QueryEntity("ip-1", 0.9)
+	if err != nil || len(got) != 1 || got[0].Entity != "ip-2" {
+		t.Fatalf("query after restart: %v %v", got, err)
 	}
 }

@@ -59,15 +59,18 @@
 //   - Shards hash-partitions the index by entity: mutations lock only
 //     the owning shard and queries fan out to every shard in parallel,
 //     merging into exactly the single-shard answer (internal/shard).
+//     For a durable index the count is part of the on-disk layout (one
+//     log directory per shard); Shards == 0 adopts an existing dir's
+//     count.
 //
-//   - Dir makes the index durable: every Add/Remove is appended to a
-//     write-ahead log before it is applied, so a killed process — even
-//     one dying mid-append, leaving a torn frame — reopens into exactly
-//     its prior state (internal/wal).
+//   - Dir makes the index durable: every Add/Remove is appended to the
+//     owning shard's write-ahead log before it is applied, so a killed
+//     process — even one dying mid-append, leaving a torn frame —
+//     reopens into exactly its prior state (internal/wal).
 //
-//   - SnapshotEvery sets how many logged mutations trigger an automatic
-//     full snapshot, which truncates the log; Snapshot forces one and
-//     Close writes a final one.
+//   - SnapshotEvery sets how many mutations logged to one shard trigger
+//     an automatic snapshot of that shard, which truncates its log;
+//     Snapshot forces one for every shard and Close writes final ones.
 //
 // A production-shaped serving index combines them:
 //
@@ -79,6 +82,32 @@
 //	})
 //	if err != nil { ... }
 //	defer ix.Close()
+//
+// # Bulk building
+//
+// Cold-starting a large corpus through Add would write one WAL record
+// per entity — a million logged appends before the first query.
+// BuildIndexFiles instead runs the corpus through the batch MapReduce
+// machinery (internal/build) and writes every shard's snapshot file
+// directly; OpenIndex then loads the result with zero WAL records to
+// replay, through a sealed bulk-load path that skips the upsert
+// machinery entirely:
+//
+//	_, err := vsmartjoin.BuildIndexFiles(d, vsmartjoin.IndexOptions{
+//		Measure: "ruzicka",
+//		Shards:  8,
+//		Dir:     "/var/lib/vsmartjoin",
+//	})
+//	if err != nil { ... }
+//	ix, err := vsmartjoin.OpenIndex(vsmartjoin.IndexOptions{Dir: "/var/lib/vsmartjoin"})
+//
+// A bulk-built directory is indistinguishable from one the serving path
+// wrote: it answers queries identically to an index built by the same
+// Adds (down to tie-breaks) and accepts further durable mutations, with
+// the write-ahead logs resuming on top of the built snapshots. The
+// cmd/vsmartjoin -build-index flag exposes the builder on the command
+// line, and cmd/vsmartjoind bootstraps through it when -load points at
+// a trace and -data-dir at a directory with no index yet.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.

@@ -16,28 +16,34 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
 
-// tearWALTail appends a partial frame to the current WAL file under
-// dir, simulating a process killed mid-append.
+// tearWALTail appends a partial frame to one shard's current WAL file
+// under the data dir, simulating a process killed mid-append. The shard
+// is chosen at random: any shard's log must recover from a torn tail.
 func tearWALTail(t *testing.T, dir string, rng *rand.Rand) {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
+	var wals []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), "wal-") {
+			wals = append(wals, path)
+		}
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var current string
-	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "wal-") && e.Name() > current {
-			current = e.Name()
-		}
-	}
-	if current == "" {
+	if len(wals) == 0 {
 		t.Fatal("no wal file to tear")
 	}
-	f, err := os.OpenFile(filepath.Join(dir, current), os.O_WRONLY|os.O_APPEND, 0)
+	sort.Strings(wals) // deterministic order under the seeded rng
+	f, err := os.OpenFile(wals[rng.Intn(len(wals))], os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package vsmartjoin
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -20,16 +21,22 @@ var ErrNotDurable = errors.New("vsmartjoin: index has no durability directory")
 // ErrIndexClosed is returned by mutations and snapshots after Close.
 var ErrIndexClosed = errors.New("vsmartjoin: index is closed")
 
+// ErrNoIndex is returned by OpenIndex when the directory holds no index
+// (missing, empty, or never built). NewIndex treats the same situation
+// as "create a fresh one".
+var ErrNoIndex = errors.New("vsmartjoin: directory holds no index")
+
 // defaultSnapshotEvery is the automatic snapshot cadence: the number of
-// logged mutations after which a durable index cuts a snapshot and
-// truncates its write-ahead log.
+// mutations logged to one shard after which that shard cuts a snapshot
+// and truncates its write-ahead log.
 const defaultSnapshotEvery = 4096
 
 // maxShards bounds IndexOptions.Shards: past this the fan-out overhead
 // of a query dwarfs any lock-contention win.
 const maxShards = 1024
 
-// IndexOptions configures NewIndex and BuildIndex.
+// IndexOptions configures NewIndex, OpenIndex, BuildIndex, and
+// BuildIndexFiles.
 type IndexOptions struct {
 	// Measure is the similarity measure name (default "ruzicka"); it is
 	// fixed for the life of the index because posting-list pruning bounds
@@ -44,19 +51,39 @@ type IndexOptions struct {
 	// writers stop serializing against the whole dataset. Shard counts
 	// around GOMAXPROCS are a good default for write-heavy loads; a
 	// read-only index gains little from sharding.
+	//
+	// For a durable index the shard count is part of the on-disk layout
+	// (one log directory per shard). Opening an existing data dir with
+	// Shards == 0 adopts the count found on disk; a nonzero count that
+	// disagrees with the disk is refused, since the routing hash would
+	// scatter entities away from the files that hold them.
 	Shards int
 
 	// Dir, when non-empty, makes the index durable: every Add/Remove is
-	// appended to a write-ahead log under Dir before it is applied, and
-	// periodic snapshots truncate the log. NewIndex recovers the prior
-	// state (snapshot load + log replay, tolerating a torn final frame)
-	// from a Dir that already holds one. Empty means fully in-memory.
+	// appended to the owning shard's write-ahead log under Dir before it
+	// is applied, and periodic snapshots truncate the logs. NewIndex
+	// recovers the prior state (snapshot load + log replay, tolerating a
+	// torn final frame) from a Dir that already holds one; OpenIndex
+	// does the same but refuses to start fresh. Empty means fully
+	// in-memory. The layout under Dir is one subdirectory per shard
+	// ("shard-000", ...), each holding one snap-<gen>/wal-<gen>
+	// generation — the same files the bulk builder (BuildIndexFiles)
+	// writes, so a batch-built dir and a serving-written dir are
+	// interchangeable.
 	Dir string
 
-	// SnapshotEvery is the number of logged mutations between automatic
-	// snapshots (default 4096). Negative disables automatic snapshots —
-	// the log then grows until Snapshot or Close. Ignored without Dir.
+	// SnapshotEvery is the number of mutations logged to one shard
+	// between automatic snapshots of that shard (default 4096). Negative
+	// disables automatic snapshots — the logs then grow until Snapshot
+	// or Close. Ignored without Dir.
 	SnapshotEvery int
+
+	// BuildShuffleBufferBytes caps per-map-task shuffle memory of the
+	// offline BuildIndexFiles job before sorted runs spill to disk
+	// (0 = all in memory); see Options.ShuffleBufferBytes for the
+	// mechanism. It tunes only the bulk build, never the index the
+	// files open into, and is ignored by NewIndex/OpenIndex/BuildIndex.
+	BuildShuffleBufferBytes int64
 }
 
 // Match is one online query result.
@@ -70,13 +97,16 @@ type Match struct {
 // Probes → Candidates → Verified → Results funnel describes. Entities,
 // Adds, Removes and the query counters are global; Elements and
 // Postings are summed across shards (an element present in several
-// shards counts once per shard).
+// shards counts once per shard). Generation is the highest write-ahead
+// log generation across shards (0 for a volatile index); bulk-built
+// directories open at generation 1.
 type IndexStats struct {
-	Measure  string `json:"measure"`
-	Shards   int    `json:"shards"`
-	Entities int    `json:"entities"`
-	Elements int    `json:"elements"`
-	Postings int    `json:"postings"`
+	Measure    string `json:"measure"`
+	Shards     int    `json:"shards"`
+	Generation uint64 `json:"generation"`
+	Entities   int    `json:"entities"`
+	Elements   int    `json:"elements"`
+	Postings   int    `json:"postings"`
 
 	Adds        int64 `json:"adds"`
 	Removes     int64 `json:"removes"`
@@ -110,10 +140,9 @@ type Index struct {
 	names  map[multiset.ID]string
 	nextID multiset.ID
 
-	log           *wal.Log // nil for a volatile index
+	logs          []*wal.Log // nil for a volatile index; one per shard otherwise
 	snapshotEvery int
-	logged        int   // mutations since the last snapshot; guarded by mu
-	snapErr       error // last automatic-snapshot failure; guarded by mu
+	logged        []int // per-shard mutations since that shard's snapshot; guarded by mu
 	closed        bool
 }
 
@@ -121,6 +150,25 @@ type Index struct {
 // creates) the durability directory and recovers any prior state, so a
 // killed process restarts into exactly the entities it had indexed.
 func NewIndex(opts IndexOptions) (*Index, error) {
+	return newIndex(opts, true)
+}
+
+// OpenIndex opens an existing durable index — typically one built
+// offline by BuildIndexFiles or vsmartjoin -build-index. It behaves
+// exactly like NewIndex with the same options except that a directory
+// holding no index is ErrNoIndex instead of a fresh empty index, so a
+// misspelled path cannot silently serve nothing. A freshly bulk-built
+// dir opens with zero WAL records to replay: the snapshots load through
+// the sealed bulk path and the index is immediately ready for queries
+// and for further durable Add/Remove.
+func OpenIndex(opts IndexOptions) (*Index, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("vsmartjoin: OpenIndex requires Dir")
+	}
+	return newIndex(opts, false)
+}
+
+func newIndex(opts IndexOptions, create bool) (*Index, error) {
 	name := opts.Measure
 	if name == "" {
 		name = "ruzicka"
@@ -129,12 +177,29 @@ func NewIndex(opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Shards < 0 || opts.Shards > maxShards {
+		return nil, fmt.Errorf("vsmartjoin: shard count %d outside [1, %d]", opts.Shards, maxShards)
+	}
 	shards := opts.Shards
+	if opts.Dir != "" {
+		diskShards, err := wal.CountShardDirs(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("vsmartjoin: open index dir: %w", err)
+		}
+		if diskShards == 0 && !create {
+			return nil, fmt.Errorf("%w: %s", ErrNoIndex, opts.Dir)
+		}
+		if diskShards > 0 {
+			if shards == 0 {
+				shards = diskShards
+			} else if shards != diskShards {
+				return nil, fmt.Errorf("vsmartjoin: %s holds %d shards, options ask for %d",
+					opts.Dir, diskShards, shards)
+			}
+		}
+	}
 	if shards == 0 {
 		shards = 1
-	}
-	if shards < 0 || shards > maxShards {
-		return nil, fmt.Errorf("vsmartjoin: shard count %d outside [1, %d]", opts.Shards, maxShards)
 	}
 	snapshotEvery := opts.SnapshotEvery
 	if snapshotEvery == 0 {
@@ -150,28 +215,141 @@ func NewIndex(opts IndexOptions) (*Index, error) {
 		snapshotEvery: snapshotEvery,
 	}
 	if opts.Dir != "" {
-		// Recovery replays into the same apply path live mutations use.
-		// The index is not yet shared, so no locking is needed here.
-		l, err := wal.Open(opts.Dir, m.Name(), func(rec wal.Record) error {
-			switch rec.Op {
-			case wal.OpAdd:
-				ix.applyAddLocked(rec.Entity, ix.internElements(rec.Elements))
-			case wal.OpRemove:
-				ix.applyRemoveLocked(rec.Entity)
-			default:
-				return fmt.Errorf("vsmartjoin: recover: unknown wal op %d", rec.Op)
+		if err := ix.openLogs(opts.Dir); err != nil {
+			for _, l := range ix.logs {
+				if l != nil {
+					l.Close()
+				}
 			}
-			return nil
-		})
-		if err != nil {
 			return nil, fmt.Errorf("vsmartjoin: open index dir: %w", err)
 		}
-		ix.log = l
 	}
 	return ix, nil
 }
 
-// BuildIndex bulk-loads every entity of a Dataset into a fresh index.
+// recovered is one live entity reconstructed from a shard's files.
+type recovered struct {
+	id   multiset.ID
+	name string
+	set  multiset.Multiset
+}
+
+// openLogs recovers every shard's log directory under dir and
+// bulk-loads the result. Each shard's snapshot + WAL replays into
+// shard-local tables first (cheap maps, no index structures), because
+// only within one shard are events totally ordered; the shard-local
+// live sets are then merged into the global name tables and fed through
+// the sealed internal/index bulk path in one pass per shard. A name
+// claimed by two shards — possible only when a machine crash loses one
+// shard's un-fsynced WAL tail while a later record in another shard
+// survived — resolves to the higher entity ID: IDs are assigned
+// monotonically, so the higher one is always the more recent add.
+// The index is not yet shared, so no locking is needed here.
+func (ix *Index) openLogs(dir string) error {
+	n := ix.inner.Shards()
+	ix.logs = make([]*wal.Log, n)
+	ix.logged = make([]int, n)
+	perShard := make([][]recovered, n)
+	for i := 0; i < n; i++ {
+		local := make(map[multiset.ID]recovered)
+		localByName := make(map[string]multiset.ID)
+		apply := func(rec wal.Record, inSnapshot bool) error {
+			switch rec.Op {
+			case wal.OpAdd:
+				id := multiset.ID(rec.ID)
+				if id == 0 {
+					return fmt.Errorf("recover: entity %q has no ID", rec.Entity)
+				}
+				if shard.ShardOf(id, n) != i {
+					return fmt.Errorf("recover: entity %d routes to shard %d but its record is in %s (was the index built with a different shard count?)",
+						id, shard.ShardOf(id, n), wal.ShardDirName(i))
+				}
+				if old, ok := localByName[rec.Entity]; ok && old != id {
+					if inSnapshot {
+						return fmt.Errorf("recover: %s: snapshot holds entity %q twice (IDs %d and %d)",
+							wal.ShardDirName(i), rec.Entity, old, id)
+					}
+					// Within one ordered log this means the remove that
+					// freed the name was lost; the newer add supersedes it.
+					delete(local, old)
+				}
+				local[id] = recovered{id: id, name: rec.Entity, set: multiset.New(id, ix.internElements(rec.Elements))}
+				localByName[rec.Entity] = id
+			case wal.OpRemove:
+				if id, ok := localByName[rec.Entity]; ok {
+					delete(local, id)
+					delete(localByName, rec.Entity)
+				}
+			default:
+				return fmt.Errorf("recover: unknown wal op %d", rec.Op)
+			}
+			return nil
+		}
+		l, err := wal.Open(filepath.Join(dir, wal.ShardDirName(i)), ix.measure.Name(),
+			func(rec wal.Record) error { return apply(rec, true) },
+			func(rec wal.Record) error { return apply(rec, false) })
+		if err != nil {
+			return err
+		}
+		ix.logs[i] = l
+		perShard[i] = make([]recovered, 0, len(local))
+		for _, r := range local {
+			perShard[i] = append(perShard[i], r)
+		}
+		sort.Slice(perShard[i], func(a, b int) bool { return perShard[i][a].id < perShard[i][b].id })
+	}
+
+	// Cross-shard merge: resolve duplicate names (higher ID wins), then
+	// bulk-load each shard's survivors and build the global name tables.
+	owner := make(map[string]multiset.ID)
+	for _, shardEnts := range perShard {
+		for _, r := range shardEnts {
+			if old, ok := owner[r.name]; !ok || r.id > old {
+				owner[r.name] = r.id
+			}
+		}
+	}
+	var conflicted []int
+	for i, shardEnts := range perShard {
+		sets := make([]multiset.Multiset, 0, len(shardEnts))
+		stale := false
+		for _, r := range shardEnts {
+			if owner[r.name] != r.id {
+				stale = true
+				continue // superseded by a newer add in another shard
+			}
+			sets = append(sets, r.set)
+			ix.byName[r.name] = r.id
+			ix.names[r.id] = r.name
+			if r.id >= ix.nextID {
+				ix.nextID = r.id + 1
+			}
+		}
+		if err := ix.inner.At(i).BulkLoad(sets); err != nil {
+			return err
+		}
+		if stale {
+			conflicted = append(conflicted, i)
+		}
+	}
+	// A shard that held a superseded entry resolved it in memory only;
+	// its files still contain the stale add, which would resurrect if
+	// the winning entity were later removed and this shard never
+	// snapshotted again. Rewrite such shards now, while the resolution
+	// is known. (The index is not yet shared, so the no-lock call to
+	// the *Locked helper is safe.)
+	for _, si := range conflicted {
+		if err := ix.snapshotShardLocked(si); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildIndex bulk-loads every entity of a Dataset into a fresh index
+// through the incremental Add path. For a durable index this WAL-logs
+// every entity one by one — use BuildIndexFiles + OpenIndex to
+// materialize a large corpus as snapshot files instead.
 func BuildIndex(d *Dataset, opts IndexOptions) (*Index, error) {
 	ix, err := NewIndex(opts)
 	if err != nil {
@@ -180,28 +358,13 @@ func BuildIndex(d *Dataset, opts IndexOptions) (*Index, error) {
 	if d == nil {
 		return ix, nil
 	}
-	for _, m := range d.sets {
-		name, ok := d.names[m.ID]
-		if !ok {
-			name = fmt.Sprintf("%d", uint64(m.ID))
-		}
-		counts := make(map[string]uint32, len(m.Entries))
-		for _, e := range m.Entries {
-			// Named datasets intern through d.dict; numbered (AddByID)
-			// datasets have no string alphabet, so synthesize one. Branch
-			// on the dataset kind, not on Name() == "" — the empty string
-			// is a legitimate interned element name.
-			var elem string
-			if d.numbered {
-				elem = fmt.Sprintf("#%d", uint64(e.Elem))
-			} else {
-				elem = d.dict.Name(e.Elem)
-			}
-			counts[elem] += e.Count
-		}
-		if err := ix.Add(name, counts); err != nil {
-			return nil, err
-		}
+	var addErr error
+	d.Each(func(name string, counts map[string]uint32) bool {
+		addErr = ix.Add(name, counts)
+		return addErr == nil
+	})
+	if addErr != nil {
+		return nil, addErr
 	}
 	return ix, nil
 }
@@ -221,7 +384,7 @@ func (ix *Index) internElements(elems []wal.Element) []multiset.Entry {
 
 // walAddRecord builds the logged form of an Add: element names sorted,
 // zero counts dropped, so identical mutations always encode identically.
-func walAddRecord(entity string, counts map[string]uint32) wal.Record {
+func walAddRecord(id multiset.ID, entity string, counts map[string]uint32) wal.Record {
 	names := make([]string, 0, len(counts))
 	for name, c := range counts {
 		if c > 0 {
@@ -233,20 +396,7 @@ func walAddRecord(entity string, counts map[string]uint32) wal.Record {
 	for i, name := range names {
 		elems[i] = wal.Element{Name: name, Count: counts[name]}
 	}
-	return wal.Record{Op: wal.OpAdd, Entity: entity, Elements: elems}
-}
-
-// applyAddLocked upserts into the name tables and the owning shard.
-// Caller holds ix.mu (or owns the index exclusively, during recovery).
-func (ix *Index) applyAddLocked(entity string, entries []multiset.Entry) {
-	id, ok := ix.byName[entity]
-	if !ok {
-		id = ix.nextID
-		ix.nextID++
-		ix.byName[entity] = id
-		ix.names[id] = entity
-	}
-	ix.inner.Add(multiset.New(id, entries))
+	return wal.Record{Op: wal.OpAdd, ID: uint64(id), Entity: entity, Elements: elems}
 }
 
 // applyRemoveLocked deletes from the name tables and the owning shard.
@@ -263,11 +413,11 @@ func (ix *Index) applyRemoveLocked(entity string) bool {
 // Add indexes an entity with its element multiplicities, replacing any
 // previous entity of the same name (upsert semantics — unlike
 // Dataset.Add, which merges). Zero counts are ignored. On a durable
-// index the mutation is appended to the write-ahead log first; if the
-// append fails the in-memory index is left untouched and the error is
-// returned — a returned error always means the mutation did NOT happen
-// (automatic snapshot trouble is reported by Snapshot/Close instead).
-// A volatile Add never fails.
+// index the mutation is appended to the owning shard's write-ahead log
+// first; if the append fails the in-memory index is left untouched and
+// the error is returned — a returned error always means the mutation
+// did NOT happen (automatic snapshot trouble is reported by
+// Snapshot/Close instead). A volatile Add never fails.
 //
 // The inner insert happens under the name-table lock: if it didn't, a
 // concurrent Remove of the same name could run between the two steps and
@@ -278,10 +428,22 @@ func (ix *Index) Add(entity string, counts map[string]uint32) error {
 	if ix.closed {
 		return ErrIndexClosed
 	}
-	if ix.log != nil {
-		if err := ix.log.Append(walAddRecord(entity, counts)); err != nil {
+	// The ID is fixed before the WAL append: routing is a hash of the
+	// ID, so the record must land in the shard log it will replay from.
+	id, known := ix.byName[entity]
+	if !known {
+		id = ix.nextID
+	}
+	si := shard.ShardOf(id, ix.inner.Shards())
+	if ix.logs != nil {
+		if err := ix.logs[si].Append(walAddRecord(id, entity, counts)); err != nil {
 			return fmt.Errorf("vsmartjoin: add %q: %w", entity, err)
 		}
+	}
+	if !known {
+		ix.nextID++
+		ix.byName[entity] = id
+		ix.names[id] = entity
 	}
 	entries := make([]multiset.Entry, 0, len(counts))
 	for elem, c := range counts {
@@ -290,8 +452,8 @@ func (ix *Index) Add(entity string, counts map[string]uint32) error {
 		}
 		entries = append(entries, multiset.Entry{Elem: ix.dict.Intern(elem), Count: c})
 	}
-	ix.applyAddLocked(entity, entries)
-	ix.maybeSnapshotLocked()
+	ix.inner.Add(multiset.New(id, entries))
+	ix.maybeSnapshotLocked(si)
 	return nil
 }
 
@@ -306,70 +468,85 @@ func (ix *Index) Remove(entity string) (bool, error) {
 	if ix.closed {
 		return false, ErrIndexClosed
 	}
-	if _, ok := ix.byName[entity]; !ok {
+	id, ok := ix.byName[entity]
+	if !ok {
 		return false, nil
 	}
-	if ix.log != nil {
-		if err := ix.log.Append(wal.Record{Op: wal.OpRemove, Entity: entity}); err != nil {
+	si := shard.ShardOf(id, ix.inner.Shards())
+	if ix.logs != nil {
+		if err := ix.logs[si].Append(wal.Record{Op: wal.OpRemove, Entity: entity}); err != nil {
 			return false, fmt.Errorf("vsmartjoin: remove %q: %w", entity, err)
 		}
 	}
 	removed := ix.applyRemoveLocked(entity)
-	ix.maybeSnapshotLocked()
+	ix.maybeSnapshotLocked(si)
 	return removed, nil
 }
 
-// maybeSnapshotLocked counts a logged mutation and cuts a snapshot once
-// the cadence is reached. A snapshot failure is NOT the mutation's
-// failure — the record is already durably logged and applied — so it is
-// remembered (surfaced by the next explicit Snapshot or Close) and the
-// cadence counter is left unreset, which retries the snapshot on the
-// next mutation. Caller holds ix.mu.
-func (ix *Index) maybeSnapshotLocked() {
-	if ix.log == nil {
+// maybeSnapshotLocked counts a mutation logged to shard si and cuts
+// that shard's snapshot once the cadence is reached. A snapshot failure
+// is NOT the mutation's failure — the record is already durably logged
+// and applied — so the cadence counter is simply left unreset: the
+// shard retries on its next mutation, and Close retries every shard
+// whose counter is still positive, surfacing a persistent failure
+// there. Caller holds ix.mu.
+func (ix *Index) maybeSnapshotLocked(si int) {
+	if ix.logs == nil {
 		return
 	}
-	ix.logged++
-	if ix.snapshotEvery < 0 || ix.logged < ix.snapshotEvery {
+	ix.logged[si]++
+	if ix.snapshotEvery < 0 || ix.logged[si] < ix.snapshotEvery {
 		return
 	}
-	ix.snapErr = ix.snapshotLocked()
+	if err := ix.snapshotShardLocked(si); err != nil {
+		return
+	}
+	ix.logged[si] = 0
 }
 
-// snapshotLocked writes a full snapshot and truncates the log. Caller
-// holds ix.mu, which quiesces all mutations (they all take ix.mu), so
-// the shard iteration is an atomic view.
-func (ix *Index) snapshotLocked() error {
-	err := ix.log.Snapshot(func(emit func(wal.Record) error) error {
+// snapshotShardLocked writes shard si's snapshot and truncates its log.
+// Caller holds ix.mu, which quiesces all mutations (they all take
+// ix.mu), so the shard iteration is an atomic view.
+func (ix *Index) snapshotShardLocked(si int) error {
+	err := ix.logs[si].Snapshot(func(emit func(wal.Record) error) error {
 		var emitErr error
-		ix.inner.Range(func(m multiset.Multiset) bool {
+		ix.inner.At(si).Range(func(m multiset.Multiset) bool {
 			elems := make([]wal.Element, len(m.Entries))
 			for i, e := range m.Entries {
 				elems[i] = wal.Element{Name: ix.dict.Name(e.Elem), Count: e.Count}
 			}
-			emitErr = emit(wal.Record{Op: wal.OpAdd, Entity: ix.names[m.ID], Elements: elems})
+			emitErr = emit(wal.Record{Op: wal.OpAdd, ID: uint64(m.ID), Entity: ix.names[m.ID], Elements: elems})
 			return emitErr == nil
 		})
 		return emitErr
 	})
 	if err != nil {
-		return fmt.Errorf("vsmartjoin: snapshot: %w", err)
+		return fmt.Errorf("vsmartjoin: snapshot %s: %w", wal.ShardDirName(si), err)
 	}
-	ix.logged = 0
-	ix.snapErr = nil // the durable state is current again
 	return nil
 }
 
-// Snapshot forces a full snapshot and log truncation on a durable
-// index, regardless of the SnapshotEvery cadence. It returns
+// snapshotLocked cuts every shard's snapshot. Caller holds ix.mu.
+func (ix *Index) snapshotLocked() error {
+	for si := range ix.logs {
+		if err := ix.snapshotShardLocked(si); err != nil {
+			return err
+		}
+		ix.logged[si] = 0
+	}
+	return nil
+}
+
+// Snapshot forces a full snapshot and log truncation of every shard on
+// a durable index, regardless of the SnapshotEvery cadence. It returns
 // ErrNotDurable on a volatile index and ErrIndexClosed after Close;
-// any other error is a real persistence failure (an earlier automatic
-// snapshot that failed keeps being retried here and on every mutation
-// until one succeeds).
+// any other error is a real persistence failure (a shard whose
+// automatic snapshot failed keeps its cadence counter, so it is retried
+// here, on its next mutation, and at Close until one succeeds).
 func (ix *Index) Snapshot() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if ix.log == nil {
+	if ix.logs == nil {
 		return ErrNotDurable
 	}
 	if ix.closed {
@@ -378,29 +555,52 @@ func (ix *Index) Snapshot() error {
 	return ix.snapshotLocked()
 }
 
-// Close writes a final snapshot (if any mutations were logged since the
-// last one) and closes the write-ahead log. Further mutations fail;
-// queries keep working against the in-memory state. Closing a volatile
-// or already-closed index is a no-op.
+// Close writes a final snapshot of every shard with mutations logged
+// since its last one, and closes the write-ahead logs. Further
+// mutations fail; queries keep working against the in-memory state.
+// Closing a volatile or already-closed index is a no-op.
 func (ix *Index) Close() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if ix.log == nil || ix.closed {
+	if ix.logs == nil || ix.closed {
 		return nil
 	}
 	ix.closed = true
+	// A shard whose automatic snapshot failed kept its logged count > 0,
+	// so the retry below either persists it (the old failure is moot) or
+	// fails afresh and is reported here.
 	var first error
-	if ix.logged > 0 {
-		first = ix.snapshotLocked()
-	}
-	if err := ix.log.Close(); err != nil && first == nil {
-		first = err
+	for si, l := range ix.logs {
+		if ix.logged[si] > 0 {
+			if err := ix.snapshotShardLocked(si); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	return first
 }
 
 // Len reports the number of indexed entities.
 func (ix *Index) Len() int { return ix.inner.Len() }
+
+// Generation reports the highest write-ahead log generation across
+// shards, or 0 for a volatile index. A bulk-built directory opens at
+// generation 1; every snapshot rotation advances the cut shard.
+func (ix *Index) Generation() uint64 {
+	ix.mu.RLock()
+	logs := ix.logs
+	ix.mu.RUnlock()
+	var gen uint64
+	for _, l := range logs {
+		if g := l.Gen(); g > gen {
+			gen = g
+		}
+	}
+	return gen
+}
 
 // buildQuery maps query element names into the index alphabet without
 // interning them. Unknown elements can match nothing, but they still count
@@ -489,6 +689,7 @@ func (ix *Index) Stats() IndexStats {
 	return IndexStats{
 		Measure:      ix.measure.Name(),
 		Shards:       ix.inner.Shards(),
+		Generation:   ix.Generation(),
 		Entities:     s.Entities,
 		Elements:     s.Elements,
 		Postings:     s.Postings,

@@ -1,0 +1,344 @@
+// Package build is the offline bulk index builder: it turns a corpus of
+// entities into a ready-to-open durable index directory without ever
+// constructing an in-memory inverted index or appending per-record WAL
+// frames — the cold-start path the paper's architecture implies, where
+// heavy work runs as a scalable batch job and the serving stage merely
+// loads its output.
+//
+// The corpus streams through the internal/mr machinery as one job:
+// mappers route every entity to its shard with the same splitmix64 hash
+// internal/shard uses at serving time (shard.ShardOf — batch and online
+// MUST agree on routing, since the per-shard files are only loadable by
+// the shard that owns their entities), the shuffle groups per shard
+// with (entity ID, input occurrence) secondary keys so each reduce
+// group arrives ID-sorted with repeats in upsert order, and reducers
+// stream their group straight into a generation-1 snapshot file
+// (internal/wal.WriteSnapshot) — sorted, deduplicated, measure-stamped. Because the shuffle is the engine's,
+// the builder inherits its spill-to-disk mode: a ShuffleBufferBytes cap
+// bounds builder memory on corpora that outgrow it.
+//
+// The whole output directory materializes under a temporary name and is
+// renamed into place only when every shard file is complete, so an
+// interrupted build can never be mistaken for an index.
+package build
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vsmartjoin/internal/codec"
+	"vsmartjoin/internal/mr"
+	"vsmartjoin/internal/mrfs"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/shard"
+	"vsmartjoin/internal/wal"
+)
+
+// Entity is one corpus entry: the entity ID the serving index will route
+// and tie-break by, its name, and its element multiplicities.
+type Entity struct {
+	ID       uint64
+	Name     string
+	Elements []wal.Element
+}
+
+// Source yields the corpus one entity at a time (stopping if yield
+// returns false), so the caller never materializes an intermediate
+// slice of Entities: each yield is encoded straight into a job-input
+// record. That encoded input is the one full copy the build holds —
+// the in-process mr engine takes a materialized dataset, so peak
+// memory is the caller's corpus plus its encoded form, with only the
+// shuffle itself bounded by Options.ShuffleBufferBytes. The same ID
+// may be yielded more than once: occurrences are sequence-stamped and
+// the last one wins — upsert semantics, resolved in the reducer.
+type Source func(yield func(Entity) bool)
+
+// Entities adapts an in-memory slice to a Source.
+func Entities(ents []Entity) Source {
+	return func(yield func(Entity) bool) {
+		for _, e := range ents {
+			if !yield(e) {
+				return
+			}
+		}
+	}
+}
+
+// Options configures a bulk build.
+type Options struct {
+	// Dir is the output index directory. It must not exist yet (or be an
+	// empty directory): the builder refuses to overwrite an index.
+	Dir string
+	// Measure is the canonical similarity measure name stamped into every
+	// shard snapshot; opening under a different measure is refused.
+	Measure string
+	// Shards is the number of hash-partitioned shards to write (>= 1).
+	// It becomes part of the on-disk layout.
+	Shards int
+	// Machines is the simulated cluster width of the build job
+	// (default 16, like AllPairs).
+	Machines int
+	// MemPerMachine is the per-machine memory budget in bytes
+	// (default 1 GiB).
+	MemPerMachine int64
+	// ShuffleBufferBytes caps per-map-task shuffle memory before sorted
+	// runs spill to disk (0 = all in memory), exactly as in
+	// vsmartjoin.Options.
+	ShuffleBufferBytes int64
+}
+
+// Stats reports what a build wrote.
+type Stats struct {
+	// Entities is the number of entities written across all shards, after
+	// deduplication.
+	Entities int64
+	// Deduped counts input occurrences superseded because a later one
+	// carried the same ID — the upsert collapses of a corpus that
+	// observes an entity more than once.
+	Deduped int64
+	// Shards is the shard count written.
+	Shards int
+	// Job is the cost accounting of the underlying MapReduce run.
+	Job mr.JobStats
+}
+
+const (
+	counterEntities = "build.entities"
+	counterDeduped  = "build.deduped"
+)
+
+// Build writes the corpus as a durable index directory at opts.Dir:
+// one shard-NNN subdirectory per shard, each holding a generation-1
+// snapshot ready for vsmartjoin.OpenIndex. Every shard directory is
+// written, including empty ones — the shard count is the routing
+// function, so the layout must record it exactly.
+func Build(src Source, opts Options) (Stats, error) {
+	var stats Stats
+	if opts.Dir == "" {
+		return stats, errors.New("build: no output directory")
+	}
+	if opts.Measure == "" {
+		return stats, errors.New("build: no measure name")
+	}
+	if opts.Shards < 1 {
+		return stats, fmt.Errorf("build: shard count %d < 1", opts.Shards)
+	}
+	machines := opts.Machines
+	if machines == 0 {
+		machines = 16
+	}
+	mem := opts.MemPerMachine
+	if mem == 0 {
+		mem = 1 << 30
+	}
+	if err := checkTarget(opts.Dir); err != nil {
+		return stats, err
+	}
+	tmp := opts.Dir + ".building"
+	if err := os.RemoveAll(tmp); err != nil {
+		return stats, fmt.Errorf("build: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return stats, fmt.Errorf("build: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after the final rename
+
+	input := encodeInput(src, 4*machines)
+	cluster := mr.NewCluster(machines, mem)
+	cluster.ShuffleBufferBytes = opts.ShuffleBufferBytes
+	_, jobStats, err := mr.Run(cluster, mr.Job{
+		Name:              "bulk-index-build",
+		Input:             input,
+		Mapper:            mr.MapperFunc(makeShardMapper(opts.Shards)),
+		Reducer:           mr.ReducerFunc(makeSnapshotReducer(tmp, opts.Measure, opts.Shards)),
+		NumReducers:       opts.Shards,
+		UsesSecondaryKeys: true, // reduce groups arrive ID-sorted
+		OutputName:        "bulk-index-manifest",
+	})
+	if err != nil {
+		return stats, fmt.Errorf("build: %w", err)
+	}
+
+	// Shards no entity hashed to produced no reduce group; their
+	// (empty) snapshots are still part of the layout.
+	for i := 0; i < opts.Shards; i++ {
+		dir := filepath.Join(tmp, wal.ShardDirName(i))
+		if _, err := os.Stat(filepath.Join(dir, wal.SnapName(1))); err == nil {
+			continue
+		}
+		if err := wal.WriteSnapshot(dir, 1, opts.Measure, func(func(wal.Record) error) error { return nil }); err != nil {
+			return stats, fmt.Errorf("build: %w", err)
+		}
+	}
+
+	// The index only appears under its final name once complete.
+	if err := os.Remove(opts.Dir); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return stats, fmt.Errorf("build: %w", err) // the pre-checked empty dir
+	}
+	if err := os.Rename(tmp, opts.Dir); err != nil {
+		return stats, fmt.Errorf("build: %w", err)
+	}
+
+	stats.Entities = jobStats.Counters[counterEntities]
+	stats.Deduped = jobStats.Counters[counterDeduped]
+	stats.Shards = opts.Shards
+	stats.Job = jobStats
+	return stats, nil
+}
+
+// checkTarget refuses any existing, non-empty output path.
+func checkTarget(dir string) error {
+	st, err := os.Stat(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("build: %s exists and is not a directory", dir)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	if len(entries) > 0 {
+		return fmt.Errorf("build: refusing to overwrite non-empty %s", dir)
+	}
+	return nil
+}
+
+// encodeInput drains the source into a striped mrfs dataset — the one
+// materialized copy of the corpus the build holds. The key is the
+// big-endian entity ID followed by a big-endian input sequence number:
+// the shuffle's byte-lexicographic secondary-key sort then delivers
+// each shard's records in (ID, occurrence) order, so numeric ID order
+// for the snapshot and last-occurrence-wins for the upsert dedup both
+// fall out of the sort. The value is the codec encoding of the name and
+// elements.
+func encodeInput(src Source, partitions int) *mrfs.Dataset {
+	if src == nil {
+		src = Entities(nil)
+	}
+	buf := codec.NewBuffer(256)
+	var recs []mrfs.Record
+	seq := uint64(0)
+	src(func(e Entity) bool {
+		key := make([]byte, 16)
+		binary.BigEndian.PutUint64(key[:8], e.ID)
+		binary.BigEndian.PutUint64(key[8:], seq)
+		seq++
+		buf.Reset()
+		buf.PutString(e.Name)
+		buf.PutUvarint(uint64(len(e.Elements)))
+		for _, el := range e.Elements {
+			buf.PutString(el.Name)
+			buf.PutUint32(el.Count)
+		}
+		recs = append(recs, mrfs.Record{Key: key, Val: buf.Clone()})
+		return true
+	})
+	return mrfs.FromRecords("bulk-index-input", recs, partitions)
+}
+
+// decodeEntity reverses encodeInput's value encoding.
+func decodeEntity(id uint64, payload []byte) (Entity, error) {
+	r := codec.NewReader(payload)
+	e := Entity{ID: id, Name: r.String()}
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		return Entity{}, fmt.Errorf("build: entity %d claims %d elements in %d bytes", id, n, r.Remaining())
+	}
+	e.Elements = make([]wal.Element, 0, n)
+	for i := uint64(0); i < n; i++ {
+		e.Elements = append(e.Elements, wal.Element{Name: r.String(), Count: r.Uint32()})
+	}
+	if r.Err() != nil || !r.Done() {
+		return Entity{}, fmt.Errorf("build: corrupt entity record %d: %v", id, r.Err())
+	}
+	return e, nil
+}
+
+// makeShardMapper returns the map function: route each entity to its
+// serving shard, with the ID as the shuffle's secondary key.
+func makeShardMapper(shards int) func(*mr.TaskContext, mrfs.Record, mr.Emitter) error {
+	return func(_ *mr.TaskContext, rec mrfs.Record, emit mr.Emitter) error {
+		if len(rec.Key) != 16 {
+			return fmt.Errorf("build: input key is %d bytes, want 16", len(rec.Key))
+		}
+		id := binary.BigEndian.Uint64(rec.Key[:8])
+		if id == 0 {
+			return errors.New("build: entity ID 0 is reserved for ad-hoc queries")
+		}
+		var shardKey [4]byte
+		binary.BigEndian.PutUint32(shardKey[:], uint32(shard.ShardOf(multiset.ID(id), shards)))
+		emit.EmitSec(shardKey[:], rec.Key, rec.Val)
+		return nil
+	}
+}
+
+// makeSnapshotReducer returns the reduce function: each group is one
+// shard's full, (ID, occurrence)-sorted entity list, streamed directly
+// into that shard's generation-1 snapshot file. Repeated IDs collapse
+// to the last occurrence — the secondary key ends in the input sequence
+// number, so "last in sort order" is exactly upsert order — and the
+// group never materializes beyond the one-record lookahead the dedup
+// needs.
+func makeSnapshotReducer(dir, measure string, shards int) func(*mr.TaskContext, []byte, *mr.Values, mr.Emitter) error {
+	return func(ctx *mr.TaskContext, key []byte, values *mr.Values, _ mr.Emitter) error {
+		if len(key) != 4 {
+			return fmt.Errorf("build: shard key is %d bytes, want 4", len(key))
+		}
+		si := int(binary.BigEndian.Uint32(key))
+		if si < 0 || si >= shards {
+			return fmt.Errorf("build: shard key %d outside [0, %d)", si, shards)
+		}
+		shardDir := filepath.Join(dir, wal.ShardDirName(si))
+		var written, deduped int64
+		err := wal.WriteSnapshot(shardDir, 1, measure, func(emit func(wal.Record) error) error {
+			var pending *wal.Record
+			flush := func() error {
+				if pending == nil {
+					return nil
+				}
+				written++
+				err := emit(*pending)
+				pending = nil
+				return err
+			}
+			for {
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				if len(v.Sec) != 16 {
+					return fmt.Errorf("build: secondary key is %d bytes, want 16", len(v.Sec))
+				}
+				id := binary.BigEndian.Uint64(v.Sec[:8])
+				if got := shard.ShardOf(multiset.ID(id), shards); got != si {
+					return fmt.Errorf("build: entity %d shuffled to shard %d but routes to %d", id, si, got)
+				}
+				e, err := decodeEntity(id, v.Val)
+				if err != nil {
+					return err
+				}
+				if pending != nil && pending.ID == id {
+					deduped++ // same ID again: the later occurrence wins
+				} else if err := flush(); err != nil {
+					return err
+				}
+				pending = &wal.Record{Op: wal.OpAdd, ID: e.ID, Entity: e.Name, Elements: e.Elements}
+			}
+			return flush()
+		})
+		if err != nil {
+			return err
+		}
+		ctx.Counters.Add(counterEntities, written)
+		ctx.Counters.Add(counterDeduped, deduped)
+		return nil
+	}
+}

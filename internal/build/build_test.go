@@ -1,0 +1,196 @@
+package build
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/shard"
+	"vsmartjoin/internal/wal"
+)
+
+func corpus(n int) []Entity {
+	out := make([]Entity, n)
+	for i := range out {
+		out[i] = Entity{
+			ID:   uint64(i + 1),
+			Name: fmt.Sprintf("entity-%03d", i),
+			Elements: []wal.Element{
+				{Name: fmt.Sprintf("e%d", i%7), Count: uint32(i%3 + 1)},
+				{Name: "shared", Count: 1},
+			},
+		}
+	}
+	return out
+}
+
+// loadShard reopens one shard dir through the wal and returns its
+// records, separating snapshot body from WAL tail.
+func loadShard(t *testing.T, dir string, measure string) (snap, tail []wal.Record) {
+	t.Helper()
+	l, err := wal.Open(dir, measure,
+		func(rec wal.Record) error { snap = append(snap, rec); return nil },
+		func(rec wal.Record) error { tail = append(tail, rec); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	return snap, tail
+}
+
+func TestBuildWritesLoadableShards(t *testing.T) {
+	const shards = 4
+	ents := corpus(37)
+	dir := filepath.Join(t.TempDir(), "idx")
+	stats, err := Build(Entities(ents), Options{Dir: dir, Measure: "ruzicka", Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != int64(len(ents)) || stats.Shards != shards || stats.Deduped != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if n, err := wal.CountShardDirs(dir); err != nil || n != shards {
+		t.Fatalf("CountShardDirs = %d, %v", n, err)
+	}
+
+	byID := map[uint64]Entity{}
+	for _, e := range ents {
+		byID[e.ID] = e
+	}
+	var total int
+	for i := 0; i < shards; i++ {
+		snap, tail := loadShard(t, filepath.Join(dir, wal.ShardDirName(i)), "ruzicka")
+		if len(tail) != 0 {
+			t.Fatalf("shard %d has %d WAL records to replay, want 0", i, len(tail))
+		}
+		var prev uint64
+		for _, rec := range snap {
+			if rec.Op != wal.OpAdd {
+				t.Fatalf("shard %d: op %d in snapshot", i, rec.Op)
+			}
+			if rec.ID <= prev {
+				t.Fatalf("shard %d: IDs not ascending (%d after %d)", i, rec.ID, prev)
+			}
+			prev = rec.ID
+			if got := shard.ShardOf(multiset.ID(rec.ID), shards); got != i {
+				t.Fatalf("entity %d in shard %d, routes to %d", rec.ID, i, got)
+			}
+			want := byID[rec.ID]
+			if rec.Entity != want.Name || !reflect.DeepEqual(rec.Elements, want.Elements) {
+				t.Fatalf("entity %d round-trip: %+v want %+v", rec.ID, rec, want)
+			}
+		}
+		total += len(snap)
+	}
+	if total != len(ents) {
+		t.Fatalf("shards hold %d entities, corpus has %d", total, len(ents))
+	}
+}
+
+func TestBuildEmptyCorpus(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "idx")
+	stats, err := Build(nil, Options{Dir: dir, Measure: "jaccard", Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// Every shard dir exists with an empty, loadable snapshot: the
+	// layout records the shard count even when no entity hashed there.
+	for i := 0; i < 3; i++ {
+		snap, tail := loadShard(t, filepath.Join(dir, wal.ShardDirName(i)), "jaccard")
+		if len(snap) != 0 || len(tail) != 0 {
+			t.Fatalf("shard %d: %d snap + %d tail records", i, len(snap), len(tail))
+		}
+	}
+}
+
+func TestBuildDedupsByID(t *testing.T) {
+	ents := []Entity{
+		{ID: 1, Name: "a", Elements: []wal.Element{{Name: "x", Count: 1}}},
+		{ID: 2, Name: "b", Elements: []wal.Element{{Name: "x", Count: 2}}},
+		{ID: 1, Name: "a", Elements: []wal.Element{{Name: "y", Count: 3}}},
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	stats, err := Build(Entities(ents), Options{Dir: dir, Measure: "ruzicka", Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != 2 || stats.Deduped != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	snap, _ := loadShard(t, filepath.Join(dir, wal.ShardDirName(0)), "ruzicka")
+	if len(snap) != 2 || snap[0].ID != 1 || snap[1].ID != 2 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	// The LAST occurrence of ID 1 wins — upsert semantics.
+	if len(snap[0].Elements) != 1 || snap[0].Elements[0] != (wal.Element{Name: "y", Count: 3}) {
+		t.Fatalf("dedup kept the wrong occurrence: %+v", snap[0])
+	}
+}
+
+func TestBuildRefusals(t *testing.T) {
+	ents := corpus(3)
+	if _, err := Build(Entities(ents), Options{Measure: "ruzicka", Shards: 1}); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	if _, err := Build(Entities(ents), Options{Dir: t.TempDir() + "/x", Shards: 1}); err == nil {
+		t.Fatal("missing measure accepted")
+	}
+	if _, err := Build(Entities(ents), Options{Dir: t.TempDir() + "/x", Measure: "ruzicka"}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	// ID 0 is reserved; the job must fail and leave no index behind.
+	dir := filepath.Join(t.TempDir(), "idx")
+	if _, err := Build(Entities([]Entity{{ID: 0, Name: "zero"}}), Options{Dir: dir, Measure: "ruzicka", Shards: 1}); err == nil {
+		t.Fatal("ID 0 accepted")
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("failed build left output behind: %v", err)
+	}
+	// Occupied target.
+	occupied := t.TempDir()
+	os.WriteFile(filepath.Join(occupied, "f"), []byte("x"), 0o644)
+	if _, err := Build(Entities(ents), Options{Dir: occupied, Measure: "ruzicka", Shards: 1}); err == nil {
+		t.Fatal("non-empty target accepted")
+	}
+}
+
+// TestBuildSpills pins that the builder inherits the engine's
+// spill-to-disk shuffle: a tiny buffer must force spilling and still
+// produce byte-identical shard files.
+func TestBuildSpills(t *testing.T) {
+	ents := corpus(64)
+	plain := filepath.Join(t.TempDir(), "plain")
+	if _, err := Build(Entities(ents), Options{Dir: plain, Measure: "ruzicka", Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	spilled := filepath.Join(t.TempDir(), "spilled")
+	// One simulated machine → few map tasks → enough records per task
+	// to overflow a 256-byte buffer.
+	stats, err := Build(Entities(ents), Options{Dir: spilled, Measure: "ruzicka", Shards: 2, Machines: 1, ShuffleBufferBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Job.SpilledBytes == 0 {
+		t.Fatal("256-byte buffer did not spill")
+	}
+	for i := 0; i < 2; i++ {
+		a, err := os.ReadFile(filepath.Join(plain, wal.ShardDirName(i), wal.SnapName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(spilled, wal.ShardDirName(i), wal.SnapName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("shard %d differs between spilled and in-memory shuffle", i)
+		}
+	}
+}

@@ -27,6 +27,7 @@
 package index
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -160,6 +161,43 @@ func (ix *Index) Add(m multiset.Multiset) {
 	ix.maybeCompactLocked()
 	ix.mu.Unlock()
 	ix.adds.Add(1)
+}
+
+// BulkLoad ingests entities in strictly ascending ID order into an
+// empty index — the sealed fast path a bulk-built snapshot loads
+// through. Unlike repeated Add it skips the whole upsert machinery:
+// no per-entity existence check, no tombstone accounting, no
+// compaction-trigger evaluation, and the entity table is sized once.
+// The resulting structures are exactly what the same Adds would have
+// built (posting lists append in ID order either way), so queries
+// answer identically. The index takes ownership of the multisets.
+// A non-empty index or an ID-order violation is an error and leaves
+// the index unchanged.
+func (ix *Index) BulkLoad(sets []multiset.Multiset) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.entities) != 0 || ix.postingCount != 0 {
+		return fmt.Errorf("index: bulk load into a non-empty index (%d entities)", len(ix.entities))
+	}
+	for i := range sets {
+		if sets[i].ID == 0 {
+			return fmt.Errorf("index: bulk load: entity %d has ID 0 (reserved for ad-hoc queries)", i)
+		}
+		if i > 0 && sets[i].ID <= sets[i-1].ID {
+			return fmt.Errorf("index: bulk load: IDs not strictly ascending at %d (%d after %d)",
+				i, sets[i].ID, sets[i-1].ID)
+		}
+	}
+	ix.entities = make(map[multiset.ID]*entry, len(sets))
+	for _, m := range sets {
+		e := &entry{set: m, uni: similarity.UniOf(m)}
+		ix.entities[m.ID] = e
+		for _, ent := range e.set.Entries {
+			ix.postings[ent.Elem] = append(ix.postings[ent.Elem], e)
+		}
+		ix.postingCount += len(e.set.Entries)
+	}
+	return nil
 }
 
 // Remove deletes the entity with the given ID, reporting whether it was

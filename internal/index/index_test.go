@@ -333,3 +333,93 @@ func BenchmarkInternalQueryThreshold(b *testing.B) {
 		})
 	}
 }
+
+// TestBulkLoadMatchesAdds: the sealed bulk constructor must produce an
+// index that answers every query exactly like one built by the same
+// Adds — identical matches, scores, and order.
+func TestBulkLoadMatchesAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sets := randomMultisets(rng, 50, 24, 8, 4)
+	m := similarity.Ruzicka{}
+
+	added := buildIndex(m, sets)
+	bulk := New(m)
+	if err := bulk.BulkLoad(cloneSets(sets)); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != added.Len() {
+		t.Fatalf("bulk len %d, added len %d", bulk.Len(), added.Len())
+	}
+	for _, q := range sets[:12] {
+		for _, thr := range []float64{0, 0.4, 0.8} {
+			g := bulk.QueryThreshold(QueryOf(q), thr)
+			w := added.QueryThreshold(QueryOf(q), thr)
+			if len(g) != len(w) {
+				t.Fatalf("t=%v id=%d: %d vs %d matches", thr, q.ID, len(g), len(w))
+			}
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("t=%v id=%d match %d: %v vs %v", thr, q.ID, i, g[i], w[i])
+				}
+			}
+		}
+		g, w := bulk.QueryTopK(QueryOf(q), 7), added.QueryTopK(QueryOf(q), 7)
+		if len(g) != len(w) {
+			t.Fatalf("topk id=%d: %d vs %d", q.ID, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("topk id=%d match %d: %v vs %v", q.ID, i, g[i], w[i])
+			}
+		}
+	}
+
+	// Mutations after a bulk load go through the normal paths.
+	bulk.Add(multiset.New(1000, []multiset.Entry{{Elem: 1, Count: 2}}))
+	added.Add(multiset.New(1000, []multiset.Entry{{Elem: 1, Count: 2}}))
+	if !bulk.Remove(sets[0].ID) || !added.Remove(sets[0].ID) {
+		t.Fatal("remove after bulk load")
+	}
+	g := bulk.QueryThreshold(QueryOf(sets[1]), 0)
+	w := added.QueryThreshold(QueryOf(sets[1]), 0)
+	if len(g) != len(w) {
+		t.Fatalf("after churn: %d vs %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("after churn match %d: %v vs %v", i, g[i], w[i])
+		}
+	}
+}
+
+func cloneSets(sets []multiset.Multiset) []multiset.Multiset {
+	out := make([]multiset.Multiset, len(sets))
+	copy(out, sets)
+	return out
+}
+
+func TestBulkLoadSealed(t *testing.T) {
+	m := similarity.Ruzicka{}
+	one := []multiset.Multiset{multiset.New(1, []multiset.Entry{{Elem: 1, Count: 1}})}
+	ix := New(m)
+	if err := ix.BulkLoad(one); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.BulkLoad(one); err == nil {
+		t.Fatal("bulk load into a non-empty index accepted")
+	}
+
+	if err := New(m).BulkLoad([]multiset.Multiset{
+		multiset.New(2, nil), multiset.New(2, nil),
+	}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	if err := New(m).BulkLoad([]multiset.Multiset{
+		multiset.New(3, nil), multiset.New(2, nil),
+	}); err == nil {
+		t.Fatal("descending IDs accepted")
+	}
+	if err := New(m).BulkLoad([]multiset.Multiset{multiset.New(0, nil)}); err == nil {
+		t.Fatal("ID 0 accepted")
+	}
+}

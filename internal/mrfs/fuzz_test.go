@@ -8,9 +8,11 @@ import (
 	"testing"
 
 	"vsmartjoin/internal/codec"
+	"vsmartjoin/internal/frame"
 )
 
-// segmentBytes encodes records the way SegmentWriter does, for seeds.
+// segmentBytes encodes records the way SegmentWriter does — the shared
+// internal/frame framing around codec payloads — for seeds.
 func segmentBytes(recs []Record) []byte {
 	var out []byte
 	buf := codec.NewBuffer(128)
@@ -19,8 +21,10 @@ func segmentBytes(recs []Record) []byte {
 		buf.PutBytes(r.Key)
 		buf.PutBytes(r.Sec)
 		buf.PutBytes(r.Val)
-		out = binary.AppendUvarint(out, uint64(buf.Len()))
-		out = append(out, buf.Bytes()...)
+		var err error
+		if out, err = frame.Append(out, buf.Bytes()); err != nil {
+			panic(err)
+		}
 	}
 	return out
 }

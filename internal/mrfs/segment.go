@@ -1,30 +1,34 @@
 package mrfs
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 
 	"vsmartjoin/internal/codec"
+	"vsmartjoin/internal/frame"
 )
 
 // Segment files hold one sorted run of records spilled by a map task for a
-// single reduce partition. Each record is framed as a uvarint payload
-// length followed by the codec encoding of (key, sec, val), so segment
-// sizes — and therefore the simulated spill I/O — track the same framing
+// single reduce partition. Each record is one internal/frame frame — a
+// uvarint payload length, a CRC-32C, and the codec encoding of (key, sec,
+// val) — the same framing the write-ahead log and snapshot files use, so
+// segment sizes (and therefore the simulated spill I/O) track the framing
 // the cost model charges for records at rest.
+
+// MaxFrameLen caps a single record frame, re-exported from the shared
+// framing layer: map-task spill records are tuples of at most a few
+// kilobytes, far below the bound in any legitimate segment, so a larger
+// length prefix can only come from a corrupt or truncated file.
+const MaxFrameLen = frame.MaxFrameLen
 
 // SegmentWriter streams records into a segment file.
 type SegmentWriter struct {
 	f   *os.File
-	w   *bufio.Writer
+	w   *frame.Writer
 	buf *codec.Buffer
-	hdr [binary.MaxVarintLen64]byte
 
 	records int64
-	bytes   int64
 }
 
 // CreateSegment opens a new segment file at path, truncating any previous
@@ -34,7 +38,7 @@ func CreateSegment(path string) (*SegmentWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mrfs: create segment: %w", err)
 	}
-	return &SegmentWriter{f: f, w: bufio.NewWriter(f), buf: codec.NewBuffer(256)}, nil
+	return &SegmentWriter{f: f, w: frame.NewWriter(f), buf: codec.NewBuffer(256)}, nil
 }
 
 // Write appends one record to the segment. Callers are responsible for
@@ -44,19 +48,10 @@ func (s *SegmentWriter) Write(r Record) error {
 	s.buf.PutBytes(r.Key)
 	s.buf.PutBytes(r.Sec)
 	s.buf.PutBytes(r.Val)
-	frame := s.buf.Bytes()
-	if len(frame) > MaxFrameLen {
-		return fmt.Errorf("mrfs: write segment: record frame %d exceeds %d", len(frame), MaxFrameLen)
-	}
-	hdr := binary.AppendUvarint(s.hdr[:0], uint64(len(frame)))
-	if _, err := s.w.Write(hdr); err != nil {
-		return fmt.Errorf("mrfs: write segment: %w", err)
-	}
-	if _, err := s.w.Write(frame); err != nil {
+	if err := s.w.WriteFrame(s.buf.Bytes()); err != nil {
 		return fmt.Errorf("mrfs: write segment: %w", err)
 	}
 	s.records++
-	s.bytes += int64(len(hdr) + len(frame))
 	return nil
 }
 
@@ -64,7 +59,7 @@ func (s *SegmentWriter) Write(r Record) error {
 func (s *SegmentWriter) Records() int64 { return s.records }
 
 // Bytes reports the number of file bytes written so far.
-func (s *SegmentWriter) Bytes() int64 { return s.bytes }
+func (s *SegmentWriter) Bytes() int64 { return s.w.Bytes() }
 
 // Close flushes and closes the segment file.
 func (s *SegmentWriter) Close() error {
@@ -78,19 +73,10 @@ func (s *SegmentWriter) Close() error {
 	return nil
 }
 
-// MaxFrameLen caps a single record frame. Frames are map-task spill
-// records (a key, a secondary key, and a value — tuples of at most a few
-// kilobytes), far below this bound in any legitimate segment; a larger
-// length prefix can only come from a corrupt or truncated file, and must
-// fail cleanly instead of driving a giant allocation. Writers enforce the
-// same cap so no reader-rejected segment can ever be produced.
-const MaxFrameLen = 1 << 24
-
 // SegmentReader streams records back out of a segment file.
 type SegmentReader struct {
-	f     *os.File
-	r     *bufio.Reader
-	bytes int64
+	f *os.File
+	r *frame.Reader
 }
 
 // OpenSegment opens a segment file for reading.
@@ -99,30 +85,21 @@ func OpenSegment(path string) (*SegmentReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mrfs: open segment: %w", err)
 	}
-	return &SegmentReader{f: f, r: bufio.NewReader(f)}, nil
+	return &SegmentReader{f: f, r: frame.NewReader(f)}, nil
 }
 
 // Next decodes the next record. It returns ok=false at a clean end of
 // file; the returned record's slices are freshly allocated and do not
 // alias reader state. Corruption — an oversized or truncated frame, a
-// malformed payload, or trailing garbage inside a frame — is an error,
-// never a panic.
+// checksum mismatch, a malformed payload, or trailing garbage inside a
+// frame — is an error, never a panic.
 func (s *SegmentReader) Next() (Record, bool, error) {
-	hdr := &countingByteReader{r: s.r}
-	frameLen, err := binary.ReadUvarint(hdr)
-	if err == io.EOF && hdr.n == 0 {
-		return Record{}, false, nil // clean end of file; mid-varint EOF
-		// arrives as io.ErrUnexpectedEOF from ReadUvarint itself
+	payload, err := s.r.Next()
+	if err == io.EOF {
+		return Record{}, false, nil
 	}
 	if err != nil {
 		return Record{}, false, fmt.Errorf("mrfs: read segment: %w", err)
-	}
-	if frameLen > MaxFrameLen {
-		return Record{}, false, fmt.Errorf("mrfs: read segment: corrupt frame length %d exceeds %d", frameLen, MaxFrameLen)
-	}
-	payload := make([]byte, frameLen)
-	if _, err := io.ReadFull(s.r, payload); err != nil {
-		return Record{}, false, fmt.Errorf("mrfs: read segment: truncated record: %w", err)
 	}
 	dec := codec.NewReader(payload)
 	rec := Record{Key: dec.Bytes(), Sec: dec.Bytes(), Val: dec.Bytes()}
@@ -132,28 +109,11 @@ func (s *SegmentReader) Next() (Record, bool, error) {
 	if !dec.Done() {
 		return Record{}, false, fmt.Errorf("mrfs: read segment: %d trailing bytes in frame", dec.Remaining())
 	}
-	s.bytes += int64(hdr.n) + int64(frameLen)
 	return rec, true, nil
 }
 
-// countingByteReader counts the bytes ReadUvarint consumes, so Bytes()
-// stays exact even on non-minimally encoded (i.e. corrupt) length
-// prefixes.
-type countingByteReader struct {
-	r io.ByteReader
-	n int
-}
-
-func (c *countingByteReader) ReadByte() (byte, error) {
-	b, err := c.r.ReadByte()
-	if err == nil {
-		c.n++
-	}
-	return b, err
-}
-
 // Bytes reports the number of file bytes consumed so far.
-func (s *SegmentReader) Bytes() int64 { return s.bytes }
+func (s *SegmentReader) Bytes() int64 { return s.r.Bytes() }
 
 // Close closes the underlying file.
 func (s *SegmentReader) Close() error { return s.f.Close() }

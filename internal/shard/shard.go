@@ -73,9 +73,23 @@ func shardHash(id multiset.ID) uint64 {
 	return x
 }
 
-func (s *Set) shardOf(id multiset.ID) *index.Index {
-	return s.shards[shardHash(id)%uint64(len(s.shards))]
+// ShardOf is the one routing function: the shard index owning entity id
+// in an n-shard set. The bulk index builder (internal/build) partitions
+// with it so batch-written shard files match the shard a live Set would
+// route every entity to; the per-shard durability layout depends on the
+// two never disagreeing.
+func ShardOf(id multiset.ID, n int) int {
+	return int(shardHash(id) % uint64(n))
 }
+
+func (s *Set) shardOf(id multiset.ID) *index.Index {
+	return s.shards[ShardOf(id, len(s.shards))]
+}
+
+// At returns shard i, for callers that manage per-shard concerns the
+// set does not own — per-shard write-ahead logs, snapshot iteration,
+// and bulk loading (vsmartjoin.Index, internal/build).
+func (s *Set) At(i int) *index.Index { return s.shards[i] }
 
 // Add upserts an entity into its owning shard. Ownership follows the
 // ID, so an upsert always lands on the shard holding the old version.

@@ -10,11 +10,18 @@
 // the previous generation is deleted — so recovery never has to reason
 // about a half-written snapshot under its final name.
 //
-// Both files are sequences of frames in the internal/codec wire format:
-// a uvarint payload length, a fixed 4-byte CRC-32C of the payload, and
-// the payload itself. Frame lengths are capped at MaxFrameLen (the same
-// hardening as internal/mrfs segment files) so a corrupt length prefix
-// fails cleanly instead of driving a giant allocation.
+// A sharded index keeps one such directory per shard ("shard-000",
+// "shard-001", ...) under its data dir; ShardDirName and CountShardDirs
+// define that layout for both the serving path (vsmartjoin.Index) and
+// the offline bulk builder (internal/build), which writes a generation-1
+// snapshot per shard directly with WriteSnapshot so a cold start loads
+// files instead of replaying per-record appends.
+//
+// Both files are sequences of internal/frame frames: a uvarint payload
+// length, a fixed 4-byte CRC-32C of the payload, and the payload itself
+// — the same framing (and the same MaxFrameLen hardening) as the
+// MapReduce segment files, so a corrupt length prefix fails cleanly
+// instead of driving a giant allocation.
 //
 // Recovery (Open) loads the newest snapshot, replays the matching WAL,
 // and truncates the WAL at the first torn or corrupt frame — the
@@ -29,11 +36,8 @@
 package wal
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -42,17 +46,18 @@ import (
 	"sync"
 
 	"vsmartjoin/internal/codec"
-	"vsmartjoin/internal/mrfs"
+	"vsmartjoin/internal/frame"
 )
 
-// MaxFrameLen caps a single log or snapshot frame, reusing the
-// internal/mrfs bound: legitimate records are a name and a bag of
+// MaxFrameLen caps a single log or snapshot frame, re-exported from the
+// shared framing layer: legitimate records are a name and a bag of
 // elements, far below it, so a larger prefix can only be corruption.
-const MaxFrameLen = mrfs.MaxFrameLen
+const MaxFrameLen = frame.MaxFrameLen
 
 // snapMagic heads every snapshot file, versioned so a future format can
-// be told apart from corruption.
-const snapMagic = "vsmartjoin-snap-v1"
+// be told apart from corruption. v2 added the entity ID to every record
+// (the shard-routing key of the per-shard layout).
+const snapMagic = "vsmartjoin-snap-v2"
 
 // Record operation kinds. The zero byte is reserved for the snapshot
 // trailer so a truncated snapshot can never alias a record.
@@ -72,14 +77,16 @@ type Element struct {
 
 // Record is one logical mutation of the index: an upsert (OpAdd) or a
 // deletion (OpRemove) of a named entity. Records carry element names,
-// not interned IDs, so a log replays into a fresh dictionary.
+// not interned IDs, so a log replays into a fresh dictionary. OpAdd
+// records also carry the entity's numeric ID: shard routing is a hash
+// of the ID, so recovery must reproduce the exact assignment or a
+// replayed entity would land outside the shard whose log holds it.
 type Record struct {
 	Op       byte
+	ID       uint64 // entity ID (OpAdd only; 0 on OpRemove)
 	Entity   string
 	Elements []Element
 }
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Log is an open write-ahead log. All methods are safe for concurrent
 // use, though callers replaying or snapshotting an index normally hold
@@ -100,6 +107,53 @@ type Log struct {
 func snapName(gen uint64) string { return fmt.Sprintf("snap-%08d", gen) }
 func walName(gen uint64) string  { return fmt.Sprintf("wal-%08d", gen) }
 
+// SnapName names the snapshot file of a generation — the file
+// WriteSnapshot creates and Open loads.
+func SnapName(gen uint64) string { return snapName(gen) }
+
+// ShardDirName names shard i's log directory under a sharded data dir.
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// CountShardDirs inspects a data dir and reports how many contiguous
+// shard directories (shard-000 .. shard-NNN) it holds: 0 for a missing
+// or empty dir. A gap in the numbering, stray shard names, or a legacy
+// flat layout (generation files directly in dir) are hard errors — the
+// shard count IS the routing function, so a half-recognized layout must
+// never be opened.
+func CountShardDirs(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	seen := map[int]bool{}
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasPrefix(name, "snap-") || strings.HasPrefix(name, "wal-") {
+			return 0, fmt.Errorf("wal: %s holds a legacy flat-layout index (%s); rebuild it into the per-shard layout", dir, name)
+		}
+		if !strings.HasPrefix(name, "shard-") {
+			continue
+		}
+		// Only the canonical zero-padded spelling counts: accepting
+		// shard-0 or shard-00 here while Open reads shard-000 would
+		// silently serve an empty index beside the real data.
+		n, err := strconv.Atoi(name[len("shard-"):])
+		if err != nil || n < 0 || name != ShardDirName(n) || !ent.IsDir() {
+			return 0, fmt.Errorf("wal: %s: unrecognized shard directory %q", dir, name)
+		}
+		seen[n] = true
+	}
+	for i := 0; i < len(seen); i++ {
+		if !seen[i] {
+			return 0, fmt.Errorf("wal: %s: shard directories are not contiguous (missing %s)", dir, ShardDirName(i))
+		}
+	}
+	return len(seen), nil
+}
+
 // parseGen extracts the generation from a "snap-NNNNNNNN" or
 // "wal-NNNNNNNN" file name.
 func parseGen(name, prefix string) (uint64, bool) {
@@ -110,14 +164,16 @@ func parseGen(name, prefix string) (uint64, bool) {
 	return gen, err == nil && gen > 0
 }
 
-// Open recovers the log in dir, creating the directory if needed:
-// it loads the newest snapshot, replays the matching WAL (truncating a
-// torn tail), feeds every recovered Record to apply in log order, and
-// returns the log ready for appends. measure names the similarity
-// measure of the index being persisted; a snapshot recorded under a
-// different measure is refused, since replaying it would silently
-// change every score.
-func Open(dir, measure string, apply func(Record) error) (*Log, error) {
+// Open recovers the log in dir, creating the directory if needed: it
+// loads the newest snapshot (feeding every entity to applySnap), then
+// replays the matching WAL (truncating a torn tail) through applyWAL,
+// and returns the log ready for appends. The two callbacks let callers
+// bulk-load the snapshot body — pre-sorted, all OpAdd — through a
+// cheaper path than the general upsert replay. measure names the
+// similarity measure of the index being persisted; a snapshot recorded
+// under a different measure is refused, since replaying it would
+// silently change every score.
+func Open(dir, measure string, applySnap, applyWAL func(Record) error) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -149,11 +205,11 @@ func Open(dir, measure string, apply func(Record) error) (*Log, error) {
 
 	l := &Log{dir: dir, measure: measure, gen: gen, payload: codec.NewBuffer(256)}
 	if _, err := os.Stat(filepath.Join(dir, snapName(gen))); err == nil {
-		if err := l.loadSnapshot(filepath.Join(dir, snapName(gen)), apply); err != nil {
+		if err := l.loadSnapshot(filepath.Join(dir, snapName(gen)), applySnap); err != nil {
 			return nil, err
 		}
 	}
-	if err := l.replayWAL(filepath.Join(dir, walName(gen)), apply); err != nil {
+	if err := l.replayWAL(filepath.Join(dir, walName(gen)), applyWAL); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(filepath.Join(dir, walName(gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -193,36 +249,6 @@ func (l *Log) Gen() uint64 {
 	return l.gen
 }
 
-// appendFrame frames payload onto dst: uvarint length, CRC-32C, bytes.
-func appendFrame(dst, payload []byte) ([]byte, error) {
-	if len(payload) > MaxFrameLen {
-		return dst, fmt.Errorf("wal: frame %d exceeds %d", len(payload), MaxFrameLen)
-	}
-	dst = binary.AppendUvarint(dst, uint64(len(payload)))
-	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
-	return append(dst, payload...), nil
-}
-
-// parseFrame reads one frame from data at off. It returns the payload,
-// the offset just past the frame, and whether the frame was intact; a
-// torn or corrupt frame reports ok=false, never an error or a panic.
-func parseFrame(data []byte, off int) (payload []byte, next int, ok bool) {
-	n, w := binary.Uvarint(data[off:])
-	if w <= 0 || n > MaxFrameLen {
-		return nil, off, false
-	}
-	off += w
-	if len(data)-off < 4+int(n) {
-		return nil, off, false
-	}
-	want := binary.LittleEndian.Uint32(data[off:])
-	payload = data[off+4 : off+4+int(n)]
-	if crc32.Checksum(payload, castagnoli) != want {
-		return nil, off, false
-	}
-	return payload, off + 4 + int(n), true
-}
-
 // encodeRecord appends rec's payload encoding to buf.
 func encodeRecord(buf *codec.Buffer, rec Record) error {
 	switch rec.Op {
@@ -233,6 +259,7 @@ func encodeRecord(buf *codec.Buffer, rec Record) error {
 	buf.PutByte(rec.Op)
 	buf.PutString(rec.Entity)
 	if rec.Op == OpAdd {
+		buf.PutUvarint(rec.ID)
 		buf.PutUvarint(uint64(len(rec.Elements)))
 		for _, el := range rec.Elements {
 			buf.PutString(el.Name)
@@ -248,6 +275,7 @@ func decodeRecord(payload []byte) (Record, error) {
 	rec := Record{Op: r.Byte(), Entity: r.String()}
 	switch rec.Op {
 	case OpAdd:
+		rec.ID = r.Uvarint()
 		n := r.Uvarint()
 		if r.Err() == nil && n > uint64(r.Remaining()) {
 			return Record{}, fmt.Errorf("wal: record claims %d elements in %d bytes", n, r.Remaining())
@@ -277,7 +305,7 @@ func (l *Log) loadSnapshot(path string, apply func(Record) error) error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	header, off, ok := parseFrame(data, 0)
+	header, off, ok := frame.Parse(data, 0)
 	if !ok {
 		return fmt.Errorf("wal: %s: corrupt snapshot header", path)
 	}
@@ -291,7 +319,7 @@ func (l *Log) loadSnapshot(path string, apply func(Record) error) error {
 	}
 	var count uint64
 	for {
-		payload, next, ok := parseFrame(data, off)
+		payload, next, ok := frame.Parse(data, off)
 		if !ok {
 			return fmt.Errorf("wal: %s: corrupt snapshot frame at byte %d", path, off)
 		}
@@ -326,34 +354,14 @@ func (l *Log) loadSnapshot(path string, apply func(Record) error) error {
 // truncates the file at the first torn or corrupt frame — the shape a
 // crash mid-append leaves behind. A missing file replays nothing.
 func (l *Log) replayWAL(path string, apply func(Record) error) error {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	good := 0
-	for good < len(data) {
-		payload, next, ok := parseFrame(data, good)
-		if !ok {
-			break
-		}
+	return frame.ReplayFile(path, func(payload []byte) error {
 		rec, err := decodeRecord(payload)
 		if err != nil {
-			break // undecodable payload with a valid checksum: treat as torn
+			// An undecodable payload with a valid checksum: treat as torn.
+			return frame.ErrTorn
 		}
-		if err := apply(rec); err != nil {
-			return err
-		}
-		good = next
-	}
-	if good < len(data) {
-		if err := os.Truncate(path, int64(good)); err != nil {
-			return fmt.Errorf("wal: truncate torn tail: %w", err)
-		}
-	}
-	return nil
+		return apply(rec)
+	})
 }
 
 // Append logs one record. The frame reaches the operating system before
@@ -379,12 +387,12 @@ func (l *Log) Append(rec Record) error {
 	if err := encodeRecord(l.payload, rec); err != nil {
 		return err
 	}
-	frame, err := appendFrame(l.frame[:0], l.payload.Bytes())
-	l.frame = frame[:0]
+	buf, err := frame.Append(l.frame[:0], l.payload.Bytes())
+	l.frame = buf[:0]
 	if err != nil {
-		return err
+		return fmt.Errorf("wal: %w", err)
 	}
-	n, err := l.f.Write(frame)
+	n, err := l.f.Write(buf)
 	if err != nil {
 		if n > 0 {
 			if terr := l.f.Truncate(l.off); terr != nil {
@@ -407,6 +415,83 @@ func (l *Log) Sync() error {
 	return l.f.Sync()
 }
 
+// writeSnapshotFile writes a complete snapshot — header, one OpAdd
+// frame per record the iterator emits, trailer — to path, fsyncing
+// before close. On any error the partial file is removed.
+func writeSnapshotFile(path, measure string, iter func(emit func(Record) error) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	w := frame.NewWriter(f)
+	payload := codec.NewBuffer(256)
+	payload.PutString(snapMagic)
+	payload.PutString(measure)
+	if err := w.WriteFrame(payload.Bytes()); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	var count uint64
+	err = iter(func(rec Record) error {
+		if rec.Op != OpAdd {
+			return fmt.Errorf("wal: snapshot records must be OpAdd, got %d", rec.Op)
+		}
+		payload.Reset()
+		if err := encodeRecord(payload, rec); err != nil {
+			return err
+		}
+		count++
+		return w.WriteFrame(payload.Bytes())
+	})
+	if err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	payload.Reset()
+	payload.PutByte(opTrailer)
+	payload.PutUvarint(count)
+	if err := w.WriteFrame(payload.Bytes()); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	if err := w.Flush(); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	return nil
+}
+
+// WriteSnapshot creates the snapshot file of generation gen in dir
+// without opening a Log: the bulk builder's path for materializing a
+// loadable generation directly from a batch job. It goes through the
+// same temp-file + fsync + atomic-rename protocol as Log.Snapshot, so a
+// file under its final name is always complete. Records must be OpAdd.
+func WriteSnapshot(dir string, gen uint64, measure string, iter func(emit func(Record) error) error) error {
+	if gen == 0 {
+		return errors.New("wal: snapshot generation must be positive")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	tmp := filepath.Join(dir, snapName(gen)+".tmp")
+	if err := writeSnapshotFile(tmp, measure, iter); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName(gen))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
 // Snapshot cuts a new generation: it writes every record the iterator
 // emits (all must be OpAdd) to a temp snapshot, fsyncs and renames it
 // into place, starts a fresh empty WAL, and deletes the previous
@@ -421,62 +506,8 @@ func (l *Log) Snapshot(iter func(emit func(Record) error) error) error {
 	}
 	next := l.gen + 1
 	tmp := filepath.Join(l.dir, snapName(next)+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("wal: snapshot: %w", err)
-	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
+	if err := writeSnapshotFile(tmp, l.measure, iter); err != nil {
 		return err
-	}
-
-	var scratch []byte
-	writeFrame := func(payload []byte) error {
-		frame, err := appendFrame(scratch[:0], payload)
-		scratch = frame[:0]
-		if err != nil {
-			return err
-		}
-		_, err = w.Write(frame)
-		return err
-	}
-	l.payload.Reset()
-	l.payload.PutString(snapMagic)
-	l.payload.PutString(l.measure)
-	if err := writeFrame(l.payload.Bytes()); err != nil {
-		return fail(fmt.Errorf("wal: snapshot: %w", err))
-	}
-	var count uint64
-	err = iter(func(rec Record) error {
-		if rec.Op != OpAdd {
-			return fmt.Errorf("wal: snapshot records must be OpAdd, got %d", rec.Op)
-		}
-		l.payload.Reset()
-		if err := encodeRecord(l.payload, rec); err != nil {
-			return err
-		}
-		count++
-		return writeFrame(l.payload.Bytes())
-	})
-	if err != nil {
-		return fail(fmt.Errorf("wal: snapshot: %w", err))
-	}
-	l.payload.Reset()
-	l.payload.PutByte(opTrailer)
-	l.payload.PutUvarint(count)
-	if err := writeFrame(l.payload.Bytes()); err != nil {
-		return fail(fmt.Errorf("wal: snapshot: %w", err))
-	}
-	if err := w.Flush(); err != nil {
-		return fail(fmt.Errorf("wal: snapshot: %w", err))
-	}
-	if err := f.Sync(); err != nil {
-		return fail(fmt.Errorf("wal: snapshot: %w", err))
-	}
-	if err := f.Close(); err != nil {
-		return fail(fmt.Errorf("wal: snapshot: %w", err))
 	}
 	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(next))); err != nil {
 		os.Remove(tmp)

@@ -15,14 +15,16 @@ func addRec(entity string, elems ...Element) Record {
 
 func removeRec(entity string) Record { return Record{Op: OpRemove, Entity: entity} }
 
-// collect reopens dir and returns every replayed record in order.
+// collect reopens dir and returns every replayed record — snapshot body
+// and WAL tail alike — in order.
 func collect(t *testing.T, dir, measure string) ([]Record, *Log) {
 	t.Helper()
 	var got []Record
-	l, err := Open(dir, measure, func(rec Record) error {
+	apply := func(rec Record) error {
 		got = append(got, rec)
 		return nil
-	})
+	}
+	l, err := Open(dir, measure, apply, apply)
 	if err != nil {
 		t.Fatalf("open %s: %v", dir, err)
 	}
@@ -231,7 +233,8 @@ func TestCorruptSnapshotIsHardError(t *testing.T) {
 			if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			_, err := Open(dir, "ruzicka", func(Record) error { return nil })
+			nop := func(Record) error { return nil }
+			_, err := Open(dir, "ruzicka", nop, nop)
 			if err == nil {
 				t.Fatal("corrupt snapshot should fail Open")
 			}
@@ -252,7 +255,8 @@ func TestMeasureMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Close()
-	_, err := Open(dir, "jaccard", func(Record) error { return nil })
+	nop := func(Record) error { return nil }
+	_, err := Open(dir, "jaccard", nop, nop)
 	if err == nil || !strings.Contains(err.Error(), "measure") {
 		t.Fatalf("measure mismatch should fail: %v", err)
 	}
@@ -313,5 +317,52 @@ func TestClosedLog(t *testing.T) {
 	}
 	if err := l.Snapshot(func(func(Record) error) error { return nil }); err == nil {
 		t.Fatal("snapshot after close should fail")
+	}
+}
+
+// TestCountShardDirs pins the layout recognizer: canonical names only,
+// contiguity enforced, legacy flat layouts refused.
+func TestCountShardDirs(t *testing.T) {
+	if n, err := CountShardDirs(filepath.Join(t.TempDir(), "absent")); n != 0 || err != nil {
+		t.Fatalf("missing dir: %d %v", n, err)
+	}
+	dir := t.TempDir()
+	if n, err := CountShardDirs(dir); n != 0 || err != nil {
+		t.Fatalf("empty dir: %d %v", n, err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := os.Mkdir(filepath.Join(dir, ShardDirName(i)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := CountShardDirs(dir); n != 3 || err != nil {
+		t.Fatalf("3 shards: %d %v", n, err)
+	}
+	// Non-canonical spellings must be hard errors, not silently skipped:
+	// Open would read only the zero-padded names and serve nothing.
+	for _, bad := range []string{"shard-3x", "shard-03", "shard-+4"} {
+		if err := os.Mkdir(filepath.Join(dir, bad), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CountShardDirs(dir); err == nil {
+			t.Fatalf("%s accepted", bad)
+		}
+		os.Remove(filepath.Join(dir, bad))
+	}
+	// A gap in the numbering is a hard error.
+	if err := os.Mkdir(filepath.Join(dir, ShardDirName(4)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CountShardDirs(dir); err == nil {
+		t.Fatal("gap in shard numbering accepted")
+	}
+	os.Remove(filepath.Join(dir, ShardDirName(4)))
+	// Legacy flat layout: generation files directly in the dir.
+	legacy := t.TempDir()
+	if err := os.WriteFile(filepath.Join(legacy, snapName(1)), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CountShardDirs(legacy); err == nil {
+		t.Fatal("legacy layout accepted")
 	}
 }
