@@ -3,8 +3,10 @@ package vsmartjoin
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 
 	"vsmartjoin/internal/build"
+	"vsmartjoin/internal/cluster"
 	"vsmartjoin/internal/multiset"
 	"vsmartjoin/internal/similarity"
 )
@@ -72,6 +74,69 @@ func BuildIndexFiles(d *Dataset, opts IndexOptions) (BuildStats, error) {
 	bs.SimulatedSeconds = stats.Job.TotalSeconds
 	bs.SpilledBytes = stats.Job.SpilledBytes
 	return bs, nil
+}
+
+// ClusterBuildStats reports what BuildClusterFiles wrote.
+type ClusterBuildStats struct {
+	// Partitions is the number of node directories written.
+	Partitions int
+	// Nodes holds one BuildStats per node directory, in partition order.
+	Nodes []BuildStats
+}
+
+// NodeDirName is the directory name BuildClusterFiles gives partition
+// p's index under the output directory ("node-000", "node-001", ...).
+func NodeDirName(p int) string { return fmt.Sprintf("node-%03d", p) }
+
+// BuildClusterFiles carves a Dataset into per-node index directories —
+// the bulk cold-start path for a vsmartjoind cluster. Every entity is
+// routed to one of partitions sub-datasets by the same entity-name
+// hash the cluster router writes with (PartitionOfEntity), and each
+// sub-dataset is bulk-built (BuildIndexFiles) into
+// opts.Dir/node-000 ... node-NNN. Starting one node daemon per
+// directory (replicas of a partition copy the same directory) and
+// pointing a router at them yields exactly the cluster that routing
+// the same entities through Cluster.Add would have built — one batch
+// job instead of a million quorum writes.
+//
+// opts is interpreted as for BuildIndexFiles, with opts.Dir naming the
+// parent of the node directories; opts.Shards is each node's internal
+// shard count. partitions must match the router's partition count —
+// entities would otherwise be searched on nodes that do not hold them.
+func BuildClusterFiles(d *Dataset, opts IndexOptions, partitions int) (ClusterBuildStats, error) {
+	var cs ClusterBuildStats
+	if opts.Dir == "" {
+		return cs, errors.New("vsmartjoin: BuildClusterFiles requires Dir")
+	}
+	if partitions < 1 || partitions > maxShards {
+		return cs, fmt.Errorf("vsmartjoin: partition count %d outside [1, %d]", partitions, maxShards)
+	}
+	// Carve by name hash. Dataset.Add merges repeated entities, which is
+	// NOT the upsert Cluster.Add applies — but d.Each already yields each
+	// entity once with its final (merged) counts, so the sub-datasets see
+	// every entity exactly once either way.
+	parts := make([]*Dataset, partitions)
+	for i := range parts {
+		parts[i] = NewDataset()
+	}
+	if d != nil {
+		d.Each(func(entity string, counts map[string]uint32) bool {
+			parts[cluster.PartitionOf(entity, partitions)].Add(entity, counts)
+			return true
+		})
+	}
+	cs.Partitions = partitions
+	cs.Nodes = make([]BuildStats, partitions)
+	for p, part := range parts {
+		sub := opts
+		sub.Dir = filepath.Join(opts.Dir, NodeDirName(p))
+		bs, err := BuildIndexFiles(part, sub)
+		if err != nil {
+			return cs, fmt.Errorf("vsmartjoin: build cluster partition %d: %w", p, err)
+		}
+		cs.Nodes[p] = bs
+	}
+	return cs, nil
 }
 
 // bulkSource streams a Dataset into the builder with the exact ID

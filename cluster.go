@@ -1,0 +1,206 @@
+package vsmartjoin
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"vsmartjoin/internal/cluster"
+)
+
+// ErrClusterUnavailable tags Cluster errors caused by unreachable or
+// failing nodes — a partition with no live replica, a write that
+// missed its quorum — as opposed to invalid requests. Check with
+// errors.Is.
+var ErrClusterUnavailable = cluster.ErrUnavailable
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions struct {
+	// Nodes is the topology: Nodes[p] lists the base URLs of partition
+	// p's replica daemons (e.g. "http://10.0.0.7:8321"; a URL without a
+	// scheme gets "http://"). Every replica of a partition holds the
+	// same entities; different partitions hold disjoint entity sets,
+	// carved by a hash of the entity name (see PartitionOfEntity).
+	Nodes [][]string
+
+	// Timeout bounds every single node request (default 5s).
+	Timeout time.Duration
+
+	// HedgeAfter is how long a per-partition query attempt may run
+	// before the same query is hedged to another replica (default
+	// 100ms; negative disables hedging).
+	HedgeAfter time.Duration
+
+	// HealthEvery is the background node-health polling cadence
+	// (default 2s; negative disables the loop).
+	HealthEvery time.Duration
+
+	// RepairEvery is the background anti-entropy cadence re-driving
+	// writes that missed replicas (default 5s; negative disables the
+	// loop — repairs then run only via Repair).
+	RepairEvery time.Duration
+}
+
+// Cluster is a client for a multi-node vsmartjoind deployment: it
+// mirrors Index's Add/Remove/Query surface, but routes every call over
+// HTTP to a grid of partitioned, replicated daemon nodes. Writes go to
+// the entity's owner partition and succeed at majority quorum; queries
+// scatter to one replica per partition and merge exactly, so results
+// are byte-identical to a single Index holding every entity. The
+// router itself is stateless — any number of Cluster clients (and
+// vsmartjoind -cluster router daemons) may front the same nodes.
+// See internal/cluster for the full design.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster validates the topology and returns a router. No network
+// calls happen here; nodes still booting are discovered by the health
+// loop and by traffic.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("vsmartjoin: cluster needs at least one partition of nodes")
+	}
+	inner, err := cluster.New(cluster.Config{
+		Partitions:  opts.Nodes,
+		Timeout:     opts.Timeout,
+		HedgeAfter:  opts.HedgeAfter,
+		HealthEvery: opts.HealthEvery,
+		RepairEvery: opts.RepairEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Close stops the router's background health and repair loops. The
+// nodes are independent daemons and are not touched.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// PartitionOfEntity reports which partition of an n-partition cluster
+// owns an entity name — the routing function writes follow and
+// BuildClusterFiles carves bulk-built corpora with.
+func PartitionOfEntity(entity string, n int) int { return cluster.PartitionOf(entity, n) }
+
+// Add upserts an entity with its element multiplicities, replacing any
+// previous entity of the same name, on every replica of its owner
+// partition. It succeeds once a majority of replicas acknowledged the
+// write; replicas that missed it are re-driven by the anti-entropy
+// pass. An error means the write is NOT guaranteed applied — though,
+// as in any quorum system, a minority of replicas may still hold it,
+// and repair completes it rather than undoing it.
+func (c *Cluster) Add(entity string, counts map[string]uint32) error {
+	return c.inner.Add(entity, counts)
+}
+
+// Remove deletes an entity by name at majority quorum, reporting
+// whether any acknowledging replica still had it.
+func (c *Cluster) Remove(entity string) (bool, error) {
+	return c.inner.Remove(entity)
+}
+
+// QueryThreshold returns every entity in the cluster whose similarity
+// to the query multiset is at least t, in the canonical order
+// (decreasing similarity, entity name ascending on ties) — exactly the
+// answer a single Index over the same entities gives.
+func (c *Cluster) QueryThreshold(counts map[string]uint32, t float64) ([]Match, error) {
+	return fromClusterMatches(c.inner.QueryThreshold(counts, t))
+}
+
+// QueryTopK returns the k most similar entities across the whole
+// cluster, best first under the canonical order.
+func (c *Cluster) QueryTopK(counts map[string]uint32, k int) ([]Match, error) {
+	return fromClusterMatches(c.inner.QueryTopK(counts, k))
+}
+
+// QueryEntity runs QueryThreshold with an indexed entity as the query;
+// the entity itself is excluded from the results.
+func (c *Cluster) QueryEntity(entity string, t float64) ([]Match, error) {
+	return fromClusterMatches(c.inner.QueryEntity(entity, t))
+}
+
+// Snapshot asks every node to cut a durable snapshot (nodes running
+// without a data dir refuse). It is an operational convenience, not a
+// cluster-wide consistency point.
+func (c *Cluster) Snapshot() error { return c.inner.Snapshot() }
+
+// CheckHealth polls every node's readiness endpoint once and updates
+// the health table queries prefer replicas by. The background health
+// loop does the same on its cadence.
+func (c *Cluster) CheckHealth() { c.inner.CheckNow(context.Background()) }
+
+// Repair runs one anti-entropy pass now: every node with pending
+// missed writes gets them re-driven as a batch. The background repair
+// loop does the same on its cadence.
+func (c *Cluster) Repair() { c.inner.RepairNow(context.Background()) }
+
+// PendingRepairs reports the number of missed writes queued for
+// re-driving — zero once every replica has converged.
+func (c *Cluster) PendingRepairs() int { return c.inner.PendingRepairs() }
+
+// Ready reports whether every partition can answer queries (one
+// healthy replica) and accept writes (a healthy majority), from the
+// router's current health table.
+func (c *Cluster) Ready() (queries, writes bool) { return c.inner.Ready() }
+
+// ClusterNodeStatus is one node's row in ClusterStats: its address and
+// partition, the router's latest health observation, and the readiness
+// counters (generation, entities, mutations, shards) last read from
+// the node — the signals that expose a stale replica.
+type ClusterNodeStatus struct {
+	Addr          string    `json:"addr"`
+	Partition     int       `json:"partition"`
+	Healthy       bool      `json:"healthy"`
+	LastError     string    `json:"last_error,omitempty"`
+	LastChecked   time.Time `json:"last_checked"`
+	Generation    uint64    `json:"generation"`
+	Entities      int       `json:"entities"`
+	Mutations     int64     `json:"mutations"`
+	Shards        int       `json:"shards"`
+	PendingRepair int       `json:"pending_repair"`
+}
+
+// ClusterStats is the router's view of the cluster: topology, traffic
+// counters (hedged and failed-over query attempts, write quorum
+// failures, repairs re-driven), and per-node status.
+type ClusterStats struct {
+	Partitions int                 `json:"partitions"`
+	Queries    int64               `json:"queries"`
+	Hedges     int64               `json:"hedges"`
+	Failovers  int64               `json:"failovers"`
+	WriteFails int64               `json:"write_fails"`
+	Repairs    int64               `json:"repairs"`
+	Nodes      []ClusterNodeStatus `json:"nodes"`
+}
+
+// Stats reports the router's counters and health table. It makes no
+// network calls; node fields are as of the last probe or contact.
+func (c *Cluster) Stats() ClusterStats {
+	s := c.inner.Stats()
+	out := ClusterStats{
+		Partitions: s.Partitions,
+		Queries:    s.Queries,
+		Hedges:     s.Hedges,
+		Failovers:  s.Failovers,
+		WriteFails: s.WriteFails,
+		Repairs:    s.Repairs,
+		Nodes:      make([]ClusterNodeStatus, len(s.Nodes)),
+	}
+	for i, n := range s.Nodes {
+		out.Nodes[i] = ClusterNodeStatus(n)
+	}
+	return out
+}
+
+// fromClusterMatches converts the wire matches to the public type.
+func fromClusterMatches(ms []cluster.Match, err error) ([]Match, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Entity: m.Entity, Similarity: m.Similarity}
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package vsmartjoin_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vsmartjoin"
+	"vsmartjoin/internal/httpd"
+)
+
+// BenchmarkClusterQuery measures the router's scatter-gather threshold
+// query against in-process node daemons: 1 vs 3 partitions, with
+// hedging disabled vs armed (healthy nodes, so the hedge timer is pure
+// overhead — the price of the tail-latency insurance, not its payout).
+func BenchmarkClusterQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const entities = 3000
+	corpus := make([]map[string]uint32, entities)
+	for i := range corpus {
+		m := make(map[string]uint32)
+		for j, k := 0, 3+rng.Intn(8); j < k; j++ {
+			m[fmt.Sprintf("w%d", rng.Intn(400))] = uint32(1 + rng.Intn(4))
+		}
+		corpus[i] = m
+	}
+	probes := corpus[:64]
+
+	for _, partitions := range []int{1, 3} {
+		// One node per partition, bulk-loaded through /bulk-free direct
+		// Index adds (routing mirrors the writer's partition hash).
+		var topo [][]string
+		for p := 0; p < partitions; p++ {
+			ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: "ruzicka"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, m := range corpus {
+				name := fmt.Sprintf("e%05d", i)
+				if vsmartjoin.PartitionOfEntity(name, partitions) != p {
+					continue
+				}
+				if err := ix.Add(name, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ts := httptest.NewServer(httpd.NewNode(ix))
+			b.Cleanup(ts.Close)
+			topo = append(topo, []string{ts.URL})
+		}
+		for _, hedge := range []time.Duration{-1, 100 * time.Millisecond} {
+			name := fmt.Sprintf("nodes=%d/hedge=off", partitions)
+			if hedge > 0 {
+				name = fmt.Sprintf("nodes=%d/hedge=%s", partitions, hedge)
+			}
+			c, err := vsmartjoin.NewCluster(vsmartjoin.ClusterOptions{
+				Nodes: topo, HedgeAfter: hedge, HealthEvery: -1, RepairEvery: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Close)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.QueryThreshold(probes[i%len(probes)], 0.5); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -52,6 +52,7 @@ func main() {
 		showStats  = flag.Bool("stats", false, "print simulated cluster stats to stderr")
 		buildIndex = flag.String("build-index", "", "bulk-build a durable serving index into this directory instead of joining")
 		shards     = flag.Int("shards", 1, "shard count of the built index (with -build-index)")
+		partitions = flag.Int("build-cluster", 0, "with -build-index: carve the corpus into this many per-node index directories (node-000, ...) for a vsmartjoind cluster")
 	)
 	flag.Parse()
 	// The library treats negative thresholds as "use the default"; the flag
@@ -76,12 +77,24 @@ func main() {
 	}
 
 	if *buildIndex != "" {
-		bs, err := vsmartjoin.BuildIndexFiles(d, vsmartjoin.IndexOptions{
+		opts := vsmartjoin.IndexOptions{
 			Measure:                 *measure,
 			Shards:                  *shards,
 			Dir:                     *buildIndex,
 			BuildShuffleBufferBytes: *shufbuf,
-		})
+		}
+		if *partitions > 0 {
+			cs, err := vsmartjoin.BuildClusterFiles(d, opts, *partitions)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for p, bs := range cs.Nodes {
+				fmt.Fprintf(os.Stderr, "built %s/%s: %d entities in %d shards\n",
+					*buildIndex, vsmartjoin.NodeDirName(p), bs.Entities, bs.Shards)
+			}
+			return
+		}
+		bs, err := vsmartjoin.BuildIndexFiles(d, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

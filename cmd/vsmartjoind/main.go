@@ -1,8 +1,11 @@
-// Command vsmartjoind serves similarity queries over HTTP from an
-// incremental index — the online counterpart of the cmd/vsmartjoin
-// batch join. Entities can be added and removed while queries run.
+// Command vsmartjoind serves similarity queries over HTTP — as a
+// single node with its own incremental index, or (with -cluster) as a
+// stateless router fronting many such nodes as partitions of one
+// logical index. Both modes share one server skeleton (internal/httpd)
+// and one endpoint surface, so clients and load balancers cannot tell
+// them apart on the hot path.
 //
-// Endpoints (JSON request/response):
+// Node-mode endpoints (JSON request/response):
 //
 //	POST /add      {"entity": "ip-1", "elements": {"cookie-a": 3}}
 //	POST /remove   {"entity": "ip-1"}
@@ -10,7 +13,10 @@
 //	POST /query    {"elements": {"cookie-a": 3}, "topk": 10}
 //	POST /query    {"entity": "ip-1", "threshold": 0.5}   (query by indexed entity)
 //	POST /snapshot {}                                     (force a durable snapshot)
+//	POST /bulk     {"ops": [{"op":"add",...}, ...]}       (batched mutations)
+//	GET  /entity?name=ip-1                                (stored multiset of an entity)
 //	GET  /healthz                                         (liveness: 200 once serving)
+//	GET  /readyz                                          (readiness + staleness counters)
 //	GET  /stats
 //
 // Add replaces any previous entity of the same name (upsert). A query
@@ -29,33 +35,45 @@
 // -load preloads a TSV trace (gzip-decompressed on a .gz suffix). When
 // -data-dir names a directory with no index yet, the trace is
 // bulk-built into snapshot files first and then opened — one batch job
-// instead of one write-ahead-logged Add per entity — so cold-starting a
-// large corpus costs what the hardware can stream, not what the WAL
-// path can append. A data dir that already holds an index recovers it
-// and applies the trace as ordinary (logged) upserts; without -data-dir
-// the trace per-Add-loads a volatile index.
+// instead of one write-ahead-logged Add per entity. A data dir that
+// already holds an index recovers it and applies the trace as ordinary
+// (logged) upserts; without -data-dir the trace per-Add-loads a
+// volatile index.
 //
-// Example:
+// Router mode: -cluster takes the node topology as
+// "replica,replica;replica,replica" — partitions separated by ";",
+// replica base URLs within a partition by ",". The router holds no
+// index: writes route by entity-name hash to the owner partition and
+// must reach a majority of its replicas, queries scatter to one
+// healthy replica per partition (with per-node timeouts and hedged
+// retry) and merge exactly, and a background anti-entropy pass
+// re-drives writes that missed a replica. Any number of routers may
+// front the same nodes.
+//
+// Examples:
 //
 //	vsmartjoind -measure ruzicka -addr :8321 -data-dir /var/lib/vsmartjoin -shards 8 &
-//	curl -s localhost:8321/query -d '{"elements":{"cookie-a":3},"threshold":0.5}'
+//	vsmartjoind -addr :9000 -cluster 'host-a:8321,host-b:8321;host-c:8321,host-d:8321' &
+//	curl -s localhost:9000/query -d '{"elements":{"cookie-a":3},"threshold":0.5}'
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"vsmartjoin"
+	"vsmartjoin/internal/httpd"
 )
 
 func main() {
@@ -68,18 +86,54 @@ func main() {
 		shards        = flag.Int("shards", 0, "hash-partitioned index shards (parallel query fan-out, per-shard write locks); 0 = adopt an existing data-dir's count, else 1")
 		dataDir       = flag.String("data-dir", "", "durability directory (per-shard write-ahead logs + snapshots); empty = volatile")
 		snapshotEvery = flag.Int("snapshot-every", 4096, "mutations between automatic snapshots (needs -data-dir; negative = only on /snapshot and shutdown)")
+
+		clusterSpec = flag.String("cluster", "", `router mode: node topology "replica,replica;replica,replica" (partitions split by ';', replica URLs by ','); the daemon then routes instead of indexing`)
+		nodeTimeout = flag.Duration("node-timeout", 5*time.Second, "router mode: per-node request timeout")
+		hedgeAfter  = flag.Duration("hedge-after", 100*time.Millisecond, "router mode: hedge a slow per-partition query attempt to another replica after this long (negative disables)")
+		healthEvery = flag.Duration("health-every", 2*time.Second, "router mode: node readiness polling cadence (negative disables)")
+		repairEvery = flag.Duration("repair-every", 5*time.Second, "router mode: anti-entropy cadence re-driving missed writes (negative disables)")
 	)
 	flag.Parse()
 
-	opts := vsmartjoin.IndexOptions{
-		Measure:       *measure,
-		Shards:        *shards,
-		Dir:           *dataDir,
-		SnapshotEvery: *snapshotEvery,
-	}
-	ix, err := openIndex(opts, *load, log.Printf)
-	if err != nil {
-		log.Fatal(err)
+	var handler http.Handler
+	var closer io.Closer
+	if *clusterSpec != "" {
+		if *load != "" || *dataDir != "" {
+			log.Fatal("-cluster is router mode: -load and -data-dir belong on the nodes")
+		}
+		topology, err := parseTopology(*clusterSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := vsmartjoin.NewCluster(vsmartjoin.ClusterOptions{
+			Nodes:       topology,
+			Timeout:     *nodeTimeout,
+			HedgeAfter:  *hedgeAfter,
+			HealthEvery: *healthEvery,
+			RepairEvery: *repairEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes := 0
+		for _, p := range topology {
+			nodes += len(p)
+		}
+		log.Printf("routing %d partitions over %d nodes", len(topology), nodes)
+		handler, closer = httpd.NewRouter(c), closerFunc(func() error { c.Close(); return nil })
+	} else {
+		opts := vsmartjoin.IndexOptions{
+			Measure:       *measure,
+			Shards:        *shards,
+			Dir:           *dataDir,
+			SnapshotEvery: *snapshotEvery,
+		}
+		ix, err := openIndex(opts, *load, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s similarity (%d shards)", *measure, ix.Stats().Shards)
+		handler, closer = httpd.NewNode(ix), ix
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -88,18 +142,45 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving %s similarity on http://%s (%d shards)", *measure, ln.Addr(), ix.Stats().Shards)
-	if err := serve(ctx, &http.Server{Handler: newServer(ix)}, ln, ix); err != nil {
+	log.Printf("listening on http://%s", ln.Addr())
+	if err := serve(ctx, &http.Server{Handler: handler}, ln, closer); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("drained; index closed cleanly")
+	log.Printf("drained; closed cleanly")
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// parseTopology turns the -cluster flag into the NewCluster node grid:
+// ";" separates partitions, "," separates a partition's replica URLs.
+func parseTopology(spec string) ([][]string, error) {
+	var out [][]string
+	for pi, part := range strings.Split(spec, ";") {
+		var replicas []string
+		for _, addr := range strings.Split(part, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				replicas = append(replicas, addr)
+			}
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("-cluster: partition %d has no nodes", pi)
+		}
+		out = append(out, replicas)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-cluster: empty topology")
+	}
+	return out, nil
 }
 
 // serve runs srv on ln until it fails or ctx is cancelled (a shutdown
 // signal); on cancellation it drains in-flight requests and closes the
-// index, writing a final snapshot when the index is durable. Split from
-// main so tests can drive the full shutdown path.
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, ix *vsmartjoin.Index) error {
+// backend — for a node that writes a final snapshot when the index is
+// durable, for a router it stops the health and repair loops. Split
+// from main so tests can drive the full shutdown path.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, backend io.Closer) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -111,10 +192,10 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, ix *vsmartjoi
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		// Drain failure must not skip the final snapshot.
-		ix.Close()
+		backend.Close()
 		return fmt.Errorf("drain: %w", err)
 	}
-	return ix.Close()
+	return backend.Close()
 }
 
 // openIndex brings up the index for the flag combination: recover an
@@ -199,214 +280,4 @@ func preload(ix *vsmartjoin.Index, path string) (int, error) {
 		return 0, addErr
 	}
 	return d.Len(), nil
-}
-
-// server wires the index to the HTTP API. Split from main so tests can
-// drive it through httptest.
-type server struct {
-	ix  *vsmartjoin.Index
-	mux *http.ServeMux
-}
-
-func newServer(ix *vsmartjoin.Index) http.Handler {
-	s := &server{ix: ix, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /add", s.handleAdd)
-	s.mux.HandleFunc("POST /remove", s.handleRemove)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	return s.mux
-}
-
-type addRequest struct {
-	Entity   string            `json:"entity"`
-	Elements map[string]uint32 `json:"elements"`
-}
-
-type removeRequest struct {
-	Entity string `json:"entity"`
-}
-
-type queryRequest struct {
-	// Exactly one of Entity (an indexed entity name) or Elements (an
-	// ad-hoc multiset) names the query.
-	Entity   string            `json:"entity"`
-	Elements map[string]uint32 `json:"elements"`
-	// Exactly one of Threshold or TopK selects the query kind. Threshold
-	// is a pointer so that an explicit 0 ("any overlap") is distinguishable
-	// from absent.
-	Threshold *float64 `json:"threshold"`
-	TopK      int      `json:"topk"`
-}
-
-type snapshotRequest struct{}
-
-type matchResponse struct {
-	Entity     string  `json:"entity"`
-	Similarity float64 `json:"similarity"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// decodeBody parses exactly one JSON value into v with unknown fields
-// rejected. Every failure is answered with a JSON error payload: 400
-// for malformed, unknown-field, or trailing-garbage bodies, 413 when
-// the body exceeds the size cap.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
-			return false
-		}
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
-	}
-	// A well-formed first value followed by more input is a malformed
-	// request, not something to silently ignore.
-	if dec.More() {
-		writeError(w, http.StatusBadRequest, "trailing data after request body")
-		return false
-	}
-	return true
-}
-
-func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
-	var req addRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	if req.Entity == "" {
-		writeError(w, http.StatusBadRequest, "missing entity")
-		return
-	}
-	// Require at least one nonzero count: Index.Add drops zeros, and an
-	// all-zero body would index a permanently unmatchable empty entity.
-	hasMass := false
-	for _, c := range req.Elements {
-		if c > 0 {
-			hasMass = true
-			break
-		}
-	}
-	if !hasMass {
-		writeError(w, http.StatusBadRequest, "missing elements")
-		return
-	}
-	if err := s.ix.Add(req.Entity, req.Elements); err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"entities": s.ix.Len()})
-}
-
-func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
-	var req removeRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	if req.Entity == "" {
-		writeError(w, http.StatusBadRequest, "missing entity")
-		return
-	}
-	removed, err := s.ix.Remove(req.Entity)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": removed, "entities": s.ix.Len()})
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	if (req.Entity == "") == (len(req.Elements) == 0) {
-		writeError(w, http.StatusBadRequest, "name the query with exactly one of entity or elements")
-		return
-	}
-	if (req.Threshold == nil) == (req.TopK == 0) {
-		writeError(w, http.StatusBadRequest, "select exactly one of threshold or topk")
-		return
-	}
-	var matches []vsmartjoin.Match
-	var err error
-	switch {
-	case req.TopK < 0:
-		writeError(w, http.StatusBadRequest, "topk must be positive")
-		return
-	case req.TopK > 0 && req.Entity != "":
-		// QueryEntity has no top-k form; reject rather than guess.
-		writeError(w, http.StatusBadRequest, "topk queries take elements, not an entity")
-		return
-	case req.TopK > 0:
-		matches = s.ix.QueryTopK(req.Elements, req.TopK)
-	case req.Entity != "":
-		// Threshold range (and NaN) validation happens inside the index,
-		// with the same rules AllPairs applies; its error becomes a 400.
-		matches, err = s.ix.QueryEntity(req.Entity, *req.Threshold)
-	default:
-		matches, err = s.ix.QueryThreshold(req.Elements, *req.Threshold)
-	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	out := make([]matchResponse, len(matches))
-	for i, m := range matches {
-		out[i] = matchResponse{Entity: m.Entity, Similarity: m.Similarity}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"matches": out})
-}
-
-// handleSnapshot forces a snapshot + log truncation on a durable index;
-// on a volatile one it reports 409 (there is nothing to snapshot to).
-// The body is optional: empty and "{}" both trigger a snapshot, but a
-// non-empty body still has to be well-formed.
-func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	var req snapshotRequest
-	if r.ContentLength != 0 && !decodeBody(w, r, &req) {
-		return
-	}
-	if err := s.ix.Snapshot(); err != nil {
-		// No durability dir (or a closed index) is the caller's state
-		// conflict; anything else is a real server-side persistence
-		// failure and must not hide among the 4xx.
-		status := http.StatusInternalServerError
-		if errors.Is(err, vsmartjoin.ErrNotDurable) || errors.Is(err, vsmartjoin.ErrIndexClosed) {
-			status = http.StatusConflict
-		}
-		writeError(w, status, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"snapshot": true, "entities": s.ix.Len()})
-}
-
-// handleHealthz is the load-balancer liveness probe: the handler is
-// only registered once recovery and preload finished, so any answer at
-// all means the daemon is serving. The payload carries the durable
-// generation (0 for a volatile index) and the live entity count, cheap
-// enough for aggressive probe intervals.
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"serving":    true,
-		"generation": s.ix.Generation(),
-		"entities":   s.ix.Len(),
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.ix.Stats())
 }

@@ -15,7 +15,14 @@ import (
 	"time"
 
 	"vsmartjoin"
+	"vsmartjoin/internal/cluster"
+	"vsmartjoin/internal/httpd"
 )
+
+// testClient is the one HTTP client every test dials daemons with — a
+// bounded pool with a timeout, never http.DefaultClient (which has
+// neither and would hang a test forever on a stuck handler).
+var testClient = cluster.NewHTTPClient(10*time.Second, 8)
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
@@ -23,14 +30,14 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(ix))
+	ts := httptest.NewServer(httpd.NewNode(ix))
 	t.Cleanup(ts.Close)
 	return ts
 }
 
 func post(t *testing.T, ts *httptest.Server, path, body string) (int, map[string]any) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	resp, err := testClient.Post(ts.URL+path, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +103,7 @@ func TestDaemonRoundTrip(t *testing.T) {
 	}
 
 	// Stats reflect the traffic.
-	resp, err := http.Get(ts.URL + "/stats")
+	resp, err := testClient.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +149,7 @@ func TestDaemonValidation(t *testing.T) {
 		}
 	}
 	// Wrong method is routed away by the mux.
-	resp, err := http.Get(ts.URL + "/add")
+	resp, err := testClient.Get(ts.URL + "/add")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +176,7 @@ func TestDaemonDurableRestart(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, &http.Server{Handler: newServer(ix)}, ln, ix) }()
+	go func() { done <- serve(ctx, &http.Server{Handler: httpd.NewNode(ix)}, ln, ix) }()
 	ts := &httptest.Server{URL: "http://" + ln.Addr().String()}
 
 	for _, body := range []string{
@@ -267,35 +274,192 @@ func TestPreload(t *testing.T) {
 	}
 }
 
-// TestDaemonHealthz: the liveness endpoint answers 200 with the
-// generation and entity count once the handler is serving.
-func TestDaemonHealthz(t *testing.T) {
+// TestDaemonHealthAndReadiness: /healthz is pure liveness, /readyz
+// carries the staleness counters (generation, entities, mutations,
+// shards) a router compares across replicas.
+func TestDaemonHealthAndReadiness(t *testing.T) {
 	dir := t.TempDir()
 	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: "ruzicka", Dir: dir, Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ix.Close()
-	ts := httptest.NewServer(newServer(ix))
+	ts := httptest.NewServer(httpd.NewNode(ix))
 	defer ts.Close()
 	if err := ix.Add("a", map[string]uint32{"x": 1}); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := ix.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add("b", map[string]uint32{"y": 2}); err != nil {
+		t.Fatal(err)
+	}
 
-	resp, err := http.Get(ts.URL + "/healthz")
+	getJSON := func(path string) map[string]any {
+		t.Helper()
+		resp, err := testClient.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if out := getJSON("/healthz"); out["serving"] != true {
+		t.Fatalf("healthz payload: %v", out)
+	}
+	out := getJSON("/readyz")
+	if out["ready"] != true || out["measure"] != "ruzicka" {
+		t.Fatalf("readyz payload: %v", out)
+	}
+	// 2 adds + 1 remove = 3 mutations, 1 live entity, generation 1, 2 shards.
+	for field, want := range map[string]float64{"mutations": 3, "entities": 1, "generation": 1, "shards": 2} {
+		if out[field].(float64) != want {
+			t.Fatalf("readyz %s = %v, want %v (payload %v)", field, out[field], want, out)
+		}
+	}
+}
+
+// TestDaemonBulkAndEntity: the node-side endpoints the cluster router
+// depends on — /bulk batched mutations and /entity multiset reads.
+func TestDaemonBulkAndEntity(t *testing.T) {
+	ts := testServer(t)
+	code, out := post(t, ts, "/bulk", `{"ops": [
+		{"op": "add", "entity": "ip-1", "elements": {"a": 3, "b": 1}},
+		{"op": "add", "entity": "ip-2", "elements": {"a": 3, "b": 1}},
+		{"op": "add", "entity": "gone", "elements": {"z": 1}},
+		{"op": "remove", "entity": "gone"}
+	]}`)
+	if code != http.StatusOK || out["applied"].(float64) != 4 || out["entities"].(float64) != 2 {
+		t.Fatalf("bulk: %d %v", code, out)
+	}
+	// A malformed op rejects the whole batch before anything applies.
+	code, out = post(t, ts, "/bulk", `{"ops": [
+		{"op": "add", "entity": "ip-3", "elements": {"c": 1}},
+		{"op": "frobnicate", "entity": "ip-4"}
+	]}`)
+	if code != http.StatusBadRequest || out["error"] == "" {
+		t.Fatalf("bad bulk: %d %v", code, out)
+	}
+	if code, out = post(t, ts, "/query", `{"entity": "ip-3", "threshold": 0}`); code != http.StatusBadRequest {
+		t.Fatalf("half-applied batch: %d %v", code, out)
+	}
+
+	resp, err := testClient.Get(ts.URL + "/entity?name=ip-1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: %d", resp.StatusCode)
+	var ent struct {
+		Entity   string            `json:"entity"`
+		Elements map[string]uint32 `json:"elements"`
 	}
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&ent); err != nil {
 		t.Fatal(err)
 	}
-	if out["serving"] != true || out["entities"].(float64) != 1 || out["generation"].(float64) != 1 {
-		t.Fatalf("healthz payload: %v", out)
+	if resp.StatusCode != http.StatusOK || ent.Entity != "ip-1" || ent.Elements["a"] != 3 || ent.Elements["b"] != 1 {
+		t.Fatalf("entity: %d %+v", resp.StatusCode, ent)
+	}
+	resp2, err := testClient.Get(ts.URL + "/entity?name=gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("removed entity: %d", resp2.StatusCode)
+	}
+}
+
+// TestParseTopology covers the -cluster flag grammar.
+func TestParseTopology(t *testing.T) {
+	got, err := parseTopology("a:1,b:2; c:3 ,d:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"a:1", "b:2"}, {"c:3", "d:4"}}
+	if len(got) != 2 || got[0][0] != want[0][0] || got[0][1] != want[0][1] || got[1][0] != want[1][0] || got[1][1] != want[1][1] {
+		t.Fatalf("topology: %v", got)
+	}
+	for _, bad := range []string{"", ";", "a:1;;b:2", " , "} {
+		if _, err := parseTopology(bad); err == nil {
+			t.Fatalf("parseTopology(%q) should error", bad)
+		}
+	}
+}
+
+// TestDaemonRouterMode spawns three node daemons and a router
+// in-process and drives the full write/query surface through the
+// router — the daemon-level integration of the cluster subsystem (the
+// exhaustive differential lives in the root package's cluster tests).
+func TestDaemonRouterMode(t *testing.T) {
+	var topology [][]string
+	for i := 0; i < 3; i++ {
+		ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: "ruzicka"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(httpd.NewNode(ix))
+		t.Cleanup(ts.Close)
+		topology = append(topology, []string{ts.URL})
+	}
+	c, err := vsmartjoin.NewCluster(vsmartjoin.ClusterOptions{
+		Nodes: topology, HealthEvery: -1, RepairEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	router := httptest.NewServer(httpd.NewRouter(c))
+	t.Cleanup(router.Close)
+
+	for _, body := range []string{
+		`{"entity": "ip-1", "elements": {"a": 3, "b": 1, "c": 2}}`,
+		`{"entity": "ip-2", "elements": {"a": 2, "b": 2, "c": 2}}`,
+		`{"entity": "ip-3", "elements": {"z": 9}}`,
+	} {
+		if code, out := post(t, router, "/add", body); code != http.StatusOK {
+			t.Fatalf("router add: %d %v", code, out)
+		}
+	}
+	code, out := post(t, router, "/query", `{"elements": {"a": 3, "b": 1, "c": 2}, "threshold": 0.5}`)
+	if code != http.StatusOK {
+		t.Fatalf("router query: %d %v", code, out)
+	}
+	matches := out["matches"].([]any)
+	if len(matches) != 2 || matches[0].(map[string]any)["entity"] != "ip-1" {
+		t.Fatalf("router matches: %v", matches)
+	}
+	code, out = post(t, router, "/query", `{"entity": "ip-1", "threshold": 0.5}`)
+	if code != http.StatusOK || len(out["matches"].([]any)) != 1 {
+		t.Fatalf("router entity query: %d %v", code, out)
+	}
+	if code, out = post(t, router, "/remove", `{"entity": "ip-2"}`); code != http.StatusOK || out["removed"] != true {
+		t.Fatalf("router remove: %d %v", code, out)
+	}
+	// Validation runs in the shared skeleton: same 400s as node mode.
+	if code, out = post(t, router, "/query", `{"elements": {"a": 1}}`); code != http.StatusBadRequest {
+		t.Fatalf("router validation: %d %v", code, out)
+	}
+	// Router readiness: all partitions reachable.
+	resp, err := testClient.Get(router.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ready map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ready["ready"] != true || ready["write_ready"] != true {
+		t.Fatalf("router readyz: %d %v", resp.StatusCode, ready)
 	}
 }
 

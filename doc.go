@@ -109,6 +109,39 @@
 // line, and cmd/vsmartjoind bootstraps through it when -load points at
 // a trace and -data-dir at a directory with no index yet.
 //
+// # Cluster serving
+//
+// Cluster scales the same serving surface across machines: it is a
+// stateless router that treats N vsmartjoind node daemons as
+// partitions of one logical index, mirroring Index's mutation and
+// query API over HTTP:
+//
+//	c, err := vsmartjoin.NewCluster(vsmartjoin.ClusterOptions{
+//		Nodes: [][]string{
+//			{"http://10.0.0.1:8321", "http://10.0.0.2:8321"}, // partition 0 replicas
+//			{"http://10.0.0.3:8321", "http://10.0.0.4:8321"}, // partition 1 replicas
+//		},
+//	})
+//	if err != nil { ... }
+//	defer c.Close()
+//	err = c.Add("ip-1", map[string]uint32{"cookie-a": 3})
+//	matches, err := c.QueryTopK(map[string]uint32{"cookie-a": 3}, 10)
+//
+// Entities route to partitions by a hash of their name
+// (PartitionOfEntity), writes replicate to every replica of the owner
+// partition and succeed at majority quorum, and queries scatter to one
+// healthy replica per partition — with per-node timeouts, failover,
+// and hedged retry — then merge under the canonical result ordering
+// (similarity descending, entity name ascending on ties). Because that
+// ordering is a pure function of the stored entities, a Cluster of any
+// shape answers byte-identically to a single Index holding the same
+// data; cluster_diff_test.go gates exactly that. Writes that miss a
+// replica are re-driven by a background anti-entropy pass, and
+// BuildClusterFiles carves a bulk-built corpus into per-node
+// directories along the same routing hash. The vsmartjoind -cluster
+// flag serves a Cluster over the identical HTTP surface a node
+// exposes, so clients and load balancers cannot tell router from node.
+//
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package vsmartjoin

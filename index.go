@@ -86,10 +86,34 @@ type IndexOptions struct {
 	BuildShuffleBufferBytes int64
 }
 
-// Match is one online query result.
+// Match is one online query result. Results are always ordered
+// canonically: decreasing similarity, entity name ascending on ties.
+// Name-based tie-breaking (rather than internal entity IDs) is what
+// makes results reproducible across every deployment shape — a single
+// index, a sharded one, and a Cluster of independent nodes (each with
+// its own private ID space) all answer byte-identically.
 type Match struct {
-	Entity     string
-	Similarity float64
+	Entity     string  `json:"entity"`
+	Similarity float64 `json:"similarity"`
+}
+
+// worsePublicMatch is the canonical public result comparator: a ranks
+// below b on lower similarity, or on greater entity name at equal
+// similarities. Entity names are unique, so this is a total order.
+func worsePublicMatch(a, b Match) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity < b.Similarity
+	}
+	return a.Entity > b.Entity
+}
+
+// SortMatchesByName orders matches best first under the canonical
+// public ordering (similarity descending, entity name ascending on
+// ties). Index queries return already-sorted results; the function is
+// exported for callers merging match lists from several sources — the
+// cluster router's scatter-gather merge is built on it.
+func SortMatchesByName(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool { return worsePublicMatch(ms[j], ms[i]) })
 }
 
 // IndexStats snapshots the size and traffic counters of an Index; see
@@ -627,8 +651,11 @@ func (ix *Index) buildQuery(counts map[string]uint32) index.Query {
 	return q
 }
 
-// resolve translates ID matches back to entity names. Matches whose
-// entity was removed between the query and the lookup are dropped.
+// resolve translates ID matches back to entity names and re-sorts them
+// under the canonical public ordering (similarity descending, name
+// ascending on ties) — the inner index breaks ties by entity ID, which
+// is meaningless outside one process. Matches whose entity was removed
+// between the query and the lookup are dropped.
 func (ix *Index) resolve(ms []index.Match) []Match {
 	out := make([]Match, 0, len(ms))
 	ix.mu.RLock()
@@ -638,13 +665,15 @@ func (ix *Index) resolve(ms []index.Match) []Match {
 		}
 	}
 	ix.mu.RUnlock()
+	SortMatchesByName(out)
 	return out
 }
 
 // QueryThreshold returns every indexed entity whose similarity to the
-// query multiset is at least t, sorted by decreasing similarity (entity
-// ID order on ties). A zero t returns every entity sharing at least one
-// element with the query — the same overlap convention as AllPairs.
+// query multiset is at least t, in the canonical order (decreasing
+// similarity, entity name ascending on ties). A zero t returns every
+// entity sharing at least one element with the query — the same overlap
+// convention as AllPairs.
 func (ix *Index) QueryThreshold(counts map[string]uint32, t float64) ([]Match, error) {
 	if err := checkThreshold(t); err != nil {
 		return nil, err
@@ -668,9 +697,70 @@ func (ix *Index) QueryEntity(entity string, t float64) ([]Match, error) {
 	return ix.resolve(ms), nil
 }
 
-// QueryTopK returns the k most similar indexed entities, best first.
+// QueryTopK returns the k most similar indexed entities, best first
+// under the canonical order (decreasing similarity, entity name
+// ascending on ties). When more than k entities tie at the k-th best
+// similarity, the ones with the smallest names win — the inner index
+// breaks that tie by entity ID, so a boundary re-query at the k-th
+// similarity re-selects among the tied entities by name. That keeps
+// top-k selection a pure function of the indexed (name, multiset)
+// pairs, independent of insertion order, shard count, and — for the
+// cluster router, whose nodes each run a private ID space — of how the
+// entities are partitioned across nodes.
 func (ix *Index) QueryTopK(counts map[string]uint32, k int) []Match {
-	return ix.resolve(ix.inner.QueryTopK(ix.buildQuery(counts), k))
+	if k <= 0 {
+		return nil
+	}
+	q := ix.buildQuery(counts)
+	// Probe for k+1: the extra result is a tie detector. If the k-th and
+	// (k+1)-th best similarities differ (or fewer than k+1 exist), no tied
+	// entity was evicted at the boundary and the heap's selection is
+	// already the canonical one — the common case, served by one pass.
+	ms := ix.inner.QueryTopK(q, k+1)
+	if len(ms) == k+1 && ms[k-1].Sim == ms[k].Sim {
+		// Ties straddle the boundary, and the heap broke them by entity
+		// ID; fetch every entity at or above the boundary similarity and
+		// let the canonical sort pick by name.
+		ms = ix.inner.QueryThreshold(q, ms[k-1].Sim)
+	}
+	out := ix.resolve(ms)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Elements returns a copy of an indexed entity's current element
+// multiplicities, or ok == false if the entity is not indexed. The
+// cluster router uses it (via the daemon's GET /entity endpoint) to
+// turn an entity-relative query into an element query it can scatter
+// to the other partitions.
+func (ix *Index) Elements(entity string) (counts map[string]uint32, ok bool) {
+	ix.mu.RLock()
+	id, ok := ix.byName[entity]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	m := ix.inner.Snapshot(id)
+	if len(m.Entries) == 0 {
+		// Either the entity was legitimately indexed empty, or it was
+		// removed between the name lookup and the snapshot — re-check so
+		// a vanished entity reads as not-found, not as empty.
+		ix.mu.RLock()
+		_, ok = ix.byName[entity]
+		ix.mu.RUnlock()
+		if !ok {
+			return nil, false
+		}
+	}
+	counts = make(map[string]uint32, len(m.Entries))
+	ix.mu.RLock()
+	for _, e := range m.Entries {
+		counts[ix.dict.Name(e.Elem)] += e.Count
+	}
+	ix.mu.RUnlock()
+	return counts, true
 }
 
 // queryByID rebuilds a query from an indexed entity's current multiset.

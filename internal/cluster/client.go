@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// NewHTTPClient builds the bounded client every daemon dialer should
+// use instead of http.DefaultClient: an overall per-request timeout
+// and a connection pool capped per host, so a burst of scatter-gather
+// fan-outs reuses warm connections instead of opening one per request
+// and a stuck node cannot pin goroutines forever. peers sizes the
+// idle pool (how many distinct nodes the client talks to).
+func NewHTTPClient(timeout time.Duration, peers int) *http.Client {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	if peers < 1 {
+		peers = 1
+	}
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:          4 * peers,
+			MaxIdleConnsPerHost:   4,
+			MaxConnsPerHost:       64,
+			IdleConnTimeout:       90 * time.Second,
+			ResponseHeaderTimeout: timeout,
+		},
+	}
+}
+
+// errorBody is the daemon's JSON error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statusError is a non-2xx node response, keeping the HTTP status so
+// callers can distinguish semantic answers (a /entity 404) from node
+// failures.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e statusError) Error() string { return e.msg }
+
+// postJSON POSTs req as JSON to node n's path and decodes the JSON
+// response into out (which may be nil). Non-2xx responses are errors
+// carrying the daemon's error string. Every call updates the node's
+// health from its outcome; 4xx responses are the CALLER's fault and do
+// not mark the node unhealthy.
+func (c *Cluster) postJSON(ctx context.Context, n *node, path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, n.addr+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	return c.do(n, httpReq, out)
+}
+
+// getJSON GETs a node path and decodes the JSON response into out.
+func (c *Cluster) getJSON(ctx context.Context, n *node, path string, out any) error {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, n.addr+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(n, httpReq, out)
+}
+
+// do runs one node request and applies the shared response handling.
+func (c *Cluster) do(n *node, req *http.Request, out any) error {
+	resp, err := c.client.Do(req)
+	if err != nil {
+		n.markHealthy(err)
+		return fmt.Errorf("%s: %w", n.addr, err)
+	}
+	defer func() {
+		// Drain so the pooled connection is reusable.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&eb)
+		err := statusError{
+			code: resp.StatusCode,
+			msg:  fmt.Sprintf("%s %s: %s (%s)", n.addr, req.URL.Path, resp.Status, eb.Error),
+		}
+		if resp.StatusCode/100 == 5 {
+			n.markHealthy(err)
+		} else {
+			// A 4xx is this router's request being wrong, not the node
+			// being sick; record the contact as healthy.
+			n.markHealthy(nil)
+		}
+		return err
+	}
+	n.markHealthy(nil)
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out); err != nil {
+		return fmt.Errorf("%s %s: decode response: %w", n.addr, req.URL.Path, err)
+	}
+	return nil
+}
+
+// CheckNow polls every node's /readyz once, in parallel, updating the
+// health table the query planner prefers replicas by. The background
+// health loop calls it on its cadence; tests and callers wanting a
+// fresh view call it directly.
+func (c *Cluster) CheckNow(ctx context.Context) {
+	done := make(chan struct{}, len(c.nodes))
+	for _, n := range c.nodes {
+		go func(n *node) {
+			defer func() { done <- struct{}{} }()
+			var r Readiness
+			err := c.getJSON(ctx, n, "/readyz", &r)
+			if err == nil {
+				n.mu.Lock()
+				n.ready = r
+				n.mu.Unlock()
+			}
+		}(n)
+	}
+	for range c.nodes {
+		<-done
+	}
+}

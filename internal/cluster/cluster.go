@@ -1,0 +1,314 @@
+// Package cluster is the multi-node serving layer: a stateless query
+// router that treats N vsmartjoind processes as partitions of one
+// logical similarity index. It is the network-distributed counterpart
+// of internal/shard — where a shard.Set fans a query out across
+// goroutines of one process, a Cluster fans it out across HTTP nodes —
+// and it follows the same partition/merge structure the paper's
+// sharding algorithm uses for the batch join.
+//
+// # Topology
+//
+// A cluster is a static grid of P partitions × R replicas. Every
+// entity belongs to exactly one partition, chosen by hashing its NAME
+// (FNV-64a folded through shard.ShardOf's splitmix64 finalizer — see
+// PartitionOf), so any router instance, with no state at all, routes
+// the same entity to the same partition. Each node in a partition's
+// replica set holds the complete multisets of that partition's
+// entities, which keeps every query exact: per-node answers are
+// disjoint across partitions and their union (or top-k merge) equals
+// the single-index answer.
+//
+// # Writes
+//
+// Add/Remove route to the owner partition and go to all R replicas in
+// parallel. The write succeeds once a majority (R/2+1) of replicas
+// acknowledge it; replicas that failed are left a pending repair op
+// that the anti-entropy pass re-drives (see repair.go). A write that
+// misses quorum returns an error, but — as in any quorum system — it
+// may still have applied on a minority of replicas, and anti-entropy
+// will complete rather than undo it: "error" means "not guaranteed
+// applied", never "guaranteed not applied".
+//
+// # Queries
+//
+// QueryThreshold/QueryTopK scatter to ONE replica per partition
+// (healthy replicas preferred, chosen round-robin), each attempt
+// bounded by a per-node timeout. A replica that fails is immediately
+// failed over to the next; a replica that is merely slow is hedged: after
+// HedgeAfter the same query is fired at the next replica and the first
+// answer wins. Per-partition results merge under the canonical public
+// ordering (similarity descending, entity name ascending), which is a
+// pure function of the stored (name, multiset) pairs — so the merged
+// answer is byte-identical to a single index holding every entity,
+// regardless of P, R, or which replica answered.
+//
+// A query needs one live replica per partition; a write needs a
+// majority of the owner partition. With R=2 a single dead node
+// therefore stops writes to its partition (majority of 2 is 2) while
+// queries keep flowing — the deliberate, conservative default of
+// majority quorums.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/shard"
+)
+
+// ErrUnavailable tags errors caused by unreachable or failing nodes —
+// a partition with no live replica, a write that missed quorum. The
+// HTTP layer maps it to 503 so load balancers can tell "cluster
+// degraded" from "bad request".
+var ErrUnavailable = errors.New("cluster unavailable")
+
+// Defaults for the zero Config fields.
+const (
+	DefaultTimeout     = 5 * time.Second
+	DefaultHedgeAfter  = 100 * time.Millisecond
+	DefaultHealthEvery = 2 * time.Second
+	DefaultRepairEvery = 5 * time.Second
+)
+
+// Config describes a cluster to New.
+type Config struct {
+	// Partitions is the topology: Partitions[p] lists the base URLs of
+	// partition p's replicas (e.g. "http://10.0.0.7:8321"). A URL
+	// without a scheme gets "http://". At least one partition with at
+	// least one replica is required; partitions may have different
+	// replica counts (each uses its own majority).
+	Partitions [][]string
+
+	// Timeout bounds every single node request (default DefaultTimeout).
+	Timeout time.Duration
+
+	// HedgeAfter is how long a query attempt may run before the same
+	// query is hedged to the next replica of the partition (default
+	// DefaultHedgeAfter). Negative disables hedging; failover on
+	// outright errors happens regardless.
+	HedgeAfter time.Duration
+
+	// HealthEvery is the background /readyz polling cadence (default
+	// DefaultHealthEvery; negative disables the loop — node health is
+	// then tracked from live traffic and explicit CheckNow calls only).
+	HealthEvery time.Duration
+
+	// RepairEvery is the background anti-entropy cadence (default
+	// DefaultRepairEvery; negative disables the loop — pending repair
+	// ops are then only re-driven by explicit RepairNow calls).
+	RepairEvery time.Duration
+
+	// Client overrides the HTTP client. Nil builds a bounded one
+	// (NewHTTPClient) sized to the node count.
+	Client *http.Client
+}
+
+// node is one member: its base URL, its partition, and its latest
+// observed health.
+type node struct {
+	addr      string
+	partition int
+
+	mu      sync.Mutex
+	healthy bool // last contact succeeded (starts true: unknown ≈ worth trying)
+	err     string
+	checked time.Time
+	ready   Readiness
+
+	pending map[string]pendingOp // entity → op to re-drive; nil when empty
+	seq     uint64               // stamps pendingOps so RepairNow only clears what it sent
+}
+
+// Readiness is one node's extended /readyz payload — the counters the
+// router (and any load balancer) uses to detect stale replicas.
+type Readiness struct {
+	Ready      bool   `json:"ready"`
+	Measure    string `json:"measure"`
+	Generation uint64 `json:"generation"`
+	Entities   int    `json:"entities"`
+	Mutations  int64  `json:"mutations"`
+	Shards     int    `json:"shards"`
+}
+
+// Cluster is the router. Construct with New; Close stops the
+// background loops.
+type Cluster struct {
+	parts   [][]*node // [partition][replica]
+	nodes   []*node   // flattened
+	client  *http.Client
+	timeout time.Duration
+	hedge   time.Duration
+
+	rr atomic.Uint64 // round-robin cursor for replica preference
+
+	queries    atomic.Int64
+	hedges     atomic.Int64
+	failovers  atomic.Int64
+	writeFails atomic.Int64
+	repairs    atomic.Int64
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New validates the topology and starts the health and repair loops
+// (unless disabled). It performs no synchronous network calls: a
+// cluster whose nodes are still booting constructs fine and converges
+// as probes and traffic discover them.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Partitions) == 0 {
+		return nil, errors.New("cluster: no partitions")
+	}
+	c := &Cluster{
+		timeout: cfg.Timeout,
+		hedge:   cfg.HedgeAfter,
+		stop:    make(chan struct{}),
+	}
+	if c.timeout == 0 {
+		c.timeout = DefaultTimeout
+	}
+	if c.hedge == 0 {
+		c.hedge = DefaultHedgeAfter
+	}
+	seen := make(map[string]bool)
+	for p, replicas := range cfg.Partitions {
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("cluster: partition %d has no replicas", p)
+		}
+		row := make([]*node, 0, len(replicas))
+		for _, addr := range replicas {
+			addr = normalizeAddr(addr)
+			if addr == "" {
+				return nil, fmt.Errorf("cluster: partition %d has an empty node address", p)
+			}
+			if seen[addr] {
+				return nil, fmt.Errorf("cluster: node %s listed twice", addr)
+			}
+			seen[addr] = true
+			n := &node{addr: addr, partition: p, healthy: true}
+			row = append(row, n)
+			c.nodes = append(c.nodes, n)
+		}
+		c.parts = append(c.parts, row)
+	}
+	c.client = cfg.Client
+	if c.client == nil {
+		c.client = NewHTTPClient(c.timeout, len(c.nodes))
+	}
+
+	healthEvery := cfg.HealthEvery
+	if healthEvery == 0 {
+		healthEvery = DefaultHealthEvery
+	}
+	repairEvery := cfg.RepairEvery
+	if repairEvery == 0 {
+		repairEvery = DefaultRepairEvery
+	}
+	if healthEvery > 0 {
+		c.wg.Add(1)
+		go c.loop(healthEvery, func(ctx context.Context) { c.CheckNow(ctx) })
+	}
+	if repairEvery > 0 {
+		c.wg.Add(1)
+		go c.loop(repairEvery, func(ctx context.Context) { c.RepairNow(ctx) })
+	}
+	return c, nil
+}
+
+// loop runs fn every interval until Close.
+func (c *Cluster) loop(every time.Duration, fn func(context.Context)) {
+	defer c.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+			fn(ctx)
+			cancel()
+		}
+	}
+}
+
+// Close stops the background loops. It does not touch the nodes —
+// they are independent daemons — and in-flight requests finish on
+// their own timeouts. Close is idempotent.
+func (c *Cluster) Close() {
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.stop)
+	}
+	c.wg.Wait()
+}
+
+// Partitions reports the partition count.
+func (c *Cluster) Partitions() int { return len(c.parts) }
+
+// normalizeAddr trims whitespace and a trailing slash and defaults the
+// scheme to http.
+func normalizeAddr(addr string) string {
+	addr = strings.TrimSpace(addr)
+	addr = strings.TrimSuffix(addr, "/")
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+// PartitionOf is the one write-routing function: the partition owning
+// an entity name in an n-partition cluster. The name is FNV-64a hashed
+// and folded through the same splitmix64 finalizer (shard.ShardOf)
+// that routes entity IDs to shards inside one node, so cluster-level
+// and node-level placement share their mixing function. Routing by
+// name — the only identity that exists outside a node — is what lets
+// any number of stateless routers agree on ownership, and what
+// BuildClusterFiles relies on to carve a bulk-built corpus into
+// per-node directories the router will look for entities in.
+func PartitionOf(entity string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(entity))
+	return shard.ShardOf(multiset.ID(h.Sum64()), n)
+}
+
+// owner returns the replica row of the partition owning entity.
+func (c *Cluster) owner(entity string) []*node {
+	return c.parts[PartitionOf(entity, len(c.parts))]
+}
+
+// markHealthy records the outcome of any node contact; health flows
+// from live traffic as much as from the background probe, so a node
+// that starts failing is deprioritized on the very next query.
+func (n *node) markHealthy(err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.checked = time.Now()
+	if err != nil {
+		n.healthy = false
+		n.err = err.Error()
+		return
+	}
+	n.healthy = true
+	n.err = ""
+}
+
+func (n *node) isHealthy() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.healthy
+}

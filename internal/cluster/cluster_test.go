@@ -1,0 +1,503 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeNode is a scriptable stand-in for a vsmartjoind node: it stores
+// entities in a map, answers the endpoint surface the router uses, and
+// can be told to fail writes, fail everything, or hang queries — the
+// partial-failure scenarios the real differential (root package) never
+// produces on demand. Queries answer every stored entity with
+// similarity 1, which is enough structure for the merge to be checked.
+type fakeNode struct {
+	mu         sync.Mutex
+	ents       map[string]map[string]uint32
+	mutations  int64
+	failWrites bool
+	down       bool
+	hangQuery  bool
+	bulks      int
+}
+
+func newFakeNode() *fakeNode {
+	return &fakeNode{ents: make(map[string]map[string]uint32)}
+}
+
+func (f *fakeNode) set(fn func(*fakeNode)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+func (f *fakeNode) bulkCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bulks
+}
+
+func (f *fakeNode) entities() map[string]map[string]uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]map[string]uint32, len(f.ents))
+	for k, v := range f.ents {
+		out[k] = v
+	}
+	return out
+}
+
+func (f *fakeNode) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	down, failWrites, hang := f.down, f.failWrites, f.hangQuery
+	f.mu.Unlock()
+	if down {
+		http.Error(w, `{"error":"node down"}`, http.StatusInternalServerError)
+		return
+	}
+	writeJSON := func(v any) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+	}
+	switch r.URL.Path {
+	case "/add":
+		if failWrites {
+			http.Error(w, `{"error":"write refused"}`, http.StatusInternalServerError)
+			return
+		}
+		var req nodeAddRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		f.ents[req.Entity] = req.Elements
+		f.mutations++
+		f.mu.Unlock()
+		writeJSON(map[string]any{"entities": len(f.ents)})
+	case "/remove":
+		if failWrites {
+			http.Error(w, `{"error":"write refused"}`, http.StatusInternalServerError)
+			return
+		}
+		var req nodeRemoveRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		_, had := f.ents[req.Entity]
+		delete(f.ents, req.Entity)
+		f.mutations++
+		f.mu.Unlock()
+		writeJSON(map[string]any{"removed": had})
+	case "/query":
+		if hang {
+			// Drain the body first: the net/http server only watches for a
+			// client abort once the handler consumed the request, and the
+			// hedge's context cancellation must be able to release this
+			// handler when the test tears down.
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done() // the node died mid-query: never answers
+			return
+		}
+		f.mu.Lock()
+		var ms []Match
+		for name := range f.ents {
+			ms = append(ms, Match{Entity: name, Similarity: 1})
+		}
+		f.mu.Unlock()
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Entity < ms[j].Entity })
+		writeJSON(map[string]any{"matches": ms})
+	case "/bulk":
+		var req BulkRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		for _, op := range req.Ops {
+			if op.Op == "add" {
+				f.ents[op.Entity] = op.Elements
+			} else {
+				delete(f.ents, op.Entity)
+			}
+			f.mutations++
+		}
+		f.bulks++
+		f.mu.Unlock()
+		writeJSON(map[string]any{"applied": len(req.Ops)})
+	case "/readyz":
+		f.mu.Lock()
+		out := Readiness{Ready: true, Measure: "ruzicka", Generation: 1,
+			Entities: len(f.ents), Mutations: f.mutations, Shards: 1}
+		f.mu.Unlock()
+		writeJSON(out)
+	case "/entity":
+		name := r.URL.Query().Get("name")
+		f.mu.Lock()
+		elems, ok := f.ents[name]
+		f.mu.Unlock()
+		if !ok {
+			http.Error(w, `{"error":"not indexed"}`, http.StatusNotFound)
+			return
+		}
+		writeJSON(map[string]any{"entity": name, "elements": elems})
+	default:
+		http.Error(w, `{"error":"unknown path"}`, http.StatusNotFound)
+	}
+}
+
+// grid spins up P×R fake nodes and a cluster over them with the
+// background loops disabled (tests drive CheckNow/RepairNow
+// explicitly) and hedging off unless asked for.
+func grid(t *testing.T, p, r int, hedge time.Duration) ([][]*fakeNode, *Cluster) {
+	t.Helper()
+	nodes := make([][]*fakeNode, p)
+	topo := make([][]string, p)
+	for pi := 0; pi < p; pi++ {
+		for ri := 0; ri < r; ri++ {
+			f := newFakeNode()
+			ts := httptest.NewServer(f)
+			t.Cleanup(ts.Close)
+			nodes[pi] = append(nodes[pi], f)
+			topo[pi] = append(topo[pi], ts.URL)
+		}
+	}
+	c, err := New(Config{
+		Partitions:  topo,
+		Timeout:     5 * time.Second,
+		HedgeAfter:  hedge,
+		HealthEvery: -1,
+		RepairEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return nodes, c
+}
+
+// waitPending polls until the cluster's pending-repair count settles
+// at want: writeFn returns at quorum, so straggler bookkeeping (a
+// provisional repair queued synchronously, cleared when the
+// straggler's ack drains) is asynchronous by design.
+func waitPending(t *testing.T, c *Cluster, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := c.PendingRepairs()
+		if got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending repairs = %d, want %d", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPartitionOfDeterministicAndSpread(t *testing.T) {
+	hits := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("entity-%d", i)
+		p := PartitionOf(name, 8)
+		if p2 := PartitionOf(name, 8); p2 != p {
+			t.Fatalf("PartitionOf(%q) unstable: %d then %d", name, p, p2)
+		}
+		hits[p]++
+	}
+	for p, n := range hits {
+		// A fair hash puts ~512 of 4096 names in each of 8 partitions;
+		// anything outside [256, 768] would be a broken mix.
+		if n < 256 || n > 768 {
+			t.Fatalf("partition %d got %d/4096 names: %v", p, n, hits)
+		}
+	}
+	if PartitionOf("anything", 1) != 0 || PartitionOf("anything", 0) != 0 {
+		t.Fatal("degenerate partition counts must route to 0")
+	}
+}
+
+func TestNormalizeAddr(t *testing.T) {
+	for in, want := range map[string]string{
+		" host:8321 ":       "http://host:8321",
+		"http://host:8321/": "http://host:8321",
+		"https://host":      "https://host",
+		"10.0.0.7:99":       "http://10.0.0.7:99",
+		"  ":                "",
+	} {
+		if got := normalizeAddr(in); got != want {
+			t.Fatalf("normalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNewRejectsBadTopologies(t *testing.T) {
+	for _, bad := range [][][]string{
+		{},
+		{{}},
+		{{"a:1"}, {}},
+		{{"a:1", "a:1"}},
+		{{"a:1"}, {"a:1"}},
+		{{"a:1", "   "}},
+	} {
+		if _, err := New(Config{Partitions: bad, HealthEvery: -1, RepairEvery: -1}); err == nil {
+			t.Fatalf("topology %v should be rejected", bad)
+		}
+	}
+}
+
+// TestWriteReplicatesAndQuorum: a healthy partition applies the write
+// on every replica; with a minority failing the write still succeeds
+// and the failed replica gets a pending repair op.
+func TestWriteReplicatesAndQuorum(t *testing.T) {
+	nodes, c := grid(t, 2, 3, -1)
+	if err := c.Add("e1", map[string]uint32{"x": 2}); err != nil {
+		t.Fatal(err)
+	}
+	p := PartitionOf("e1", 2)
+	// The write returns at quorum; the last replica's apply may still be
+	// in flight, so poll for full replication.
+	deadline := time.Now().Add(5 * time.Second)
+	for ri := 0; ri < len(nodes[p]); {
+		if ents := nodes[p][ri].entities(); ents["e1"] != nil {
+			ri++
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %d missed the write: %v", ri, nodes[p][ri].entities())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for ri, f := range nodes[1-p] {
+		if ents := f.entities(); len(ents) != 0 {
+			t.Fatalf("non-owner partition replica %d got the write: %v", ri, ents)
+		}
+	}
+
+	// One of three replicas failing: quorum met, repair queued.
+	nodes[p][1].set(func(f *fakeNode) { f.failWrites = true })
+	if err := c.Add("e2", map[string]uint32{"y": 1}); err != nil {
+		t.Fatalf("write with 2/3 acks should meet quorum: %v", err)
+	}
+	waitPending(t, c, 1)
+
+	// Two of three failing: quorum missed, the error says so.
+	nodes[p][2].set(func(f *fakeNode) { f.failWrites = true })
+	err := c.Add("e3", map[string]uint32{"z": 1})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want quorum failure wrapping ErrUnavailable, got %v", err)
+	}
+	if c.Stats().WriteFails != 1 {
+		t.Fatalf("write-fail counter: %+v", c.Stats())
+	}
+}
+
+// TestRepairConvergesLaggingReplica is the anti-entropy cycle: writes
+// miss a down replica (queued), the replica comes back, RepairNow
+// re-drives them as one /bulk batch, and the replica converges — with
+// the mutation counters in Stats reflecting it after a health pass.
+func TestRepairConvergesLaggingReplica(t *testing.T) {
+	nodes, c := grid(t, 1, 2, -1)
+	lagging := nodes[0][1]
+	lagging.set(func(f *fakeNode) { f.down = true })
+
+	// Majority of 2 is 2: with one replica down every write errors, but
+	// the live replica applied it and the dead one owes a repair.
+	if err := c.Add("e1", map[string]uint32{"x": 1}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want quorum failure, got %v", err)
+	}
+	if err := c.Add("e2", map[string]uint32{"y": 1}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want quorum failure, got %v", err)
+	}
+	if _, err := c.Remove("e2"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want quorum failure, got %v", err)
+	}
+	waitPending(t, c, 2) // the latest op per entity, lagging replica only
+
+	// Still down: repair must not clear the queue.
+	c.RepairNow(context.Background())
+	waitPending(t, c, 2)
+
+	lagging.set(func(f *fakeNode) { f.down = false })
+	c.RepairNow(context.Background())
+	waitPending(t, c, 0)
+	if got := lagging.bulkCount(); got != 1 {
+		t.Fatalf("repair should arrive as one /bulk batch, got %d", got)
+	}
+	want := nodes[0][0].entities()
+	got := lagging.entities()
+	if len(got) != len(want) || got["e1"] == nil || got["e2"] != nil {
+		t.Fatalf("lagging replica did not converge: got %v want %v", got, want)
+	}
+
+	c.CheckNow(context.Background())
+	st := c.Stats()
+	if st.Repairs != 2 {
+		t.Fatalf("repairs counter = %d, want 2", st.Repairs)
+	}
+	for _, n := range st.Nodes {
+		if n.Entities != 1 {
+			t.Fatalf("node %s entities = %d after convergence: %+v", n.Addr, n.Entities, st.Nodes)
+		}
+	}
+}
+
+// TestRepairNeverResurrectsStaleWrites: a newer successful write to
+// the same entity must cancel the queued older one, or repair would
+// roll the entity back.
+func TestRepairNeverResurrectsStaleWrites(t *testing.T) {
+	nodes, c := grid(t, 1, 3, -1)
+	lagging := nodes[0][2]
+	lagging.set(func(f *fakeNode) { f.failWrites = true })
+	if err := c.Add("e", map[string]uint32{"old": 1}); err != nil {
+		t.Fatal(err) // 2/3 acks
+	}
+	waitPending(t, c, 1)
+	lagging.set(func(f *fakeNode) { f.failWrites = false })
+	// The newer upsert reaches all three replicas and must erase the
+	// queued stale one.
+	if err := c.Add("e", map[string]uint32{"new": 2}); err != nil {
+		t.Fatal(err)
+	}
+	waitPending(t, c, 0)
+	c.RepairNow(context.Background())
+	if got := lagging.entities()["e"]; got["new"] != 2 || got["old"] != 0 {
+		t.Fatalf("entity rolled back: %v", got)
+	}
+}
+
+// TestNodeDownAtStartup: a replica that was never up must not stop
+// queries — the router fails over to the live replica and the answer
+// is the full partition answer.
+func TestNodeDownAtStartup(t *testing.T) {
+	f := newFakeNode()
+	live := httptest.NewServer(f)
+	defer live.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // nothing ever listens here again
+
+	c, err := New(Config{
+		Partitions:  [][]string{{deadURL, live.URL}},
+		Timeout:     5 * time.Second,
+		HedgeAfter:  -1,
+		HealthEvery: -1,
+		RepairEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f.set(func(f *fakeNode) { f.ents["e1"] = map[string]uint32{"x": 1} })
+
+	// Depending on round-robin rotation the dead node may be tried
+	// first; both orders must answer exactly.
+	for i := 0; i < 4; i++ {
+		ms, err := c.QueryThreshold(map[string]uint32{"x": 1}, 0)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(ms) != 1 || ms[0].Entity != "e1" {
+			t.Fatalf("query %d: %v", i, ms)
+		}
+	}
+	c.CheckNow(context.Background())
+	var deadSeen bool
+	for _, n := range c.Stats().Nodes {
+		if n.Addr == deadURL {
+			deadSeen = true
+			if n.Healthy {
+				t.Fatal("dead node still marked healthy after CheckNow")
+			}
+		}
+	}
+	if !deadSeen {
+		t.Fatal("dead node missing from stats")
+	}
+	if q, w := c.Ready(); !q || w {
+		t.Fatalf("Ready() = %v, %v; want queries ready, writes not (majority of 2 is 2)", q, w)
+	}
+}
+
+// TestHedgeWinsWhenNodeDiesMidQuery: the preferred replica accepts the
+// query and never answers; the hedge fires on the other replica and
+// its (exact) answer wins well before the per-node timeout.
+func TestHedgeWinsWhenNodeDiesMidQuery(t *testing.T) {
+	nodes, c := grid(t, 1, 2, 5*time.Millisecond)
+	for _, f := range nodes[0] {
+		f.set(func(f *fakeNode) { f.ents["e1"] = map[string]uint32{"x": 1} })
+	}
+	// Whichever replica the rotation prefers, hang it; the other answers.
+	hung := 0
+	nodes[0][hung].set(func(f *fakeNode) { f.hangQuery = true })
+	nodes[0][1].set(func(f *fakeNode) { f.hangQuery = false })
+
+	start := time.Now()
+	deadline := time.After(2 * time.Second)
+	hedgedOnce := false
+	for !hedgedOnce {
+		select {
+		case <-deadline:
+			t.Fatal("no query was ever hedged")
+		default:
+		}
+		ms, err := c.QueryThreshold(map[string]uint32{"x": 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 1 || ms[0].Entity != "e1" {
+			t.Fatalf("hedged answer wrong: %v", ms)
+		}
+		hedgedOnce = c.Stats().Hedges > 0
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedged queries took %v — hedging is not working", elapsed)
+	}
+}
+
+// TestAllReplicasDownFailsQuery: with every replica of a partition
+// dead the query must error (never a silent partial answer), tagged
+// ErrUnavailable.
+func TestAllReplicasDownFailsQuery(t *testing.T) {
+	nodes, c := grid(t, 2, 1, -1)
+	nodes[1][0].set(func(f *fakeNode) { f.down = true })
+	_, err := c.QueryThreshold(map[string]uint32{"x": 1}, 0)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if q, _ := c.Ready(); q {
+		t.Fatal("cluster with a dead partition reports query-ready")
+	}
+}
+
+// TestQueryEntityCrossPartition: the owner partition serves the
+// multiset, every partition answers, the entity itself is excluded.
+func TestQueryEntityCrossPartition(t *testing.T) {
+	nodes, c := grid(t, 3, 1, -1)
+	if err := c.Add("probe", map[string]uint32{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Plant one twin entity per partition, bypassing routing so every
+	// partition has something to answer with.
+	for pi := range nodes {
+		name := fmt.Sprintf("twin-%d", pi)
+		nodes[pi][0].set(func(f *fakeNode) { f.ents[name] = map[string]uint32{"x": 1} })
+	}
+	ms, err := c.QueryEntity("probe", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("want the 3 twins, got %v", ms)
+	}
+	for i, m := range ms {
+		if want := fmt.Sprintf("twin-%d", i); m.Entity != want {
+			t.Fatalf("merge order wrong at %d: %v", i, ms)
+		}
+	}
+	if _, err := c.QueryEntity("never-indexed", 0); err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("unknown entity should be a caller error, got %v", err)
+	}
+}

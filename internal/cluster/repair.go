@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// opKind is a pending mutation's kind.
+type opKind uint8
+
+const (
+	opAdd opKind = iota
+	opRemove
+)
+
+// pendingOp is one mutation a replica missed. The queue is keyed by
+// entity and keeps only the LATEST op per (node, entity): replaying the
+// newest upsert (or remove) is sufficient and replaying anything older
+// would be wrong, so order within a re-drive batch does not matter.
+type pendingOp struct {
+	op       opKind
+	entity   string
+	elements map[string]uint32
+	seq      uint64
+}
+
+// enqueueRepair records that this node missed (or may have missed) op,
+// returning the queue sequence assigned to it. Caller-side writes
+// enqueue on every per-replica failure — whether or not the write met
+// quorum overall — and pessimistically for every straggler still in
+// flight when the write returns at quorum, so the partition converges
+// either way.
+func (n *node) enqueueRepair(op pendingOp) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pending == nil {
+		n.pending = make(map[string]pendingOp)
+	}
+	n.seq++
+	op.seq = n.seq
+	n.pending[op.entity] = op
+	return op.seq
+}
+
+// clearRepair drops any pending op for entity: a newer write just
+// reached the node, so re-driving the old one would resurrect stale
+// state.
+func (n *node) clearRepair(entity string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.pending, entity)
+}
+
+// clearRepairIf drops the pending op for entity only if it is still
+// the one enqueued with seq — the guard straggler bookkeeping needs,
+// since by the time a straggler's ack drains, a NEWER failed write may
+// have queued its own op under the same entity.
+func (n *node) clearRepairIf(entity string, seq uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, ok := n.pending[entity]; ok && cur.seq == seq {
+		delete(n.pending, entity)
+	}
+}
+
+// BulkRequest is the daemon's POST /bulk body: a batch of mutations
+// applied in order. The anti-entropy pass sends it so a lagging
+// replica converges in one round trip instead of one per missed
+// write; internal/httpd decodes the same struct on the node side, so
+// producer and consumer cannot drift apart.
+type BulkRequest struct {
+	Ops []BulkOp `json:"ops"`
+}
+
+// BulkOp is one mutation of a BulkRequest.
+type BulkOp struct {
+	Op       string            `json:"op"` // "add" | "remove"
+	Entity   string            `json:"entity"`
+	Elements map[string]uint32 `json:"elements,omitempty"`
+}
+
+// RepairNow is the anti-entropy pass: every node with pending repair
+// ops gets them re-driven as one /bulk batch. An op is cleared only if
+// it is still the one that was sent (a concurrent write may have
+// superseded it mid-flight — its seq then differs and the newer op
+// stays queued). Nodes that are still down keep their queue and are
+// retried on the next pass. The background repair loop calls this on
+// its cadence; tests call it directly for determinism.
+func (c *Cluster) RepairNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		if len(n.pending) == 0 {
+			n.mu.Unlock()
+			continue
+		}
+		batch := make([]pendingOp, 0, len(n.pending))
+		for _, op := range n.pending {
+			batch = append(batch, op)
+		}
+		n.mu.Unlock()
+
+		wg.Add(1)
+		go func(n *node, batch []pendingOp) {
+			defer wg.Done()
+			req := BulkRequest{Ops: make([]BulkOp, len(batch))}
+			for i, op := range batch {
+				switch op.op {
+				case opAdd:
+					req.Ops[i] = BulkOp{Op: "add", Entity: op.entity, Elements: op.elements}
+				case opRemove:
+					req.Ops[i] = BulkOp{Op: "remove", Entity: op.entity}
+				}
+			}
+			if err := c.postJSON(ctx, n, "/bulk", req, nil); err != nil {
+				return // still lagging; keep the queue for the next pass
+			}
+			c.repairs.Add(int64(len(batch)))
+			n.mu.Lock()
+			for _, op := range batch {
+				if cur, ok := n.pending[op.entity]; ok && cur.seq == op.seq {
+					delete(n.pending, op.entity)
+				}
+			}
+			n.mu.Unlock()
+		}(n, batch)
+	}
+	wg.Wait()
+}
+
+// PendingRepairs reports the total queued repair ops across nodes —
+// zero once anti-entropy has converged every replica.
+func (c *Cluster) PendingRepairs() int {
+	total := 0
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		total += len(n.pending)
+		n.mu.Unlock()
+	}
+	return total
+}

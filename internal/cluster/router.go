@@ -1,0 +1,502 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Match is one query result as the node daemons report it. The JSON
+// field names are the daemon's wire names, so per-node responses
+// decode straight into the merge.
+type Match struct {
+	Entity     string  `json:"entity"`
+	Similarity float64 `json:"similarity"`
+}
+
+// worseMatch is the canonical public ordering (similarity descending,
+// entity name ascending on ties) — the same total order
+// vsmartjoin.SortMatchesByName applies, restated here because the
+// internal package cannot import the root. Entity names are unique
+// across the cluster (one owner partition per name), so the order is
+// total and the scatter-gather merge is deterministic.
+func worseMatch(a, b Match) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity < b.Similarity
+	}
+	return a.Entity > b.Entity
+}
+
+// sortMatches orders best first.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool { return worseMatch(ms[j], ms[i]) })
+}
+
+// nodeQueryRequest is the daemon's /query body.
+type nodeQueryRequest struct {
+	Elements  map[string]uint32 `json:"elements,omitempty"`
+	Threshold *float64          `json:"threshold,omitempty"`
+	TopK      int               `json:"topk,omitempty"`
+}
+
+type nodeQueryResponse struct {
+	Matches []Match `json:"matches"`
+}
+
+type nodeAddRequest struct {
+	Entity   string            `json:"entity"`
+	Elements map[string]uint32 `json:"elements"`
+}
+
+type nodeRemoveRequest struct {
+	Entity string `json:"entity"`
+}
+
+type nodeRemoveResponse struct {
+	Removed bool `json:"removed"`
+}
+
+// Add upserts an entity: the write goes to every replica of the owner
+// partition in parallel and succeeds once a majority acknowledged it.
+// Replicas that failed are left a pending repair op; see the package
+// comment for the exact quorum semantics.
+func (c *Cluster) Add(entity string, elements map[string]uint32) error {
+	if entity == "" {
+		return errors.New("cluster: empty entity name")
+	}
+	return c.write(pendingOp{op: opAdd, entity: entity, elements: elements})
+}
+
+// Remove deletes an entity by name, reporting whether any acknowledging
+// replica still had it. Like Add, it succeeds at majority quorum.
+func (c *Cluster) Remove(entity string) (bool, error) {
+	if entity == "" {
+		return false, errors.New("cluster: empty entity name")
+	}
+	removed, err := false, error(nil)
+	err = c.writeFn(pendingOp{op: opRemove, entity: entity}, func(r nodeRemoveResponse) {
+		if r.Removed {
+			removed = true
+		}
+	})
+	return removed, err
+}
+
+func (c *Cluster) write(op pendingOp) error { return c.writeFn(op, nil) }
+
+// writeFn drives one mutation through the owner partition's replica
+// set. onRemove collects per-ack /remove payloads (nil for adds). The
+// per-replica outcome also maintains the repair queues: a replica that
+// missed this write gets a pending op, and a replica that acknowledged
+// it has any OLDER pending op for the same entity cleared — replaying
+// a stale upsert after a newer one must never resurrect old state.
+//
+// The call returns as soon as the outcome is decided — a majority
+// acked, or enough replicas failed that a majority is impossible — so
+// one hung replica costs its partition nothing but a background
+// goroutine: stragglers keep running on their own timeout and a
+// drainer does their repair bookkeeping after the caller has moved on.
+func (c *Cluster) writeFn(op pendingOp, onRemove func(nodeRemoveResponse)) error {
+	replicas := c.owner(op.entity)
+	quorum := len(replicas)/2 + 1
+
+	type outcome struct {
+		n   *node
+		err error
+		rr  nodeRemoveResponse
+	}
+	results := make(chan outcome, len(replicas))
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	for _, n := range replicas {
+		go func(n *node) {
+			o := outcome{n: n}
+			switch op.op {
+			case opAdd:
+				o.err = c.postJSON(ctx, n, "/add", nodeAddRequest{Entity: op.entity, Elements: op.elements}, nil)
+			case opRemove:
+				o.err = c.postJSON(ctx, n, "/remove", nodeRemoveRequest{Entity: op.entity}, &o.rr)
+			}
+			results <- o
+		}(n)
+	}
+
+	acks, remaining := 0, len(replicas)
+	seen := make(map[*node]bool, len(replicas))
+	var errs []error
+	for remaining > 0 && acks < quorum && len(errs) <= len(replicas)-quorum {
+		o := <-results
+		remaining--
+		seen[o.n] = true
+		if o.err != nil {
+			errs = append(errs, o.err)
+			o.n.enqueueRepair(op)
+			continue
+		}
+		acks++
+		o.n.clearRepair(op.entity)
+		if onRemove != nil && op.op == opRemove {
+			onRemove(o.rr)
+		}
+	}
+	if remaining > 0 {
+		// Stragglers: not cancelled (aborting an about-to-succeed write
+		// would only manufacture repair work), and pessimistically queued
+		// for repair BEFORE the call returns — the caller may immediately
+		// write the same entity again, and that write's bookkeeping must
+		// order after this one's. When a straggler's ack eventually
+		// drains, the provisional op is cleared only if it is still the
+		// queued one (a newer failed write supersedes it); a straggler
+		// failure simply leaves the provisional in place. Straggler
+		// outcomes no longer influence the returned error or a Remove's
+		// reported bool — quorum semantics, not unanimity.
+		provisional := make(map[*node]uint64, remaining)
+		for _, n := range replicas {
+			if !seen[n] {
+				provisional[n] = n.enqueueRepair(op)
+			}
+		}
+		go func(remaining int) {
+			defer cancel()
+			for ; remaining > 0; remaining-- {
+				if o := <-results; o.err == nil {
+					o.n.clearRepairIf(op.entity, provisional[o.n])
+				}
+			}
+		}(remaining)
+	} else {
+		cancel()
+	}
+	if acks >= quorum {
+		return nil
+	}
+	c.writeFails.Add(1)
+	return fmt.Errorf("cluster: %w: write %q got %d/%d acks (quorum %d): %w",
+		ErrUnavailable, op.entity, acks, len(replicas), quorum, errors.Join(errs...))
+}
+
+// QueryThreshold scatters the query to one replica per partition and
+// merges — the exact union of disjoint per-partition answers, in the
+// canonical order.
+func (c *Cluster) QueryThreshold(elements map[string]uint32, t float64) ([]Match, error) {
+	if t != t || t < 0 || t > 1 {
+		return nil, fmt.Errorf("cluster: threshold %v outside [0, 1]", t)
+	}
+	if len(elements) == 0 {
+		// A single Index answers an empty query with no matches; the node
+		// HTTP API would reject the empty body, so short-circuit to keep
+		// the two surfaces identical.
+		return nil, nil
+	}
+	req := nodeQueryRequest{Elements: elements, Threshold: &t}
+	per, err := c.scatter(req)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for _, ms := range per {
+		out = append(out, ms...)
+	}
+	sortMatches(out)
+	return out, nil
+}
+
+// QueryTopK merges per-partition top-k lists into the global top-k.
+// Every node's local top-k is exact under the same canonical total
+// order, so any entity of the global top-k is necessarily inside its
+// own partition's list — the classic scatter-gather k-NN merge.
+func (c *Cluster) QueryTopK(elements map[string]uint32, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: topk %d must be positive", k)
+	}
+	if len(elements) == 0 {
+		return nil, nil // as QueryThreshold: an empty query has no matches
+	}
+	per, err := c.scatter(nodeQueryRequest{Elements: elements, TopK: k})
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for _, ms := range per {
+		out = append(out, ms...)
+	}
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// QueryEntity answers an entity-relative threshold query: the entity's
+// multiset is fetched from its owner partition (GET /entity) and
+// scattered as an ordinary element query, with the entity itself
+// dropped from the merge — exactly vsmartjoin.Index.QueryEntity's
+// semantics, entity excluded, everything else (including perfect
+// duplicates of it) retained.
+func (c *Cluster) QueryEntity(entity string, t float64) ([]Match, error) {
+	if t != t || t < 0 || t > 1 {
+		return nil, fmt.Errorf("cluster: threshold %v outside [0, 1]", t)
+	}
+	elements, err := c.fetchEntity(entity)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := c.QueryThreshold(elements, t)
+	if err != nil {
+		return nil, err
+	}
+	out := ms[:0]
+	for _, m := range ms {
+		if m.Entity != entity {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+type entityResponse struct {
+	Entity   string            `json:"entity"`
+	Elements map[string]uint32 `json:"elements"`
+}
+
+// fetchEntity reads an entity's stored multiset from its owner
+// partition, failing over across replicas. Each attempt runs under its
+// own deadline — with a shared one, a hung first replica would eat the
+// whole budget and turn the failover into a formality.
+func (c *Cluster) fetchEntity(entity string) (map[string]uint32, error) {
+	var errs []error
+	for _, n := range c.prefer(c.owner(entity)) {
+		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		var er entityResponse
+		err := c.getJSON(ctx, n, "/entity?name="+url.QueryEscape(entity), &er)
+		cancel()
+		if err == nil {
+			return er.Elements, nil
+		}
+		if strings404(err) {
+			return nil, fmt.Errorf("cluster: entity %q not indexed", entity)
+		}
+		errs = append(errs, err)
+	}
+	return nil, fmt.Errorf("cluster: %w: entity %q owner partition unreachable: %w",
+		ErrUnavailable, entity, errors.Join(errs...))
+}
+
+// strings404 reports whether a node error is the daemon's 404 — the
+// entity genuinely absent, as opposed to the node being unreachable.
+func strings404(err error) bool {
+	var se statusError
+	return errors.As(err, &se) && se.code == 404
+}
+
+// scatter fans one query request out to every partition in parallel
+// and returns the per-partition match lists. Any partition with no
+// answering replica fails the whole query: a partial answer would be
+// silently wrong, the one thing the differential harness exists to
+// prevent.
+func (c *Cluster) scatter(req nodeQueryRequest) ([][]Match, error) {
+	c.queries.Add(1)
+	per := make([][]Match, len(c.parts))
+	errs := make([]error, len(c.parts))
+	var wg sync.WaitGroup
+	for p := range c.parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			per[p], errs[p] = c.queryPartition(p, req)
+		}(p)
+	}
+	wg.Wait()
+	var bad []error
+	for p, err := range errs {
+		if err != nil {
+			bad = append(bad, fmt.Errorf("partition %d: %w", p, err))
+		}
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("cluster: %w: %w", ErrUnavailable, errors.Join(bad...))
+	}
+	return per, nil
+}
+
+// prefer orders a replica row for querying: healthy replicas first (in
+// round-robin rotation so load spreads), then the unhealthy ones as a
+// last resort — health information is advisory and possibly stale, so
+// a "down" node is still worth a final attempt before the partition is
+// declared unavailable.
+func (c *Cluster) prefer(replicas []*node) []*node {
+	out := make([]*node, 0, len(replicas))
+	rot := int(c.rr.Add(1) - 1)
+	var sick []*node
+	for i := range replicas {
+		n := replicas[(rot+i)%len(replicas)]
+		if n.isHealthy() {
+			out = append(out, n)
+		} else {
+			sick = append(sick, n)
+		}
+	}
+	return append(out, sick...)
+}
+
+// queryPartition runs one partition's query: first attempt on the
+// preferred replica, immediate failover on error, and a hedged second
+// attempt if the current one is slow. The first successful answer
+// wins; cancelling the partition context reels the losers back in.
+func (c *Cluster) queryPartition(p int, req nodeQueryRequest) ([]Match, error) {
+	order := c.prefer(c.parts[p])
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+
+	type result struct {
+		ms  []Match
+		err error
+	}
+	results := make(chan result, len(order))
+	launched := 0
+	launch := func() {
+		n := order[launched]
+		launched++
+		go func() {
+			var qr nodeQueryResponse
+			err := c.postJSON(ctx, n, "/query", req, &qr)
+			// Matches may legitimately be empty; nil keeps merges allocation-free.
+			results <- result{qr.Matches, err}
+		}()
+	}
+
+	launch()
+	inflight := 1
+	var hedgeC <-chan time.Time
+	if c.hedge >= 0 && launched < len(order) {
+		timer := time.NewTimer(c.hedge)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var errs []error
+	for inflight > 0 {
+		select {
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				return r.ms, nil
+			}
+			errs = append(errs, r.err)
+			if launched < len(order) {
+				c.failovers.Add(1)
+				launch()
+				inflight++
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(order) {
+				c.hedges.Add(1)
+				launch()
+				inflight++
+			}
+		}
+	}
+	return nil, fmt.Errorf("no replica answered: %w", errors.Join(errs...))
+}
+
+// Snapshot asks every node to cut a durable snapshot, failing on the
+// first refusal (volatile nodes answer 409). It is the operational
+// fan-out of vsmartjoin.Index.Snapshot, not a consistency point: nodes
+// snapshot at their own pace.
+func (c *Cluster) Snapshot() error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			errs[i] = c.postJSON(ctx, n, "/snapshot", struct{}{}, nil)
+		}(i, n)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// NodeStatus is one node's row in Stats.
+type NodeStatus struct {
+	Addr          string    `json:"addr"`
+	Partition     int       `json:"partition"`
+	Healthy       bool      `json:"healthy"`
+	LastError     string    `json:"last_error,omitempty"`
+	LastChecked   time.Time `json:"last_checked"`
+	Generation    uint64    `json:"generation"`
+	Entities      int       `json:"entities"`
+	Mutations     int64     `json:"mutations"`
+	Shards        int       `json:"shards"`
+	PendingRepair int       `json:"pending_repair"`
+}
+
+// Stats is the router's view of the cluster.
+type Stats struct {
+	Partitions int          `json:"partitions"`
+	Queries    int64        `json:"queries"`
+	Hedges     int64        `json:"hedges"`
+	Failovers  int64        `json:"failovers"`
+	WriteFails int64        `json:"write_fails"`
+	Repairs    int64        `json:"repairs"`
+	Nodes      []NodeStatus `json:"nodes"`
+}
+
+// Stats reports topology, router counters, and the latest per-node
+// health the router has observed (from traffic and /readyz probes; it
+// performs no network calls itself).
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		Partitions: len(c.parts),
+		Queries:    c.queries.Load(),
+		Hedges:     c.hedges.Load(),
+		Failovers:  c.failovers.Load(),
+		WriteFails: c.writeFails.Load(),
+		Repairs:    c.repairs.Load(),
+	}
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		s.Nodes = append(s.Nodes, NodeStatus{
+			Addr:          n.addr,
+			Partition:     n.partition,
+			Healthy:       n.healthy,
+			LastError:     n.err,
+			LastChecked:   n.checked,
+			Generation:    n.ready.Generation,
+			Entities:      n.ready.Entities,
+			Mutations:     n.ready.Mutations,
+			Shards:        n.ready.Shards,
+			PendingRepair: len(n.pending),
+		})
+		n.mu.Unlock()
+	}
+	return s
+}
+
+// Ready reports whether the cluster can answer queries (at least one
+// healthy replica per partition) and whether it can accept writes to
+// every partition (a healthy majority per partition), from the
+// router's current health table.
+func (c *Cluster) Ready() (queries, writes bool) {
+	queries, writes = true, true
+	for _, row := range c.parts {
+		healthy := 0
+		for _, n := range row {
+			if n.isHealthy() {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			queries = false
+		}
+		if healthy < len(row)/2+1 {
+			writes = false
+		}
+	}
+	return queries, writes
+}

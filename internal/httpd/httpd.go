@@ -1,0 +1,444 @@
+// Package httpd is the one HTTP server skeleton both vsmartjoind modes
+// share: NewNode serves a single *vsmartjoin.Index (a cluster
+// partition replica, or a standalone daemon — they are the same
+// thing), NewRouter serves a *vsmartjoin.Cluster. The two handlers
+// expose the same core surface (/add, /remove, /query, /snapshot,
+// /healthz, /readyz, /stats) with identical request validation and
+// error payloads, so a load balancer or client cannot tell a router
+// from a node on the query path; nodes additionally expose the
+// endpoints the router itself depends on (/bulk batched mutations for
+// anti-entropy, /entity for cross-partition entity queries).
+//
+// Probing is split in two: GET /healthz is liveness — any 200 means
+// the process is serving — while GET /readyz is readiness and carries
+// the state counters (generation, entity count, mutation counter,
+// shard count) that let a router or load balancer detect a stale or
+// lagging replica, not just a dead one.
+package httpd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"vsmartjoin"
+	"vsmartjoin/internal/cluster"
+)
+
+// querier is the query surface both backends share; handleQuery is
+// written against it so node and router mode validate and answer
+// /query identically.
+type querier interface {
+	QueryThreshold(counts map[string]uint32, t float64) ([]vsmartjoin.Match, error)
+	QueryTopK(counts map[string]uint32, k int) ([]vsmartjoin.Match, error)
+	QueryEntity(entity string, t float64) ([]vsmartjoin.Match, error)
+}
+
+// NewNode wires an index to the node HTTP API.
+func NewNode(ix *vsmartjoin.Index) http.Handler {
+	s := &nodeServer{ix: ix}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /add", s.handleAdd)
+	mux.HandleFunc("POST /remove", s.handleRemove)
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(w, r, indexQuerier{s.ix})
+	})
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /bulk", s.handleBulk)
+	mux.HandleFunc("GET /entity", s.handleEntity)
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.ix.Stats())
+	})
+	return mux
+}
+
+// NewRouter wires a cluster client to the router HTTP API — the same
+// core surface a node serves, minus the node-only endpoints, so
+// clients built against one daemon talk to a cluster unchanged.
+func NewRouter(c *vsmartjoin.Cluster) http.Handler {
+	s := &routerServer{c: c}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /add", s.handleAdd)
+	mux.HandleFunc("POST /remove", s.handleRemove)
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(w, r, s.c)
+	})
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.c.Stats())
+	})
+	return mux
+}
+
+// ---- shared plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses exactly one JSON value into v with unknown fields
+// rejected. Every failure is answered with a JSON error payload: 400
+// for malformed, unknown-field, or trailing-garbage bodies, 413 when
+// the body exceeds the size cap.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	// A well-formed first value followed by more input is a malformed
+	// request, not something to silently ignore.
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after request body")
+		return false
+	}
+	return true
+}
+
+// handleHealthz is the liveness probe, identical for both modes: the
+// handler is only registered once startup (recovery, preload, topology
+// validation) finished, so any answer at all means the process is
+// serving. State belongs on /readyz.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"serving": true})
+}
+
+type addRequest struct {
+	Entity   string            `json:"entity"`
+	Elements map[string]uint32 `json:"elements"`
+}
+
+// validateAdd applies the shared add rules: an entity name, and at
+// least one nonzero count — Index.Add drops zeros, and an all-zero
+// body would index a permanently unmatchable empty entity.
+func validateAdd(w http.ResponseWriter, req addRequest) bool {
+	if req.Entity == "" {
+		writeError(w, http.StatusBadRequest, "missing entity")
+		return false
+	}
+	for _, c := range req.Elements {
+		if c > 0 {
+			return true
+		}
+	}
+	writeError(w, http.StatusBadRequest, "missing elements")
+	return false
+}
+
+type removeRequest struct {
+	Entity string `json:"entity"`
+}
+
+type queryRequest struct {
+	// Exactly one of Entity (an indexed entity name) or Elements (an
+	// ad-hoc multiset) names the query.
+	Entity   string            `json:"entity"`
+	Elements map[string]uint32 `json:"elements"`
+	// Exactly one of Threshold or TopK selects the query kind. Threshold
+	// is a pointer so that an explicit 0 ("any overlap") is distinguishable
+	// from absent.
+	Threshold *float64 `json:"threshold"`
+	TopK      int      `json:"topk"`
+}
+
+// handleQuery validates and dispatches a /query body against either
+// backend. Backend errors map to 400 (the request named an unknown
+// entity, an out-of-range threshold, ...) except cluster-unavailable
+// ones, which are 503: the request was fine, the deployment is not.
+func handleQuery(w http.ResponseWriter, r *http.Request, q querier) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if (req.Entity == "") == (len(req.Elements) == 0) {
+		writeError(w, http.StatusBadRequest, "name the query with exactly one of entity or elements")
+		return
+	}
+	if (req.Threshold == nil) == (req.TopK == 0) {
+		writeError(w, http.StatusBadRequest, "select exactly one of threshold or topk")
+		return
+	}
+	var matches []vsmartjoin.Match
+	var err error
+	switch {
+	case req.TopK < 0:
+		writeError(w, http.StatusBadRequest, "topk must be positive")
+		return
+	case req.TopK > 0 && req.Entity != "":
+		// QueryEntity has no top-k form; reject rather than guess.
+		writeError(w, http.StatusBadRequest, "topk queries take elements, not an entity")
+		return
+	case req.TopK > 0:
+		matches, err = q.QueryTopK(req.Elements, req.TopK)
+	case req.Entity != "":
+		matches, err = q.QueryEntity(req.Entity, *req.Threshold)
+	default:
+		matches, err = q.QueryThreshold(req.Elements, *req.Threshold)
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, vsmartjoin.ErrClusterUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	if matches == nil {
+		matches = []vsmartjoin.Match{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": matches})
+}
+
+// snapshotBody enforces "optional, but well-formed if present" for the
+// /snapshot endpoints.
+func snapshotBody(w http.ResponseWriter, r *http.Request) bool {
+	var req struct{}
+	return r.ContentLength == 0 || decodeBody(w, r, &req)
+}
+
+// ---- node mode ----
+
+type nodeServer struct {
+	ix *vsmartjoin.Index
+}
+
+// indexQuerier adapts Index to the shared querier surface (its
+// QueryTopK cannot fail, the interface's can).
+type indexQuerier struct{ ix *vsmartjoin.Index }
+
+func (q indexQuerier) QueryThreshold(counts map[string]uint32, t float64) ([]vsmartjoin.Match, error) {
+	return q.ix.QueryThreshold(counts, t)
+}
+
+func (q indexQuerier) QueryTopK(counts map[string]uint32, k int) ([]vsmartjoin.Match, error) {
+	return q.ix.QueryTopK(counts, k), nil
+}
+
+func (q indexQuerier) QueryEntity(entity string, t float64) ([]vsmartjoin.Match, error) {
+	return q.ix.QueryEntity(entity, t)
+}
+
+func (s *nodeServer) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequest
+	if !decodeBody(w, r, &req) || !validateAdd(w, req) {
+		return
+	}
+	if err := s.ix.Add(req.Entity, req.Elements); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"entities": s.ix.Len()})
+}
+
+func (s *nodeServer) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req removeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Entity == "" {
+		writeError(w, http.StatusBadRequest, "missing entity")
+		return
+	}
+	removed, err := s.ix.Remove(req.Entity)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": removed, "entities": s.ix.Len()})
+}
+
+// handleSnapshot forces a snapshot + log truncation on a durable index;
+// on a volatile one it reports 409 (there is nothing to snapshot to).
+func (s *nodeServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !snapshotBody(w, r) {
+		return
+	}
+	if err := s.ix.Snapshot(); err != nil {
+		// No durability dir (or a closed index) is the caller's state
+		// conflict; anything else is a real server-side persistence
+		// failure and must not hide among the 4xx.
+		status := http.StatusInternalServerError
+		if errors.Is(err, vsmartjoin.ErrNotDurable) || errors.Is(err, vsmartjoin.ErrIndexClosed) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshot": true, "entities": s.ix.Len()})
+}
+
+// handleBulk applies a batch of mutations in order — the endpoint the
+// router's anti-entropy pass re-drives missed writes through, and a
+// cheaper ingest path for any bulk writer (one request instead of one
+// per mutation). The wire types live in internal/cluster (the
+// sender), so the two sides share one schema. The batch is validated
+// fully before anything is applied, so a malformed op cannot leave a
+// half-applied 400; an internal failure mid-batch reports how many
+// ops had applied.
+func (s *nodeServer) handleBulk(w http.ResponseWriter, r *http.Request) {
+	var req cluster.BulkRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	for i, op := range req.Ops {
+		switch op.Op {
+		case "add":
+			if op.Entity == "" || !hasMass(op.Elements) {
+				writeError(w, http.StatusBadRequest, "op %d: add needs an entity and nonzero elements", i)
+				return
+			}
+		case "remove":
+			if op.Entity == "" {
+				writeError(w, http.StatusBadRequest, "op %d: remove needs an entity", i)
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, "op %d: unknown op %q", i, op.Op)
+			return
+		}
+	}
+	applied := 0
+	for _, op := range req.Ops {
+		var err error
+		if op.Op == "add" {
+			err = s.ix.Add(op.Entity, op.Elements)
+		} else {
+			_, err = s.ix.Remove(op.Entity)
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "after %d applied ops: %v", applied, err)
+			return
+		}
+		applied++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": applied, "entities": s.ix.Len()})
+}
+
+// handleEntity reports an indexed entity's current element
+// multiplicities — what the router needs to scatter an entity-relative
+// query to the partitions that do NOT hold the entity.
+func (s *nodeServer) handleEntity(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing name parameter")
+		return
+	}
+	counts, ok := s.ix.Elements(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "entity %q not indexed", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"entity": name, "elements": counts})
+}
+
+// handleReadyz is the node readiness probe: 200 once serving (a node
+// that finished recovery is ready), with the counters a router or load
+// balancer compares across replicas to detect a stale one.
+func (s *nodeServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.ix.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready":      true,
+		"measure":    st.Measure,
+		"generation": st.Generation,
+		"entities":   st.Entities,
+		"mutations":  st.Adds + st.Removes,
+		"shards":     st.Shards,
+	})
+}
+
+func hasMass(elements map[string]uint32) bool {
+	for _, c := range elements {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- router mode ----
+
+type routerServer struct {
+	c *vsmartjoin.Cluster
+}
+
+func (s *routerServer) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequest
+	if !decodeBody(w, r, &req) || !validateAdd(w, req) {
+		return
+	}
+	if err := s.c.Add(req.Entity, req.Elements); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, vsmartjoin.ErrClusterUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *routerServer) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req removeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Entity == "" {
+		writeError(w, http.StatusBadRequest, "missing entity")
+		return
+	}
+	removed, err := s.c.Remove(req.Entity)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, vsmartjoin.ErrClusterUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": removed})
+}
+
+func (s *routerServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !snapshotBody(w, r) {
+		return
+	}
+	if err := s.c.Snapshot(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshot": true})
+}
+
+// handleReadyz is the router readiness probe: 200 only while every
+// partition has at least one healthy replica (queries exact or
+// nothing), with write readiness — a healthy majority everywhere —
+// reported alongside.
+func (s *routerServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	queries, writes := s.c.Ready()
+	status := http.StatusOK
+	if !queries {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":       queries,
+		"write_ready": writes,
+		"partitions":  s.c.Stats().Partitions,
+	})
+}
