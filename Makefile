@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt vet vsmartlint staticcheck govulncheck
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The one lint entry point: what CI gates on, in the order CI runs it.
+# staticcheck and govulncheck are external tools the repo does not
+# vendor; when absent locally they are skipped with a note (CI always
+# runs them).
+lint: fmt vet vsmartlint staticcheck govulncheck
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+vsmartlint:
+	$(GO) run ./cmd/vsmartlint ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck -test ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi

@@ -225,12 +225,12 @@ func TestDifferentialIndexIncremental(t *testing.T) {
 	for i, name := range names {
 		switch i % 3 {
 		case 0:
-			ix.Remove(name)
+			mustRemove(t, ix, name)
 			delete(entities, name)
 		case 1:
 			fresh := randomEntities(rng, 1, 24, 7, 3)
 			for _, counts := range fresh {
-				ix.Add(name, counts)
+				mustAdd(t, ix, name, counts)
 				entities[name] = counts
 			}
 		}

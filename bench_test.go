@@ -375,7 +375,7 @@ func BenchmarkIndexAdd(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ix.Add(fmt.Sprintf("entity-%d", i%n), entities[i%n])
+				mustAdd(b, ix, fmt.Sprintf("entity-%d", i%n), entities[i%n])
 			}
 		})
 	}
@@ -392,7 +392,7 @@ func BenchmarkIndexQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 		for i, counts := range entities {
-			ix.Add(fmt.Sprintf("entity-%d", i), counts)
+			mustAdd(b, ix, fmt.Sprintf("entity-%d", i), counts)
 		}
 		for _, t := range []float64{0.1, 0.5, 0.9} {
 			b.Run(fmt.Sprintf("n=%d/t=%v", n, t), func(b *testing.B) {
@@ -418,7 +418,7 @@ func BenchmarkIndexTopK(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i, counts := range entities {
-		ix.Add(fmt.Sprintf("entity-%d", i), counts)
+		mustAdd(b, ix, fmt.Sprintf("entity-%d", i), counts)
 	}
 	for _, k := range []int{1, 10, 100} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {

@@ -239,6 +239,7 @@ func TestOpenIndexLayout(t *testing.T) {
 	// A legacy flat layout (generation files directly in the dir) is a
 	// hard error, not an empty index.
 	legacy := t.TempDir()
+	//lint:vsmart-allow framesafety test plants a bogus legacy snap file by hand to prove NewIndex rejects the flat layout
 	if err := os.WriteFile(filepath.Join(legacy, "snap-00000001"), []byte("old"), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -202,5 +202,6 @@ func fromClusterMatches(ms []cluster.Match, err error) ([]Match, error) {
 	for i, m := range ms {
 		out[i] = Match{Entity: m.Entity, Similarity: m.Similarity}
 	}
+	//lint:vsmart-allow canonicalorder element-wise conversion of wire matches the cluster router already canonicalized
 	return out, nil
 }

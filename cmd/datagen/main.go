@@ -54,13 +54,15 @@ func main() {
 		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
-	defer w.Flush()
 	var tuples int64
 	for _, m := range tr.Multisets {
 		for _, e := range m.Entries {
 			fmt.Fprintf(w, "ip-%d\tcookie-%d\t%d\n", uint64(m.ID), uint64(e.Elem), e.Count)
 			tuples++
 		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
 	}
 	if *truth != "" {
 		f, err := os.Create(*truth)
@@ -69,11 +71,13 @@ func main() {
 		}
 		defer f.Close()
 		tw := bufio.NewWriter(f)
-		defer tw.Flush()
 		for g, members := range tr.Communities {
 			for _, id := range members {
 				fmt.Fprintf(tw, "community-%d\tip-%d\n", g+1, uint64(id))
 			}
+		}
+		if err := tw.Flush(); err != nil {
+			log.Fatal(err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "datagen: %d multisets, %d elements, %d tuples, %d planted communities\n",

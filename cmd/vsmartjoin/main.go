@@ -119,7 +119,6 @@ func main() {
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	if *comms {
 		for i, c := range res.Communities() {
 			fmt.Fprintf(w, "community-%d\t%s\n", i+1, strings.Join(c, ","))
@@ -128,6 +127,9 @@ func main() {
 		for _, p := range res.Pairs {
 			fmt.Fprintf(w, "%s\t%s\t%.6f\n", p.A, p.B, p.Similarity)
 		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
 	}
 	if *showStats {
 		fmt.Fprintf(os.Stderr, "%d pairs; %d MapReduce jobs; simulated %.1fs (joining %.1fs, similarity %.1fs); spilled %dB\n",

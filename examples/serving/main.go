@@ -42,14 +42,18 @@ func main() {
 		return counts
 	}
 	for member := 0; member < 5; member++ {
-		ix.Add(fmt.Sprintf("proxy-ip-%d", member), farm())
+		if err := ix.Add(fmt.Sprintf("proxy-ip-%d", member), farm()); err != nil {
+			log.Fatal(err)
+		}
 	}
 	for i := 0; i < 300; i++ {
 		counts := map[string]uint32{}
 		for j := 0; j < 1+rng.Intn(5); j++ {
 			counts[fmt.Sprintf("cookie-web-%d", rng.Intn(800))] = uint32(1 + rng.Intn(3))
 		}
-		ix.Add(fmt.Sprintf("surfer-ip-%d", i), counts)
+		if err := ix.Add(fmt.Sprintf("surfer-ip-%d", i), counts); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("indexed %d live entities\n\n", ix.Len())
 
@@ -76,7 +80,9 @@ func main() {
 	}
 
 	// 3. The index is live: retire an IP and re-run the same query.
-	ix.Remove(top[0].Entity)
+	if _, err := ix.Remove(top[0].Entity); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nafter removing %s, top-3 becomes:\n", top[0].Entity)
 	for _, m := range ix.QueryTopK(observed, 3) {
 		fmt.Printf("  %-14s %.3f\n", m.Entity, m.Similarity)

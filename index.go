@@ -242,6 +242,7 @@ func newIndex(opts IndexOptions, create bool) (*Index, error) {
 		if err := ix.openLogs(opts.Dir); err != nil {
 			for _, l := range ix.logs {
 				if l != nil {
+					//lint:vsmart-allow walerr best-effort cleanup on the constructor's error path; the openLogs error is what the caller gets
 					l.Close()
 				}
 			}

@@ -6,14 +6,31 @@ import (
 	"testing"
 )
 
+// mustAdd and mustRemove check the mutation errors the durability
+// contract requires handling even in tests: an ignored Add error means
+// the test asserts nothing about the write it thinks it made.
+func mustAdd(t testing.TB, ix *Index, name string, counts map[string]uint32) {
+	t.Helper()
+	if err := ix.Add(name, counts); err != nil {
+		t.Fatalf("Add(%s): %v", name, err)
+	}
+}
+
+func mustRemove(t testing.TB, ix *Index, name string) {
+	t.Helper()
+	if _, err := ix.Remove(name); err != nil {
+		t.Fatalf("Remove(%s): %v", name, err)
+	}
+}
+
 func TestIndexQuickstart(t *testing.T) {
 	ix, err := NewIndex(IndexOptions{Measure: "ruzicka"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.Add("ip-1", map[string]uint32{"a": 3, "b": 1, "c": 2})
-	ix.Add("ip-2", map[string]uint32{"a": 2, "b": 2, "c": 2})
-	ix.Add("ip-3", map[string]uint32{"z": 9, "y": 4})
+	mustAdd(t, ix, "ip-1", map[string]uint32{"a": 3, "b": 1, "c": 2})
+	mustAdd(t, ix, "ip-2", map[string]uint32{"a": 2, "b": 2, "c": 2})
+	mustAdd(t, ix, "ip-3", map[string]uint32{"z": 9, "y": 4})
 	if ix.Len() != 3 {
 		t.Fatalf("len: %d", ix.Len())
 	}
@@ -41,8 +58,8 @@ func TestIndexQueryEntity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.Add("a", map[string]uint32{"x": 2, "y": 2})
-	ix.Add("b", map[string]uint32{"x": 2, "y": 2})
+	mustAdd(t, ix, "a", map[string]uint32{"x": 2, "y": 2})
+	mustAdd(t, ix, "b", map[string]uint32{"x": 2, "y": 2})
 	got, err := ix.QueryEntity("a", 0.9)
 	if err != nil {
 		t.Fatal(err)
@@ -60,8 +77,8 @@ func TestIndexUpsertAndRemove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.Add("doc", map[string]uint32{"w1": 1, "w2": 1})
-	ix.Add("doc", map[string]uint32{"w9": 1}) // replace, not merge
+	mustAdd(t, ix, "doc", map[string]uint32{"w1": 1, "w2": 1})
+	mustAdd(t, ix, "doc", map[string]uint32{"w9": 1}) // replace, not merge
 	got, err := ix.QueryThreshold(map[string]uint32{"w1": 1, "w2": 1}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -89,9 +106,9 @@ func TestIndexTopK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.Add("near", map[string]uint32{"a": 4, "b": 4})
-	ix.Add("mid", map[string]uint32{"a": 4, "c": 4})
-	ix.Add("far", map[string]uint32{"a": 1, "z": 9})
+	mustAdd(t, ix, "near", map[string]uint32{"a": 4, "b": 4})
+	mustAdd(t, ix, "mid", map[string]uint32{"a": 4, "c": 4})
+	mustAdd(t, ix, "far", map[string]uint32{"a": 1, "z": 9})
 	got := ix.QueryTopK(map[string]uint32{"a": 4, "b": 4}, 2)
 	if len(got) != 2 || got[0].Entity != "near" || got[1].Entity != "mid" {
 		t.Fatalf("topk: %v", got)
@@ -169,8 +186,8 @@ func TestIndexStatsSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.Add("a", map[string]uint32{"x": 1, "y": 2})
-	ix.Add("b", map[string]uint32{"x": 3})
+	mustAdd(t, ix, "a", map[string]uint32{"x": 1, "y": 2})
+	mustAdd(t, ix, "b", map[string]uint32{"x": 3})
 	if _, err := ix.QueryThreshold(map[string]uint32{"x": 1}, 0.1); err != nil {
 		t.Fatal(err)
 	}
@@ -196,13 +213,18 @@ func TestIndexAddRemoveRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 400; i++ {
-				ix.Add("x", map[string]uint32{"a": 1})
-				ix.Remove("x")
+				// t.Fatal is off-limits in a non-test goroutine.
+				if err := ix.Add("x", map[string]uint32{"a": 1}); err != nil {
+					t.Error(err)
+				}
+				if _, err := ix.Remove("x"); err != nil {
+					t.Error(err)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	ix.Remove("x")
+	mustRemove(t, ix, "x")
 	if n := ix.Len(); n != 0 {
 		t.Fatalf("ghost entities after churn: %d", n)
 	}
@@ -229,14 +251,18 @@ func TestIndexConcurrentUse(t *testing.T) {
 				}
 				switch i % 4 {
 				case 0, 1:
-					ix.Add(name+elems[i%len(elems)], counts)
+					if err := ix.Add(name+elems[i%len(elems)], counts); err != nil {
+						t.Error(err)
+					}
 				case 2:
 					if _, err := ix.QueryThreshold(counts, 0.3); err != nil {
 						t.Error(err)
 					}
 					ix.QueryTopK(counts, 3)
 				case 3:
-					ix.Remove(name + elems[i%len(elems)])
+					if _, err := ix.Remove(name + elems[i%len(elems)]); err != nil {
+						t.Error(err)
+					}
 					ix.Stats()
 				}
 			}

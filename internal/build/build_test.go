@@ -38,7 +38,9 @@ func loadShard(t *testing.T, dir string, measure string) (snap, tail []wal.Recor
 	if err != nil {
 		t.Fatal(err)
 	}
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 	return snap, tail
 }
 

@@ -254,6 +254,7 @@ func (c *Cluster) QueryEntity(entity string, t float64) ([]Match, error) {
 			out = append(out, m)
 		}
 	}
+	//lint:vsmart-allow canonicalorder order-preserving filter of QueryThreshold results that sortMatches already canonicalized
 	return out, nil
 }
 
@@ -382,6 +383,7 @@ func (c *Cluster) queryPartition(p int, req nodeQueryRequest) ([]Match, error) {
 		case r := <-results:
 			inflight--
 			if r.err == nil {
+				//lint:vsmart-allow canonicalorder one partition's node-local reply; QueryThreshold/QueryTopK canonicalize after merging partitions
 				return r.ms, nil
 			}
 			errs = append(errs, r.err)

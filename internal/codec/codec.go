@@ -54,11 +54,13 @@ func (e *Buffer) Clone() []byte {
 
 // PutUvarint appends v as an unsigned varint.
 func (e *Buffer) PutUvarint(v uint64) {
+	//lint:vsmart-allow framesafety codec encodes varints inside frame payloads; the frame length prefix and checksum stay in internal/frame
 	e.b = binary.AppendUvarint(e.b, v)
 }
 
 // PutVarint appends v as a zigzag-encoded signed varint.
 func (e *Buffer) PutVarint(v int64) {
+	//lint:vsmart-allow framesafety codec encodes varints inside frame payloads; the frame length prefix and checksum stay in internal/frame
 	e.b = binary.AppendVarint(e.b, v)
 }
 

@@ -87,7 +87,9 @@ func TestStreamMatchesAppend(t *testing.T) {
 	if err := w.WriteFrame(payload); err != nil {
 		t.Fatal(err)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(appended, buf.Bytes()) {
 		t.Fatalf("Append wrote % x, Writer wrote % x", appended, buf.Bytes())
 	}
@@ -147,6 +149,17 @@ func TestReaderCorruption(t *testing.T) {
 	}
 }
 
+// mustAppend frames payload onto dst, failing the test on error — tests
+// must not discard framing errors any more than production code may.
+func mustAppend(t *testing.T, dst []byte, payload string) []byte {
+	t.Helper()
+	out, err := Append(dst, []byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func replayInto(t *testing.T, path string, fn func([]byte) error) [][]byte {
 	t.Helper()
 	var got [][]byte
@@ -165,8 +178,8 @@ func replayInto(t *testing.T, path string, fn func([]byte) error) [][]byte {
 
 func TestReplayFileTruncatesTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
-	data, _ := Append(nil, []byte("keep-1"))
-	data, _ = Append(data, []byte("keep-2"))
+	data := mustAppend(t, nil, "keep-1")
+	data = mustAppend(t, data, "keep-2")
 	intact := len(data)
 	data = append(data, binary.AppendUvarint(nil, 40)...) // torn header
 	data = append(data, 0xde, 0xad)
@@ -193,8 +206,8 @@ func TestReplayFileTruncatesTornTail(t *testing.T) {
 
 func TestReplayFileErrTorn(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
-	data, _ := Append(nil, []byte("good"))
-	data, _ = Append(data, []byte("undecodable"))
+	data := mustAppend(t, nil, "good")
+	data = mustAppend(t, data, "undecodable")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +230,7 @@ func TestReplayFileErrTorn(t *testing.T) {
 
 func TestReplayFileHardError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
-	data, _ := Append(nil, []byte("x"))
+	data := mustAppend(t, nil, "x")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}

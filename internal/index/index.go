@@ -441,6 +441,7 @@ func (ix *Index) QueryTopK(q Query, k int) []Match {
 				continue
 			}
 			verified++
+			//lint:vsmart-allow lockscope top-k must verify under the RLock so the rising floor keeps pruning; threshold queries verify outside it
 			sim := ix.measure.Sim(qUni, e.uni, similarity.ConjOf(q.Set, e.set))
 			heap.offer(Match{ID: e.set.ID, Sim: sim}, k)
 			if len(heap) == k {

@@ -1,0 +1,86 @@
+// Package boundedclient enforces PR 5's dialer hygiene: every HTTP call
+// a daemon, router, or test makes must go through the bounded pooled
+// client built by internal/cluster.NewHTTPClient — an overall timeout
+// plus a capped per-host connection pool, so a stuck node can never pin
+// goroutines and a scatter-gather burst reuses warm connections.
+//
+// Everywhere (tests included) except inside NewHTTPClient itself it
+// flags:
+//
+//   - the pool-less convenience calls http.Get, http.Head, http.Post,
+//     http.PostForm;
+//   - any mention of http.DefaultClient (no timeout at all);
+//   - composite literals of http.Client — a zero or ad-hoc client
+//     dodges both the timeout and the pool caps.
+//
+// (*httptest.Server).Client() is fine: it returns the test server's
+// pre-configured client, not a fresh unbounded one.
+package boundedclient
+
+import (
+	"go/ast"
+
+	"vsmartjoin/internal/lint/analysis"
+)
+
+// Analyzer is the boundedclient checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedclient",
+	Doc:  "HTTP dialers must use internal/cluster.NewHTTPClient, not raw http.Client/http.Get",
+	Run:  run,
+}
+
+const clusterPkg = "vsmartjoin/internal/cluster"
+
+var rawCalls = map[string]bool{
+	"Get":      true,
+	"Head":     true,
+	"Post":     true,
+	"PostForm": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Positions inside NewHTTPClient (the one sanctioned constructor)
+	// are exempt.
+	var allowStart, allowEnd int
+	if pass.Pkg.Path() == clusterPkg {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "NewHTTPClient" && fd.Recv == nil {
+					allowStart, allowEnd = int(fd.Pos()), int(fd.End())
+				}
+			}
+		}
+	}
+	allowed := func(n ast.Node) bool {
+		return allowEnd != 0 && int(n.Pos()) >= allowStart && int(n.Pos()) < allowEnd
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				fn := analysis.Callee(pass.TypesInfo, e)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" &&
+					rawCalls[fn.Name()] && analysis.PkgLevel(fn) && !allowed(n) {
+					pass.Reportf(e.Pos(),
+						"http.%s uses the unbounded default client: dial through cluster.NewHTTPClient (timeout + pooled connections)", fn.Name())
+				}
+			case *ast.SelectorExpr:
+				if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "net/http" && obj.Name() == "DefaultClient" && !allowed(n) {
+					pass.Reportf(e.Pos(),
+						"http.DefaultClient has no timeout and no pool bounds: dial through cluster.NewHTTPClient")
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pass.TypesInfo.Types[e]; ok &&
+					analysis.IsNamed(tv.Type, "net/http", "Client") && !allowed(n) {
+					pass.Reportf(e.Pos(),
+						"ad-hoc http.Client literal outside cluster.NewHTTPClient: the one bounded constructor keeps every dialer pooled and timed out")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package boundedclient_test
+
+import (
+	"testing"
+
+	"vsmartjoin/internal/lint/boundedclient"
+	"vsmartjoin/internal/lint/linttest"
+)
+
+func TestBoundedclient(t *testing.T) {
+	linttest.Run(t, boundedclient.Analyzer, "testdata",
+		"bctest", "vsmartjoin/internal/cluster")
+}

@@ -1,0 +1,42 @@
+// Package bctest exercises boundedclient outside the cluster package:
+// the pool-less convenience calls, the default client, ad-hoc literals,
+// sanctioned use of an injected client, and the suppression contract.
+package bctest
+
+import (
+	"io"
+	"net/http"
+	"net/url"
+)
+
+func rawCalls() {
+	_, _ = http.Get("http://a")                     // want `http\.Get uses the unbounded default client`
+	_, _ = http.Post("http://a", "text/plain", nil) // want `http\.Post uses the unbounded default client`
+	_, _ = http.PostForm("http://a", url.Values{})  // want `http\.PostForm uses the unbounded default client`
+	_, _ = http.Head("http://a")                    // want `http\.Head uses the unbounded default client`
+}
+
+func defaultClient(req *http.Request) {
+	_, _ = http.DefaultClient.Do(req) // want `http\.DefaultClient has no timeout and no pool bounds`
+}
+
+func literal() *http.Client {
+	return &http.Client{} // want `ad-hoc http\.Client literal outside cluster\.NewHTTPClient`
+}
+
+func sanctioned(c *http.Client, req *http.Request) (io.ReadCloser, error) {
+	resp, err := c.Do(req) // an injected client is fine
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+func suppressed() *http.Client {
+	//lint:vsmart-allow boundedclient fixture: deliberate unbounded client talking only to a local stub
+	return &http.Client{}
+}
+
+func stale() {
+	//lint:vsmart-allow boundedclient nothing below dials // want `unused //lint:vsmart-allow boundedclient suppression`
+}

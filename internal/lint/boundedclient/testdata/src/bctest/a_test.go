@@ -1,0 +1,9 @@
+package bctest
+
+import "net/http"
+
+// Tests are NOT exempt: a test that dials through the default client
+// can hang the suite on a stuck endpoint.
+func testHelper() {
+	_, _ = http.Get("http://a") // want `http\.Get uses the unbounded default client`
+}

@@ -1,0 +1,23 @@
+// Package cluster stands at the real import path: NewHTTPClient is the
+// one sanctioned constructor, exempt inside its own body — and only
+// there.
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// NewHTTPClient is the bounded pooled constructor.
+func NewHTTPClient(timeout time.Duration, peers int) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxConnsPerHost: peers,
+		},
+	}
+}
+
+func elsewhereInCluster() *http.Client {
+	return &http.Client{} // want `ad-hoc http\.Client literal outside cluster\.NewHTTPClient`
+}

@@ -1,0 +1,219 @@
+// Package canonicalorder enforces PR 5's exactness guarantee: every
+// match list that can reach the public API answers in the one canonical
+// order (similarity descending, tie-break ascending), so a single index,
+// a sharded one, and a multi-node cluster are byte-identical.
+//
+// In the result-bearing packages (the vsmartjoin root, internal/index,
+// internal/shard, internal/cluster, internal/httpd) every function
+// returning a []Match — any of the three Match types: index.Match,
+// cluster.Match, vsmartjoin.Match — must return either
+//
+//   - nil or an empty literal,
+//   - the direct result of another []Match-returning call (delegation:
+//     the callee is held to the same rule), or
+//   - a local slice that provably passed through a canonicalizer:
+//     index.SortMatches, index.MergeTopK, vsmartjoin.SortMatchesByName,
+//     or cluster's sortMatches.
+//
+// The tracking is a source-order scan, not a full dataflow analysis:
+// assigning a fresh literal/make/append/conversion to a variable clears
+// its canonical status, a canonicalizer call or delegation assignment
+// sets it, and re-slicing (out = out[:k]) preserves it. Test files are
+// exempt — fixtures and oracles build deliberately unsorted lists.
+package canonicalorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vsmartjoin/internal/lint/analysis"
+)
+
+// Analyzer is the canonicalorder checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonicalorder",
+	Doc:  "functions returning []Match must canonicalize (SortMatches/SortMatchesByName/MergeTopK) before returning",
+	Run:  run,
+}
+
+// scopePkgs are the packages whose []Match returns feed the public API.
+var scopePkgs = map[string]bool{
+	"vsmartjoin":                  true,
+	"vsmartjoin/internal/index":   true,
+	"vsmartjoin/internal/shard":   true,
+	"vsmartjoin/internal/cluster": true,
+	"vsmartjoin/internal/httpd":   true,
+}
+
+// matchTypes are the (package, type name) pairs that count as a Match.
+var matchTypes = [][2]string{
+	{"vsmartjoin", "Match"},
+	{"vsmartjoin/internal/index", "Match"},
+	{"vsmartjoin/internal/cluster", "Match"},
+}
+
+// canonicalizers sort a []Match argument in place ([2]: pkg, name).
+var canonicalizers = [][2]string{
+	{"vsmartjoin", "SortMatchesByName"},
+	{"vsmartjoin/internal/index", "SortMatches"},
+	{"vsmartjoin/internal/cluster", "sortMatches"},
+}
+
+// canonicalProducers return an already-canonical []Match.
+var canonicalProducers = [][2]string{
+	{"vsmartjoin/internal/index", "MergeTopK"},
+}
+
+func run(pass *analysis.Pass) error {
+	if !scopePkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if !returnsMatchSlice(pass, fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isMatchSlice reports whether t is []Match for one of the Match types.
+func isMatchSlice(t types.Type) bool {
+	sl, ok := types.Unalias(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	for _, mt := range matchTypes {
+		if analysis.IsNamed(sl.Elem(), mt[0], mt[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+func returnsMatchSlice(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		if tv, ok := pass.TypesInfo.Types[res.Type]; ok && isMatchSlice(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc scans one function in source order, tracking which local
+// []Match variables are canonical, then validates each return.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	canonical := map[types.Object]bool{}
+	info := pass.TypesInfo
+
+	// exprCanonical decides whether an expression may be returned as-is.
+	var exprCanonical func(e ast.Expr) bool
+	exprCanonical = func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "nil" {
+				return true
+			}
+			return canonical[info.Uses[x]]
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				return false // conversion ([]Match(heap)) is not canonical
+			}
+			fn := analysis.Callee(info, x)
+			if fn == nil {
+				return false
+			}
+			for _, cp := range canonicalProducers {
+				if fn.Pkg() != nil && fn.Pkg().Path() == cp[0] && fn.Name() == cp[1] {
+					return true
+				}
+			}
+			// Delegation: the callee returns a []Match and is held to
+			// this same rule wherever it lives in the scoped packages.
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return false
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if isMatchSlice(sig.Results().At(i).Type()) {
+					return true
+				}
+			}
+			return false
+		case *ast.SliceExpr:
+			return exprCanonical(x.X)
+		case *ast.CompositeLit:
+			return len(x.Elts) == 0 // empty literal carries no order
+		}
+		return false
+	}
+
+	// markAssign records the effect of `lhs = rhs` on canonical state.
+	markAssign := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || !isMatchSlice(obj.Type()) {
+			return
+		}
+		canonical[obj] = rhs != nil && exprCanonical(rhs)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					markAssign(st.Lhs[i], st.Rhs[i])
+				}
+			} else if len(st.Rhs) == 1 {
+				// v, err := f(): the call's canonical status applies to
+				// every []Match-typed lhs.
+				for _, lhs := range st.Lhs {
+					markAssign(lhs, st.Rhs[0])
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil {
+					for _, c := range canonicalizers {
+						if fn.Pkg().Path() == c[0] && fn.Name() == c[1] && len(call.Args) > 0 {
+							if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+								if obj := info.Uses[id]; obj != nil {
+									canonical[obj] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				tv, ok := info.Types[res]
+				if !ok || !isMatchSlice(tv.Type) {
+					continue
+				}
+				if !exprCanonical(res) {
+					pass.Reportf(res.Pos(),
+						"returning a []Match that did not pass through a canonicalizer (SortMatches/SortMatchesByName/MergeTopK): public results must be in the canonical order")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,39 @@
+// Package index exercises canonicalorder's producer rule at the
+// internal/index scope path.
+package index
+
+type Match struct {
+	ID  uint64
+	Sim float64
+}
+
+// SortMatches is the index package's canonicalizer.
+func SortMatches(ms []Match) {}
+
+// MergeTopK returns an already-canonical merge (a producer).
+func MergeTopK(lists [][]Match, k int) []Match {
+	var out []Match
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	SortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func viaProducer(lists [][]Match) []Match {
+	return MergeTopK(lists, 3)
+}
+
+func viaProducerLocal(lists [][]Match) []Match {
+	out := MergeTopK(lists, 3)
+	return out
+}
+
+func bad(in []Match) []Match {
+	out := make([]Match, 0, len(in))
+	out = append(out, in...)
+	return out // want `did not pass through a canonicalizer`
+}

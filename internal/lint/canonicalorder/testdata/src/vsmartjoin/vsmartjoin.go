@@ -1,0 +1,59 @@
+// Package vsmartjoin exercises canonicalorder at the root scope path:
+// raw returns, conversions, canonicalized locals, delegation,
+// re-slicing, and the suppression contract.
+package vsmartjoin
+
+type Match struct {
+	Entity     string
+	Similarity float64
+}
+
+// SortMatchesByName is the root package's canonicalizer.
+func SortMatchesByName(ms []Match) {}
+
+func bad(in []Match) []Match {
+	out := append([]Match{}, in...)
+	return out // want `returning a \[\]Match that did not pass through a canonicalizer`
+}
+
+func badConversion(in []Match) []Match {
+	type heap []Match
+	h := heap(in)
+	return []Match(h) // want `did not pass through a canonicalizer`
+}
+
+func good(in []Match) []Match {
+	out := append([]Match{}, in...)
+	SortMatchesByName(out)
+	return out
+}
+
+func nilAndEmptyAreFine(fail bool) ([]Match, error) {
+	if fail {
+		return nil, nil
+	}
+	return []Match{}, nil
+}
+
+func delegation(in []Match) []Match {
+	return good(in) // the callee is held to the same rule
+}
+
+func sliced(in []Match, k int) []Match {
+	out := append([]Match{}, in...)
+	SortMatchesByName(out)
+	if len(out) > k {
+		out = out[:k] // re-slicing preserves canonical order
+	}
+	return out
+}
+
+func suppressedReturn(in []Match) []Match {
+	//lint:vsmart-allow canonicalorder fixture: order-preserving passthrough of already-canonical input
+	return in
+}
+
+func stale() []Match {
+	//lint:vsmart-allow canonicalorder nothing below returns out of order // want `unused //lint:vsmart-allow canonicalorder suppression`
+	return nil
+}

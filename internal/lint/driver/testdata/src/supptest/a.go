@@ -1,0 +1,32 @@
+// Package supptest pins the driver's suppression contract: malformed
+// directives, unknown analyzer names, and missing reasons are findings
+// in their own right, while a well-formed suppression silences exactly
+// the finding on its own or the next line.
+package supptest
+
+import "net/http"
+
+func malformed() {
+	//lint:vsmart-allow // want `malformed suppression: want //lint:vsmart-allow <analyzer> <reason>`
+}
+
+func unknown() {
+	//lint:vsmart-allow nosuchanalyzer the reason does not save it // want `suppression names unknown analyzer "nosuchanalyzer"`
+}
+
+func noReason() {
+	//lint:vsmart-allow boundedclient // want `suppression of boundedclient has no reason: say why the exception is sound`
+}
+
+func honored() {
+	//lint:vsmart-allow boundedclient hermetic fixture call, never dialed
+	_, _ = http.Get("http://a")
+}
+
+func sameLineHonored() {
+	_, _ = http.Head("http://a") //lint:vsmart-allow boundedclient hermetic fixture call, never dialed
+}
+
+func unsuppressed() {
+	_, _ = http.Get("http://a") // want `http\.Get uses the unbounded default client`
+}

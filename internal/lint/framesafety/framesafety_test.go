@@ -1,0 +1,13 @@
+package framesafety_test
+
+import (
+	"testing"
+
+	"vsmartjoin/internal/lint/framesafety"
+	"vsmartjoin/internal/lint/linttest"
+)
+
+func TestFramesafety(t *testing.T) {
+	linttest.Run(t, framesafety.Analyzer, "testdata",
+		"fstest", "vsmartjoin/internal/wal", "vsmartjoin/internal/frame")
+}

@@ -1,0 +1,49 @@
+// Package fstest exercises the framesafety analyzer outside the exempt
+// packages: raw length prefixes, second checksums, direct generation-
+// file writes, the evidence heuristic's negatives, and the suppression
+// contract.
+package fstest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+)
+
+func walName(gen int) string { return "wal-0001" }
+
+func lengthPrefixes(b []byte, v uint64) []byte {
+	b = binary.AppendUvarint(b, v) // want `raw length-prefix write binary\.AppendUvarint outside internal/frame`
+	var buf bytes.Buffer
+	_ = binary.Write(&buf, binary.LittleEndian, v) // want `raw length-prefix write binary\.Write outside internal/frame`
+	return b
+}
+
+func readsAndMethodsAreFine(b []byte) uint64 {
+	v, _ := binary.Uvarint(b)           // decoding is not framing
+	binary.LittleEndian.PutUint64(b, v) // ByteOrder methods are not the varint writers
+	return v
+}
+
+func checksums(p []byte) uint32 {
+	t := crc32.MakeTable(crc32.Castagnoli) // want `checksum construction crc32\.MakeTable outside internal/frame`
+	return crc32.Checksum(p, t)            // want `checksum construction crc32\.Checksum outside internal/frame`
+}
+
+func durableFiles() {
+	_ = os.WriteFile("snap-00000001", nil, 0o644) // want `direct os\.WriteFile of snap-\* file outside internal/wal`
+	f, _ := os.Create(walName(1))                 // want `direct os\.Create of wal-\* file outside internal/wal`
+	_ = f
+	_ = os.WriteFile("report.txt", nil, 0o644) // ordinary files are fine
+}
+
+func suppressedWrite() {
+	//lint:vsmart-allow framesafety fixture: corruption injection for a recovery test
+	_ = os.WriteFile("snap-00000009", nil, 0o644)
+}
+
+func staleSuppression() {
+	//lint:vsmart-allow framesafety nothing here writes a frame // want `unused //lint:vsmart-allow framesafety suppression`
+	_ = os.Remove("x")
+}

@@ -1,0 +1,15 @@
+// Package frame stands at the exempt import path: the one framing layer
+// may use raw varints and crc32 freely.
+package frame
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+func frameIt(b, payload []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	sum := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+	b = binary.LittleEndian.AppendUint32(b, sum)
+	return append(b, payload...)
+}

@@ -1,0 +1,16 @@
+// Package wal stands at the real WAL's import path: its non-test files
+// own the generation-file lifecycle and are exempt from the durable-file
+// check.
+package wal
+
+import "os"
+
+func snapName(gen int) string { return "snap-0001" }
+
+func writeGen() error {
+	f, err := os.Create(snapName(1)) // exempt: non-test wal code
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,9 @@
+package wal
+
+import "os"
+
+// wal's own tests are NOT exempt: deliberate corruption must carry a
+// suppression, so this bare write is flagged.
+func corrupt() {
+	_ = os.WriteFile(snapName(1), []byte("x"), 0o644) // want `direct os\.WriteFile of snap-\* file outside internal/wal`
+}

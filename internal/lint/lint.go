@@ -1,0 +1,45 @@
+// Package lint assembles the project's custom static-analysis suite:
+// five analyzers, each machine-checking an invariant that a refactor
+// introduced and that go vet / staticcheck cannot see.
+//
+//   - framesafety (PR 4): every durable byte flows through the one
+//     internal/frame framing layer — no raw length prefixes, no second
+//     checksum, no direct writes to snap-*/wal-* generation files.
+//   - lockscope (PR 2): mutex-guarded index state is only touched under
+//     the lock, and exact similarity verification never runs inside it —
+//     the lock-free-read hot-path contract.
+//   - canonicalorder (PR 5): every []Match that can reach the public
+//     API passes through a canonicalizer, so any topology answers
+//     byte-identically.
+//   - boundedclient (PR 5): every HTTP dialer uses the bounded pooled
+//     cluster.NewHTTPClient — no http.Get, no http.DefaultClient, no
+//     ad-hoc http.Client literals.
+//   - walerr (PR 3): errors from the WAL, framing, and public mutation
+//     paths are never discarded — append-before-apply durability.
+//
+// Run the suite with `go run ./cmd/vsmartlint ./...`. Deliberate
+// exceptions carry a //lint:vsmart-allow <analyzer> <reason> comment on
+// or directly above the flagged line; the driver errors on suppressions
+// that no longer match anything, so exceptions cannot outlive the code
+// that needed them.
+package lint
+
+import (
+	"vsmartjoin/internal/lint/analysis"
+	"vsmartjoin/internal/lint/boundedclient"
+	"vsmartjoin/internal/lint/canonicalorder"
+	"vsmartjoin/internal/lint/framesafety"
+	"vsmartjoin/internal/lint/lockscope"
+	"vsmartjoin/internal/lint/walerr"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		boundedclient.Analyzer,
+		canonicalorder.Analyzer,
+		framesafety.Analyzer,
+		lockscope.Analyzer,
+		walerr.Analyzer,
+	}
+}

@@ -1,0 +1,393 @@
+// Package load type-checks Go packages for the lint suite without
+// depending on golang.org/x/tools/go/packages.
+//
+// Real packages are discovered with `go list` and type-checked from
+// source; their imports resolve through compiler export data that
+// `go list -export` materializes in the build cache, so loading works
+// fully offline and never re-type-checks the transitive closure. Fixture
+// packages (the analyzers' testdata) live in a GOPATH-style src tree and
+// are type-checked recursively from source, falling back to export data
+// for standard-library imports — which lets a fixture stub a module
+// package (declare a tiny `vsmartjoin/internal/wal`, say) so analyzer
+// tests are hermetic.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("vsmartjoin/internal/wal"); for the
+	// external test package of path P it is "P_test".
+	Path      string
+	Name      string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Config controls a Load call.
+type Config struct {
+	// Dir is the directory `go` commands run in; it must lie inside a
+	// module. Empty means the current directory.
+	Dir string
+
+	// Tests includes _test.go files: in-package test files join their
+	// package's syntax, external test packages (package foo_test) load
+	// as their own Package entries.
+	Tests bool
+
+	// FixtureRoot, when non-empty, switches Load to fixture mode: the
+	// patterns are import paths resolved under FixtureRoot/src/<path>
+	// instead of `go list` patterns.
+	FixtureRoot string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Name         string
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	ForTest      string
+	Error        *listErr
+}
+
+type listErr struct {
+	Err string
+}
+
+// Load type-checks the packages matched by patterns.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	if cfg.FixtureRoot != "" {
+		return loadFixtures(cfg, fset, patterns)
+	}
+	return loadReal(cfg, fset, patterns)
+}
+
+// goList runs `go list` with the given arguments and decodes its JSON
+// package stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports through compiler export data files,
+// with an optional source-checked overlay consulted first (fixture
+// stubs).
+type exportImporter struct {
+	overlay map[string]*types.Package
+	gc      types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &exportImporter{
+		overlay: map[string]*types.Package{},
+		gc:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ei.overlay[path]; ok {
+		return p, nil
+	}
+	return ei.gc.ImportFrom(path, "", 0)
+}
+
+// loadReal loads `go list` patterns: every matched package is parsed and
+// type-checked from source; imports come from export data.
+func loadReal(cfg Config, fset *token.FileSet, patterns []string) ([]*Package, error) {
+	fields := "-json=Name,ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Error"
+	targets, err := goList(cfg.Dir, append([]string{"list", fields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+	}
+
+	// One -deps -export walk provides export data for everything any
+	// target (or its test files) imports. -test folds test-only deps in.
+	depArgs := []string{"list", "-deps", "-export", "-json=ImportPath,Export,ForTest"}
+	if cfg.Tests {
+		depArgs = append(depArgs, "-test")
+	}
+	deps, err := goList(cfg.Dir, append(depArgs, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, d := range deps {
+		// Skip synthesized test variants ("p [p.test]", "p.test"): the
+		// plain compile's export data is the importable one.
+		if d.ForTest != "" || strings.Contains(d.ImportPath, " ") || d.Export == "" {
+			continue
+		}
+		if _, ok := exports[d.ImportPath]; !ok {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+	imp := newExportImporter(fset, exports)
+
+	var out []*Package
+	for _, t := range targets {
+		files := t.GoFiles
+		if cfg.Tests {
+			files = append(files[:len(files):len(files)], t.TestGoFiles...)
+		}
+		if len(files) > 0 {
+			pkg, err := checkFiles(fset, imp, t.ImportPath, t.Name, absPaths(t.Dir, files))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+		if cfg.Tests && len(t.XTestGoFiles) > 0 {
+			pkg, err := checkFiles(fset, imp, t.ImportPath+"_test", t.Name+"_test", absPaths(t.Dir, t.XTestGoFiles))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+func absPaths(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+// checkFiles parses and type-checks one package from source.
+func checkFiles(fset *token.FileSet, imp types.Importer, path, name string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Name:      name,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// loadFixtures loads testdata packages from FixtureRoot/src/<path>.
+// Imports that resolve inside the tree are type-checked from source
+// (recursively); everything else resolves through export data fetched
+// with one `go list` call over the union of external imports.
+func loadFixtures(cfg Config, fset *token.FileSet, paths []string) ([]*Package, error) {
+	src := filepath.Join(cfg.FixtureRoot, "src")
+
+	// Discover the transitive fixture-local import closure and the
+	// external (usually standard-library) imports it needs.
+	parsed := map[string][]*ast.File{}
+	external := map[string]bool{}
+	var walk func(path string) error
+	walk = func(path string) error {
+		if _, ok := parsed[path]; ok {
+			return nil
+		}
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		files, err := fixtureFiles(fset, dir)
+		if err != nil {
+			return fmt.Errorf("fixture %s: %w", path, err)
+		}
+		parsed[path] = files
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ipath := strings.Trim(spec.Path.Value, `"`)
+				if dirExists(filepath.Join(src, filepath.FromSlash(ipath))) {
+					if err := walk(ipath); err != nil {
+						return err
+					}
+				} else {
+					external[ipath] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := walk(p); err != nil {
+			return nil, err
+		}
+	}
+
+	exports := map[string]string{}
+	if len(external) > 0 {
+		args := []string{"list", "-deps", "-export", "-json=ImportPath,Export,ForTest"}
+		for p := range external {
+			args = append(args, p)
+		}
+		sort.Strings(args[4:])
+		deps, err := goList(cfg.Dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			if d.ForTest == "" && !strings.Contains(d.ImportPath, " ") && d.Export != "" {
+				exports[d.ImportPath] = d.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports)
+
+	// Type-check fixture packages in dependency order via memoized
+	// recursion; the overlay makes each freshly checked fixture
+	// importable by the next.
+	checked := map[string]*Package{}
+	checking := map[string]bool{}
+	var check func(path string) (*Package, error)
+	check = func(path string) (*Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		if checking[path] {
+			return nil, fmt.Errorf("fixture import cycle through %s", path)
+		}
+		checking[path] = true
+		defer delete(checking, path)
+		for _, f := range parsed[path] {
+			for _, spec := range f.Imports {
+				ipath := strings.Trim(spec.Path.Value, `"`)
+				if _, local := parsed[ipath]; local {
+					if _, err := check(ipath); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		name := ""
+		if len(parsed[path]) > 0 {
+			name = parsed[path][0].Name.Name
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, parsed[path], info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+		}
+		p := &Package{Path: path, Name: name, Fset: fset, Syntax: parsed[path], Types: tpkg, TypesInfo: info}
+		checked[path] = p
+		imp.overlay[path] = tpkg
+		return p, nil
+	}
+
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := check(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// fixtureFiles parses every .go file in dir, sorted by name.
+func fixtureFiles(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var out []*ast.File
+	for _, n := range names {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, af)
+	}
+	return out, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,77 @@
+// Package index exercises lockscope at an in-scope import path:
+// guarded-field access with and without the lock, Sim under the lock,
+// the guarded-paragraph layout convention, the Locked-suffix
+// convention, goroutine non-inheritance, and the suppression contract.
+package index
+
+import (
+	"sync"
+
+	"vsmartjoin/internal/similarity"
+)
+
+type Index struct {
+	measure similarity.Measure
+
+	mu sync.RWMutex
+	// entities is guarded: its doc comment keeps the paragraph contiguous.
+	entities map[string]int
+	postings []int
+
+	version int // after the blank line: not guarded
+}
+
+func (ix *Index) badRead() int {
+	return len(ix.entities) // want `access to mu-guarded field entities without the lock held`
+}
+
+func (ix *Index) goodRead() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entities)
+}
+
+func (ix *Index) unguardedIsFine() int { return ix.version }
+
+func (ix *Index) afterUnlock() int {
+	ix.mu.Lock()
+	n := len(ix.postings)
+	ix.mu.Unlock()
+	return n + len(ix.postings) // want `access to mu-guarded field postings without the lock held`
+}
+
+func (ix *Index) badSim(q, e similarity.UniStats, c similarity.ConjStats) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.measure.Sim(q, e, c) // want `similarity verification Measure\.Sim while the mu lock is held`
+}
+
+func (ix *Index) goodSim(q, e similarity.UniStats, c similarity.ConjStats) float64 {
+	return ix.measure.Sim(q, e, c)
+}
+
+// compactLocked is, by the naming convention, called with mu held.
+func (ix *Index) compactLocked() {
+	ix.postings = ix.postings[:0]
+}
+
+func (ix *Index) goroutineDoesNotInherit() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	go func() {
+		_ = len(ix.entities) // want `access to mu-guarded field entities without the lock held`
+	}()
+	_ = len(ix.entities) // the spawning goroutine still holds the lock
+}
+
+func (ix *Index) suppressedSim(q, e similarity.UniStats, c similarity.ConjStats) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	//lint:vsmart-allow lockscope fixture: top-k style verification deliberately under the read lock
+	return ix.measure.Sim(q, e, c)
+}
+
+func (ix *Index) staleSuppression() int {
+	//lint:vsmart-allow lockscope nothing below touches guarded state // want `unused //lint:vsmart-allow lockscope suppression`
+	return ix.version
+}

@@ -1,0 +1,12 @@
+// Package similarity is a stub at the real import path: just the
+// Measure.Sim method lockscope matches by identity.
+package similarity
+
+// UniStats and ConjStats mirror the real verification inputs.
+type UniStats struct{}
+type ConjStats struct{}
+
+// Measure is the stub similarity measure.
+type Measure interface {
+	Sim(a, b UniStats, c ConjStats) float64
+}

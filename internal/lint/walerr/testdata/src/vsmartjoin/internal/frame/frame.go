@@ -1,0 +1,17 @@
+// Package frame is a hermetic stub of vsmartjoin/internal/frame.
+package frame
+
+import "io"
+
+// Writer is the stub streaming frame writer.
+type Writer struct{}
+
+func NewWriter(w io.Writer) *Writer       { return &Writer{} }
+func (*Writer) WriteFrame(p []byte) error { return nil }
+func (*Writer) Flush() error              { return nil }
+
+// Append frames payload onto dst.
+func Append(dst, payload []byte) ([]byte, error) { return dst, nil }
+
+// ReplayFile replays a framed file.
+func ReplayFile(path string, fn func([]byte) error) error { return nil }

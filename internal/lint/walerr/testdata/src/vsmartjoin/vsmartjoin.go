@@ -1,0 +1,18 @@
+// Package vsmartjoin is a hermetic stub of the module root: just the
+// public mutation surface the walerr analyzer holds to the durability
+// contract.
+package vsmartjoin
+
+// Index is the stub durable index.
+type Index struct{}
+
+func (*Index) Add(name string, counts map[string]uint32) error { return nil }
+func (*Index) Remove(name string) (bool, error)                { return false, nil }
+func (*Index) Snapshot() error                                 { return nil }
+
+// Cluster is the stub multi-node client.
+type Cluster struct{}
+
+func (*Cluster) Add(name string, counts map[string]uint32) error { return nil }
+func (*Cluster) Remove(name string) (bool, error)                { return false, nil }
+func (*Cluster) Snapshot() error                                 { return nil }

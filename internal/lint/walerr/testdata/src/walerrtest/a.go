@@ -1,0 +1,61 @@
+// Package walerrtest exercises the walerr analyzer: every discard
+// position, blank-identifier assignment at the error result, correctly
+// handled calls, and the suppression contract.
+package walerrtest
+
+import (
+	"bufio"
+	"os"
+
+	"vsmartjoin"
+	"vsmartjoin/internal/frame"
+	"vsmartjoin/internal/wal"
+)
+
+func discards(l *wal.Log, ix *vsmartjoin.Index, c *vsmartjoin.Cluster, w *bufio.Writer) {
+	l.Append(wal.Record{}) // want `error from wal\.Log\.Append discarded`
+	defer l.Close()        // want `error from wal\.Log\.Close discarded by defer`
+	go l.Sync()            // want `error from wal\.Log\.Sync discarded by go statement`
+	ix.Snapshot()          // want `error from vsmartjoin\.Index\.Snapshot discarded`
+	c.Snapshot()           // want `error from vsmartjoin\.Cluster\.Snapshot discarded`
+	wal.WriteSnapshot("x") // want `error from wal\.WriteSnapshot discarded`
+	defer w.Flush()        // want `error from bufio\.Writer\.Flush discarded by defer`
+}
+
+func blanks(l *wal.Log, ix *vsmartjoin.Index) {
+	_ = l.Append(wal.Record{})            // want `error from wal\.Log\.Append assigned to _`
+	_, _ = ix.Remove("x")                 // want `error from vsmartjoin\.Index\.Remove assigned to _`
+	ok, _ := ix.Remove("y")               // want `error from vsmartjoin\.Index\.Remove assigned to _`
+	buf, _ := frame.Append(nil, []byte{}) // want `error from frame\.Append assigned to _`
+	_, _ = ok, buf
+}
+
+func handled(l *wal.Log, fw *frame.Writer, w *bufio.Writer) error {
+	if err := l.Append(wal.Record{}); err != nil {
+		return err
+	}
+	buf, err := frame.Append(nil, []byte("p"))
+	if err != nil {
+		return err
+	}
+	_ = buf
+	if err := fw.WriteFrame([]byte("p")); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func outsideTheSet(f *os.File) {
+	f.Close() // os.File.Close is not in the must-check set
+}
+
+func suppressed(l *wal.Log) {
+	//lint:vsmart-allow walerr fixture: cleanup on a path whose primary error is already being returned
+	l.Close()
+}
+
+func stale() {
+	//lint:vsmart-allow walerr nothing below discards an error // want `unused //lint:vsmart-allow walerr suppression`
+	var n int
+	_ = n
+}
