@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt vet vsmartlint staticcheck govulncheck
+# Benchmark time per case for bench-json; CI passes BENCHTIME=1x for a
+# smoke run that only proves the benchmarks and the JSON pipeline work.
+BENCHTIME ?= 1s
+
+# The query-path benchmarks recorded in BENCH_007.json: internal index
+# probe/verify, public API, sharded fan-out, zipf repeated-query cache,
+# and cluster scatter-gather.
+BENCH_REGEX := ^(BenchmarkQueryThreshold|BenchmarkQueryTopK|BenchmarkIndexQuery|BenchmarkIndexTopK|BenchmarkShardedQuery|BenchmarkZipfRepeatedQuery|BenchmarkClusterQuery)$$
+
+.PHONY: all build test race lint fmt vet vsmartlint staticcheck govulncheck bench-json
 
 all: build test
 
@@ -36,3 +45,11 @@ staticcheck:
 govulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck -test ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
+# Run the query-path benchmarks and regenerate BENCH_007.json, diffed
+# against the committed pre-optimization baseline. benchjson re-reads
+# the file after writing, so this target fails if the artifact is not
+# parseable JSON.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem -benchtime $(BENCHTIME) ./... > bench/.last_bench.txt
+	$(GO) run ./cmd/benchjson -in bench/.last_bench.txt -baseline bench/BASELINE_007.txt -out BENCH_007.json

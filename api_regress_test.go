@@ -126,3 +126,26 @@ func TestThresholdConventions(t *testing.T) {
 		}
 	})
 }
+
+// TestPartitionOfEntityDegenerateCounts pins the routing guard at the
+// public boundary: zero and negative partition counts must route to
+// partition 0 instead of panicking (mod by zero) or wrapping through
+// uint64(n) to an arbitrary partition.
+func TestPartitionOfEntityDegenerateCounts(t *testing.T) {
+	for _, n := range []int{0, -1, -8, 1} {
+		for _, entity := range []string{"", "a", "entity-1", "another"} {
+			if got := PartitionOfEntity(entity, n); got != 0 {
+				t.Fatalf("PartitionOfEntity(%q, %d) = %d, want 0", entity, n, got)
+			}
+		}
+	}
+	for _, n := range []int{2, 5, 32} {
+		for i := 0; i < 100; i++ {
+			entity := fmt.Sprintf("entity-%d", i)
+			got := PartitionOfEntity(entity, n)
+			if got < 0 || got >= n {
+				t.Fatalf("PartitionOfEntity(%q, %d) = %d out of range", entity, n, got)
+			}
+		}
+	}
+}

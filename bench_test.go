@@ -429,6 +429,55 @@ func BenchmarkIndexTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkZipfRepeatedQuery measures a skewed serving workload: query
+// popularity drawn from the same Zipf machinery the trace generator
+// uses (internal/datagen), so a handful of head queries repeat
+// constantly while the tail is seen once — the "millions of users"
+// shape. The cache=off mode is the uncached floor every query pays;
+// cache=on is the same zipf mix with the bounded LRU result cache
+// (hits/op reports its measured hit rate); cache=hit isolates the pure
+// hit path by replaying only the head query, the cost a repeated query
+// pays once cached.
+func BenchmarkZipfRepeatedQuery(b *testing.B) {
+	const n = 10000
+	entities := benchIndexEntities(n)
+	ranks := datagen.ZipfRanks(7, 1.4, 4, uint64(n-1), 1<<15)
+	head := make([]uint64, len(ranks))
+	for i := range head {
+		head[i] = ranks[0]
+	}
+	modes := []struct {
+		name  string
+		opts  IndexOptions
+		ranks []uint64
+	}{
+		{"cache=off", IndexOptions{Measure: "ruzicka", CacheSize: -1}, ranks},
+		{"cache=on", IndexOptions{Measure: "ruzicka"}, ranks},
+		{"cache=hit", IndexOptions{Measure: "ruzicka"}, head},
+	}
+	for _, mode := range modes {
+		ix, err := NewIndex(mode.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, counts := range entities {
+			mustAdd(b, ix, fmt.Sprintf("entity-%d", i), counts)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			before := ix.Stats()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.QueryThreshold(entities[mode.ranks[i%len(mode.ranks)]], 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if after := ix.Stats(); after.CacheHits > before.CacheHits {
+				b.ReportMetric(float64(after.CacheHits-before.CacheHits)/float64(b.N), "hits/op")
+			}
+		})
+	}
+}
+
 // BenchmarkShardedQuery compares the query fan-out across shard widths:
 // threshold and top-k queries against the identical 10k-entity dataset
 // partitioned 1/4/8 ways. Sharding trades a little per-query fan-out

@@ -90,6 +90,12 @@ func TestBulkBuiltEqualsIncremental(t *testing.T) {
 				if g := bulk.Generation(); g != 1 {
 					t.Fatalf("bulk-built index opened at generation %d, want 1", g)
 				}
+				// Bootstrapped entities are mutations: a daemon serving a
+				// bulk-built dir must not report Adds: 0 (and through it
+				// /readyz's mutation counter) while serving d.Len() entities.
+				if st := bulk.Stats(); st.Adds != int64(d.Len()) {
+					t.Fatalf("bulk-built index reports Adds %d, want %d", st.Adds, d.Len())
+				}
 
 				// Query-after-open: full surface equality with the oracle.
 				mustAgree(t, "bulk vs incremental", bulk, oracle, probes)

@@ -1,0 +1,213 @@
+package vsmartjoin
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func cacheTestIndex(t *testing.T, opts IndexOptions) *Index {
+	t.Helper()
+	ix, err := NewIndex(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		counts := map[string]uint32{
+			fmt.Sprintf("e%d", i%7):     2,
+			fmt.Sprintf("e%d", (i+1)%7): 1,
+			"shared":                    3,
+		}
+		if err := ix.Add(fmt.Sprintf("entity-%d", i), counts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func TestCacheHitReturnsIdenticalResults(t *testing.T) {
+	ix := cacheTestIndex(t, IndexOptions{})
+	q := map[string]uint32{"e0": 2, "e1": 1, "shared": 3}
+
+	first, err := ix.QueryThreshold(q, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.CacheMisses == 0 {
+		t.Fatalf("first query should miss, stats %+v", st)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("no hit expected yet, stats %+v", st)
+	}
+
+	second, err := ix.QueryThreshold(q, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached answer diverged:\nfirst  %v\nsecond %v", first, second)
+	}
+	if st := ix.Stats(); st.CacheHits != 1 {
+		t.Fatalf("second identical query should hit, stats %+v", st)
+	}
+
+	// A map holding the same multiset plus zero-count noise is the same
+	// canonical query, so it must hit the same entry.
+	noisy := map[string]uint32{"shared": 3, "e1": 1, "e0": 2, "ignored": 0}
+	third, err := ix.QueryThreshold(noisy, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Fatalf("canonicalized query diverged: %v vs %v", first, third)
+	}
+	if st := ix.Stats(); st.CacheHits != 2 {
+		t.Fatalf("canonicalized re-query should hit, stats %+v", st)
+	}
+
+	// Different parameters are different keys.
+	if _, err := ix.QueryThreshold(q, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if st := ix.Stats(); st.CacheHits != 2 {
+		t.Fatalf("different threshold must not hit, stats %+v", st)
+	}
+}
+
+func TestCacheInvalidatedByMutations(t *testing.T) {
+	ix := cacheTestIndex(t, IndexOptions{})
+	q := map[string]uint32{"e0": 2, "e1": 1, "shared": 3}
+
+	before, err := ix.QueryThreshold(q, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An add must invalidate: the new entity shares elements with the
+	// query and has to appear in the very next answer.
+	if err := ix.Add("late-arrival", q); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ix.QueryThreshold(q, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 {
+		t.Fatalf("add not visible after cached query: %d -> %d results", len(before), len(after))
+	}
+	found := false
+	for _, m := range after {
+		if m.Entity == "late-arrival" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("late-arrival missing from post-add results %v", after)
+	}
+
+	// A remove must invalidate just the same.
+	if _, err := ix.Remove("late-arrival"); err != nil {
+		t.Fatal(err)
+	}
+	final, err := ix.QueryThreshold(q, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, final) {
+		t.Fatalf("post-remove answer diverged from original:\nwant %v\ngot  %v", before, final)
+	}
+}
+
+func TestCacheCoversTopKAndEntityQueries(t *testing.T) {
+	ix := cacheTestIndex(t, IndexOptions{})
+	q := map[string]uint32{"e0": 2, "e1": 1, "shared": 3}
+
+	first := ix.QueryTopK(q, 5)
+	second := ix.QueryTopK(q, 5)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached top-k diverged: %v vs %v", first, second)
+	}
+	st := ix.Stats()
+	if st.CacheHits != 1 {
+		t.Fatalf("repeated top-k should hit, stats %+v", st)
+	}
+
+	e1, err := ix.QueryEntity("entity-0", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ix.QueryEntity("entity-0", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("cached entity query diverged: %v vs %v", e1, e2)
+	}
+	if st := ix.Stats(); st.CacheHits != 2 {
+		t.Fatalf("repeated entity query should hit, stats %+v", st)
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	ix := cacheTestIndex(t, IndexOptions{CacheSize: 2})
+	queries := []map[string]uint32{
+		{"e0": 1}, {"e1": 1}, {"e2": 1},
+	}
+	for _, q := range queries {
+		if _, err := ix.QueryThreshold(q, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := ix.Stats(); st.CacheEntries != 2 {
+		t.Fatalf("capacity 2 cache holds %d entries", st.CacheEntries)
+	}
+	// queries[0] was evicted as least-recently-used; re-querying it must
+	// miss, while queries[2] is still resident.
+	hitsBefore := ix.Stats().CacheHits
+	if _, err := ix.QueryThreshold(queries[2], 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if st := ix.Stats(); st.CacheHits != hitsBefore+1 {
+		t.Fatalf("resident entry should hit, stats %+v", st)
+	}
+	if _, err := ix.QueryThreshold(queries[0], 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if st := ix.Stats(); st.CacheHits != hitsBefore+1 {
+		t.Fatalf("evicted entry must miss, stats %+v", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	ix := cacheTestIndex(t, IndexOptions{CacheSize: -1})
+	q := map[string]uint32{"e0": 2, "shared": 3}
+	for i := 0; i < 3; i++ {
+		if _, err := ix.QueryThreshold(q, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ix.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEntries != 0 {
+		t.Fatalf("disabled cache reported traffic: %+v", st)
+	}
+}
+
+func TestCacheHitIsACopy(t *testing.T) {
+	ix := cacheTestIndex(t, IndexOptions{})
+	q := map[string]uint32{"e0": 2, "e1": 1, "shared": 3}
+	first, err := ix.QueryThreshold(q, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("want results")
+	}
+	// Mutating a returned slice must not corrupt the cached copy.
+	second, _ := ix.QueryThreshold(q, 0.0)
+	second[0] = Match{Entity: "vandalized", Similarity: -1}
+	third, _ := ix.QueryThreshold(q, 0.0)
+	if !reflect.DeepEqual(first, third) {
+		t.Fatalf("caller mutation leaked into the cache:\nwant %v\ngot  %v", first, third)
+	}
+}

@@ -1,0 +1,252 @@
+// Command benchjson turns `go test -bench -benchmem` text output into a
+// machine-readable JSON report, optionally joined against a committed
+// baseline capture of the same benchmarks.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -baseline bench/BASELINE_007.txt -out BENCH_007.json
+//
+// The report pairs every benchmark in the current run with its baseline
+// line (matched by name after stripping the -GOMAXPROCS suffix) and
+// computes the ns/op change. After writing, the tool re-reads the output
+// file and fails unless it parses back as the same report, so a CI
+// invocation of `make bench-json` also validates the artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Pkg        string  `json:"pkg,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units (hits/op, sims/op, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry joins a current result with its baseline counterpart, when one
+// exists under the same benchmark name.
+type Entry struct {
+	Name   string  `json:"name"`
+	Before *Result `json:"before,omitempty"`
+	After  Result  `json:"after"`
+	// NsChangePct is (after-before)/before ns/op as a percentage;
+	// negative means the current run is faster. Omitted without a
+	// baseline match.
+	NsChangePct *float64 `json:"ns_change_pct,omitempty"`
+}
+
+// Report is the top-level BENCH_*.json document.
+type Report struct {
+	Schema         string  `json:"schema"`
+	BaselineSource string  `json:"baseline_source,omitempty"`
+	Benchmarks     []Entry `json:"benchmarks"`
+	Summary        Summary `json:"summary"`
+}
+
+type Summary struct {
+	Benchmarks      int     `json:"benchmarks"`
+	Compared        int     `json:"compared"`
+	ImprovedNs      int     `json:"improved_ns"`
+	RegressedNs     int     `json:"regressed_ns"`
+	BestNsChangePct float64 `json:"best_ns_change_pct"`
+	ZeroAllocAfter  int     `json:"zero_alloc_after"`
+}
+
+const schema = "vsmartjoin-bench/1"
+
+// parseBench reads `go test -bench` text, returning results keyed by
+// benchmark name (minus the -GOMAXPROCS suffix) in input order.
+func parseBench(r io.Reader) (names []string, byName map[string]Result, err error) {
+	byName = make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Pkg: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsOp = val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		if _, dup := byName[name]; !dup {
+			names = append(names, name)
+		}
+		byName[name] = res
+	}
+	return names, byName, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -N GOMAXPROCS marker go test
+// appends to benchmark names, so runs on different core counts still
+// match the baseline.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// buildReport joins current results against the baseline and fills the
+// summary counters.
+func buildReport(names []string, after map[string]Result, before map[string]Result, baselineSource string) Report {
+	rep := Report{Schema: schema, BaselineSource: baselineSource}
+	for _, name := range names {
+		e := Entry{Name: name, After: after[name]}
+		if b, ok := before[name]; ok {
+			b := b
+			e.Before = &b
+			if b.NsPerOp > 0 {
+				pct := (e.After.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+				e.NsChangePct = &pct
+				rep.Summary.Compared++
+				switch {
+				case pct < 0:
+					rep.Summary.ImprovedNs++
+				case pct > 0:
+					rep.Summary.RegressedNs++
+				}
+				if pct < rep.Summary.BestNsChangePct {
+					rep.Summary.BestNsChangePct = pct
+				}
+			}
+		}
+		if e.After.AllocsOp == 0 {
+			rep.Summary.ZeroAllocAfter++
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	rep.Summary.Benchmarks = len(rep.Benchmarks)
+	return rep
+}
+
+// validate re-reads path and confirms it round-trips as a Report with at
+// least one benchmark, so a truncated or mangled write fails the build
+// rather than landing in the repo.
+func validate(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s is not valid JSON: %w", path, err)
+	}
+	if rep.Schema != schema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, schema)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return nil
+}
+
+func run(inPath, baselinePath, outPath string) error {
+	in := io.Reader(os.Stdin)
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	names, after, err := parseBench(in)
+	if err != nil {
+		return fmt.Errorf("parsing bench output: %w", err)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	before := map[string]Result{}
+	if baselinePath != "" {
+		f, err := os.Open(baselinePath)
+		if err != nil {
+			return err
+		}
+		_, before, err = parseBench(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		}
+	}
+
+	rep := buildReport(names, after, before, baselinePath)
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if outPath == "" {
+		_, err := os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(outPath, raw, 0o644); err != nil {
+		return err
+	}
+	if err := validate(outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks (%d compared, %d improved, %d zero-alloc) -> %s\n",
+		rep.Summary.Benchmarks, rep.Summary.Compared, rep.Summary.ImprovedNs, rep.Summary.ZeroAllocAfter, outPath)
+	return nil
+}
+
+func main() {
+	inPath := flag.String("in", "", "bench output file (default stdin)")
+	baselinePath := flag.String("baseline", "", "baseline bench output to diff against")
+	outPath := flag.String("out", "", "JSON report path (default stdout)")
+	flag.Parse()
+	if err := run(*inPath, *baselinePath, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

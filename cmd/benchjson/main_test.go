@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleAfter = `goos: linux
+goarch: amd64
+pkg: vsmartjoin/internal/index
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQueryThreshold/t=0.5-8   	   39454	     11911 ns/op	       0 B/op	       0 allocs/op
+BenchmarkQueryTopK/k=10-8         	   24441	     30000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	vsmartjoin/internal/index	9.409s
+pkg: vsmartjoin
+BenchmarkZipfRepeatedQuery/cache=hit-8 	 1000000	      1027 ns/op	         1.000 hits/op	      16 B/op	       1 allocs/op
+`
+
+const sampleBefore = `pkg: vsmartjoin/internal/index
+BenchmarkQueryThreshold/t=0.5   	   39454	     26669 ns/op	    8336 B/op	      23 allocs/op
+BenchmarkQueryTopK/k=10         	   24441	     53068 ns/op	   10216 B/op	      23 allocs/op
+`
+
+func TestParseBench(t *testing.T) {
+	names, byName, err := parseBench(strings.NewReader(sampleAfter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"BenchmarkQueryThreshold/t=0.5",
+		"BenchmarkQueryTopK/k=10",
+		"BenchmarkZipfRepeatedQuery/cache=hit",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("parsed %d names %v, want %d", len(names), names, len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	thr := byName["BenchmarkQueryThreshold/t=0.5"]
+	if thr.Pkg != "vsmartjoin/internal/index" || thr.Iterations != 39454 || thr.NsPerOp != 11911 || thr.AllocsOp != 0 {
+		t.Fatalf("threshold result = %+v", thr)
+	}
+	zipf := byName["BenchmarkZipfRepeatedQuery/cache=hit"]
+	if zipf.Pkg != "vsmartjoin" || zipf.Metrics["hits/op"] != 1.0 || zipf.AllocsOp != 1 {
+		t.Fatalf("zipf result = %+v", zipf)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo/t=0.5-16":   "BenchmarkFoo/t=0.5",
+		"BenchmarkFoo/cache=off":  "BenchmarkFoo/cache=off",
+		"BenchmarkFoo/hedge-free": "BenchmarkFoo/hedge-free",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBuildReportJoinsBaseline(t *testing.T) {
+	names, after, err := parseBench(strings.NewReader(sampleAfter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, before, err := parseBench(strings.NewReader(sampleBefore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := buildReport(names, after, before, "baseline.txt")
+	if rep.Summary.Benchmarks != 3 || rep.Summary.Compared != 2 || rep.Summary.ImprovedNs != 2 {
+		t.Fatalf("summary = %+v", rep.Summary)
+	}
+	if rep.Summary.ZeroAllocAfter != 2 {
+		t.Fatalf("zero_alloc_after = %d, want 2", rep.Summary.ZeroAllocAfter)
+	}
+	e := rep.Benchmarks[0]
+	if e.Before == nil || e.NsChangePct == nil {
+		t.Fatalf("first entry missing baseline join: %+v", e)
+	}
+	// 26669 -> 11911 is a 55.3% improvement.
+	if *e.NsChangePct > -55 || *e.NsChangePct < -56 {
+		t.Fatalf("ns_change_pct = %v, want about -55.3", *e.NsChangePct)
+	}
+	if rep.Benchmarks[2].Before != nil {
+		t.Fatalf("zipf entry should have no baseline (cache=hit is new): %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestRunWritesValidJSON(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "after.txt")
+	basePath := filepath.Join(dir, "before.txt")
+	outPath := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(inPath, []byte(sampleAfter), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, []byte(sampleBefore), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(inPath, basePath, outPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Schema != schema || len(rep.Benchmarks) != 3 {
+		t.Fatalf("round-tripped report = %+v", rep.Summary)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(inPath, []byte("PASS\nok vsmartjoin 1s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(inPath, "", filepath.Join(dir, "out.json")); err == nil {
+		t.Fatal("run accepted input with no benchmark lines")
+	}
+}
+
+func TestValidateRejectsMangledFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(p, []byte(`{"schema":"vsmartjoin-bench/1","benchmarks":[`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(p); err == nil {
+		t.Fatal("validate accepted truncated JSON")
+	}
+	if err := os.WriteFile(p, []byte(`{"schema":"other","benchmarks":[{"name":"x","after":{"iterations":1,"ns_per_op":1,"bytes_per_op":0,"allocs_per_op":0}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(p); err == nil {
+		t.Fatal("validate accepted wrong schema")
+	}
+}

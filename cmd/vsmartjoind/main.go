@@ -40,6 +40,11 @@
 // (logged) upserts; without -data-dir the trace per-Add-loads a
 // volatile index.
 //
+// -debug-addr starts a second HTTP listener serving net/http/pprof
+// under /debug/pprof/ — CPU/heap/mutex profiles of the live daemon.
+// The profiling surface is a separate mux on a separate address, never
+// mounted on the serving handler; bind it to loopback.
+//
 // Router mode: -cluster takes the node topology as
 // "replica,replica;replica,replica" — partitions separated by ";",
 // replica base URLs within a partition by ",". The router holds no
@@ -66,6 +71,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -86,6 +92,8 @@ func main() {
 		shards        = flag.Int("shards", 0, "hash-partitioned index shards (parallel query fan-out, per-shard write locks); 0 = adopt an existing data-dir's count, else 1")
 		dataDir       = flag.String("data-dir", "", "durability directory (per-shard write-ahead logs + snapshots); empty = volatile")
 		snapshotEvery = flag.Int("snapshot-every", 4096, "mutations between automatic snapshots (needs -data-dir; negative = only on /snapshot and shutdown)")
+
+		debugAddr = flag.String("debug-addr", "", "profiling listen address serving net/http/pprof under /debug/pprof/; empty = disabled (bind loopback or another private interface — the endpoints expose internals)")
 
 		clusterSpec = flag.String("cluster", "", `router mode: node topology "replica,replica;replica,replica" (partitions split by ';', replica URLs by ','); the daemon then routes instead of indexing`)
 		nodeTimeout = flag.Duration("node-timeout", 5*time.Second, "router mode: per-node request timeout")
@@ -140,6 +148,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The debug server lives on its own mux and listener so the
+		// profiling surface can never leak onto the serving address; it
+		// needs no graceful drain — process exit takes it down.
+		go func() {
+			if err := http.Serve(dln, debugMux()); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		log.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("listening on http://%s", ln.Addr())
@@ -152,6 +175,22 @@ func main() {
 type closerFunc func() error
 
 func (f closerFunc) Close() error { return f() }
+
+// debugMux is the opt-in profiling surface behind -debug-addr: the
+// net/http/pprof handlers mounted explicitly on a private mux, so
+// nothing here ever registers on the serving handler (or depends on
+// http.DefaultServeMux). Split from main so tests can assert both that
+// the endpoints answer here and that the node/router muxes don't serve
+// them.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // parseTopology turns the -cluster flag into the NewCluster node grid:
 // ";" separates partitions, "," separates a partition's replica URLs.

@@ -521,6 +521,26 @@ func TestOpenIndexBulkBootstrap(t *testing.T) {
 	if ix.Len() != 3 || ix.Generation() != 1 {
 		t.Fatalf("bulk bootstrap: len %d gen %d", ix.Len(), ix.Generation())
 	}
+	// The bootstrapped entities must register as mutations: /readyz
+	// reports Adds+Removes, and a daemon serving 3 entities claiming
+	// "mutations: 0" reads as an empty index to operators.
+	if st := ix.Stats(); st.Adds != 3 {
+		t.Fatalf("bulk bootstrap reports Adds %d, want 3 (stats %+v)", st.Adds, st)
+	}
+	ts := httptest.NewServer(httpd.NewNode(ix))
+	resp, err := testClient.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if got, _ := ready["mutations"].(float64); got != 3 {
+		t.Fatalf("/readyz after bulk bootstrap reports mutations %v, want 3 (%v)", ready["mutations"], ready)
+	}
 	// Bulk path means snapshot files, not WAL records: every shard WAL
 	// must be empty right after the bootstrap.
 	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
@@ -570,5 +590,34 @@ func TestOpenIndexBulkBootstrap(t *testing.T) {
 	got, err := ix3.QueryEntity("ip-1", 0.9)
 	if err != nil || len(got) != 1 || got[0].Entity != "ip-2" {
 		t.Fatalf("query after restart: %v %v", got, err)
+	}
+}
+
+// TestDebugMux pins the -debug-addr contract: the pprof surface answers
+// on the debug mux and ONLY there — the serving handler (node or
+// router) must not expose /debug/pprof/ no matter what got registered
+// on http.DefaultServeMux by imports.
+func TestDebugMux(t *testing.T) {
+	dbg := httptest.NewServer(debugMux())
+	defer dbg.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := testClient.Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("debug %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	ts := testServer(t)
+	resp, err := testClient.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("serving mux exposes /debug/pprof/ (status %d)", resp.StatusCode)
 	}
 }

@@ -109,6 +109,33 @@
 // line, and cmd/vsmartjoind bootstraps through it when -load points at
 // a trace and -data-dir at a directory with no index yet.
 //
+// # Query performance and the result cache
+//
+// The query hot path is allocation-free at steady state: per-query
+// scratch is pooled and reused, so sustained QueryThreshold/QueryTopK
+// traffic settles at zero allocations per operation inside the index
+// engine (see BENCH_007.json for measured before/after numbers).
+//
+// On top of that, Index keeps a bounded LRU cache of complete query
+// results, keyed by the measure, the canonicalized query elements, and
+// the threshold or k. IndexOptions.CacheSize bounds it: 0 means the
+// default of 1024 cached results, a negative value disables caching
+// entirely, and any positive value is the maximum number of results
+// retained. The cache is invalidated by generation: every Add or
+// Remove bumps an internal generation counter and cached entries only
+// answer queries at the generation they were computed under, so a
+// cached answer is never stale — a mutation racing a lookup can only
+// demote a hit to a recomputation. Cached results are defensive
+// copies; callers may freely modify returned slices.
+//
+// IndexStats reports cache effectiveness alongside the engine
+// counters: CacheHits and CacheMisses count lookups against the cache
+// (hits return before reaching the engine, so they do not advance
+// Queries or the funnel counters), and CacheEntries is the current
+// resident size. The vsmartjoind daemon surfaces the same fields in
+// its /stats endpoint, and its -debug-addr flag serves net/http/pprof
+// on a private listener for live profiling.
+//
 // # Cluster serving
 //
 // Cluster scales the same serving surface across machines: it is a

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vsmartjoin/internal/index"
 	"vsmartjoin/internal/multiset"
@@ -78,6 +79,16 @@ type IndexOptions struct {
 	// or Close. Ignored without Dir.
 	SnapshotEvery int
 
+	// CacheSize bounds the query result cache: a per-index LRU over
+	// canonicalized queries ((measure, query elements, t or k) keys)
+	// that short-circuits repeated queries — the head of a zipf-skewed
+	// query population — without ever serving a stale answer: every
+	// Add/Remove bumps the index generation and a cached entry only hits
+	// while its stamped generation is current. 0 means the default
+	// (1024 entries); negative disables caching entirely. Hit/miss
+	// traffic is reported by IndexStats.CacheHits/CacheMisses.
+	CacheSize int
+
 	// BuildShuffleBufferBytes caps per-map-task shuffle memory of the
 	// offline BuildIndexFiles job before sorted runs spill to disk
 	// (0 = all in memory); see Options.ShuffleBufferBytes for the
@@ -142,6 +153,17 @@ type IndexStats struct {
 	LengthPruned int64 `json:"length_pruned"`
 	Verified     int64 `json:"verified"`
 	Results      int64 `json:"results"`
+
+	// CacheHits/CacheMisses count result-cache traffic (both zero when
+	// the cache is disabled via CacheSize < 0); CacheEntries is the
+	// current number of cached answers. A cache hit bypasses the inner
+	// index entirely, so it advances none of the funnel counters
+	// (Queries included) — with the cache on, public query traffic is
+	// CacheHits + CacheMisses and the funnel keeps describing real
+	// pruning work.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
 }
 
 // Index is the online counterpart of AllPairs: an incremental inverted
@@ -168,6 +190,12 @@ type Index struct {
 	snapshotEvery int
 	logged        []int // per-shard mutations since that shard's snapshot; guarded by mu
 	closed        bool
+
+	// gen counts mutations; every Add/Remove bumps it, invalidating all
+	// result-cache entries stamped with an earlier value. cache is nil
+	// when IndexOptions.CacheSize is negative.
+	gen   atomic.Uint64
+	cache *queryCache
 }
 
 // NewIndex returns an index configured by opts. With a Dir it opens (or
@@ -237,6 +265,13 @@ func newIndex(opts IndexOptions, create bool) (*Index, error) {
 		names:         make(map[multiset.ID]string),
 		nextID:        1,
 		snapshotEvery: snapshotEvery,
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = defaultCacheSize
+	}
+	if cacheSize > 0 {
+		ix.cache = newQueryCache(cacheSize)
 	}
 	if opts.Dir != "" {
 		if err := ix.openLogs(opts.Dir); err != nil {
@@ -478,6 +513,7 @@ func (ix *Index) Add(entity string, counts map[string]uint32) error {
 		entries = append(entries, multiset.Entry{Elem: ix.dict.Intern(elem), Count: c})
 	}
 	ix.inner.Add(multiset.New(id, entries))
+	ix.gen.Add(1) // invalidate cached answers computed before this add
 	ix.maybeSnapshotLocked(si)
 	return nil
 }
@@ -504,6 +540,7 @@ func (ix *Index) Remove(entity string) (bool, error) {
 		}
 	}
 	removed := ix.applyRemoveLocked(entity)
+	ix.gen.Add(1) // invalidate cached answers computed before this remove
 	ix.maybeSnapshotLocked(si)
 	return removed, nil
 }
@@ -670,6 +707,12 @@ func (ix *Index) resolve(ms []index.Match) []Match {
 	return out
 }
 
+// matchBufPool recycles the internal-match staging buffers of the
+// public query path: the inner Into query fills one, resolve translates
+// it into public matches, and the buffer returns to the pool — the
+// internal result list never reaches a caller, so pooling it is safe.
+var matchBufPool = sync.Pool{New: func() any { return new([]index.Match) }}
+
 // QueryThreshold returns every indexed entity whose similarity to the
 // query multiset is at least t, in the canonical order (decreasing
 // similarity, entity name ascending on ties). A zero t returns every
@@ -679,7 +722,30 @@ func (ix *Index) QueryThreshold(counts map[string]uint32, t float64) ([]Match, e
 	if err := checkThreshold(t); err != nil {
 		return nil, err
 	}
-	return ix.resolve(ix.inner.QueryThreshold(ix.buildQuery(counts), t)), nil
+	var ks *keyScratch
+	var gen uint64
+	if ix.cache != nil {
+		ks = getKeyScratch()
+		ks.thresholdKey(ix.measure.Name(), counts, t)
+		// The generation is read BEFORE the query runs: a mutation racing
+		// the fill leaves a stale stamp behind, so the entry can only be
+		// a false miss later, never a stale hit.
+		gen = ix.gen.Load()
+		if res, ok := ix.cache.get(ks.b, gen); ok {
+			putKeyScratch(ks)
+			return res, nil
+		}
+	}
+	bp := matchBufPool.Get().(*[]index.Match)
+	ms := ix.inner.QueryThresholdInto(ix.buildQuery(counts), t, (*bp)[:0])
+	out := ix.resolve(ms)
+	*bp = ms
+	matchBufPool.Put(bp)
+	if ix.cache != nil {
+		ix.cache.put(ks.b, gen, out)
+		putKeyScratch(ks)
+	}
+	return out, nil
 }
 
 // QueryEntity runs QueryThreshold with an indexed entity as the query;
@@ -688,14 +754,36 @@ func (ix *Index) QueryEntity(entity string, t float64) ([]Match, error) {
 	if err := checkThreshold(t); err != nil {
 		return nil, err
 	}
+	var ks *keyScratch
+	var gen uint64
+	if ix.cache != nil {
+		ks = getKeyScratch()
+		ks.entityKey(ix.measure.Name(), entity, t)
+		gen = ix.gen.Load() // before the lookup AND the query, like QueryThreshold
+		if res, ok := ix.cache.get(ks.b, gen); ok {
+			putKeyScratch(ks)
+			return res, nil
+		}
+	}
 	ix.mu.RLock()
 	id, ok := ix.byName[entity]
 	ix.mu.RUnlock()
 	if !ok {
+		if ix.cache != nil {
+			putKeyScratch(ks)
+		}
 		return nil, fmt.Errorf("vsmartjoin: entity %q not indexed", entity)
 	}
-	ms := ix.inner.QueryThreshold(ix.queryByID(id), t)
-	return ix.resolve(ms), nil
+	bp := matchBufPool.Get().(*[]index.Match)
+	ms := ix.inner.QueryThresholdInto(ix.queryByID(id), t, (*bp)[:0])
+	out := ix.resolve(ms)
+	*bp = ms
+	matchBufPool.Put(bp)
+	if ix.cache != nil {
+		ix.cache.put(ks.b, gen, out)
+		putKeyScratch(ks)
+	}
+	return out, nil
 }
 
 // QueryTopK returns the k most similar indexed entities, best first
@@ -712,21 +800,42 @@ func (ix *Index) QueryTopK(counts map[string]uint32, k int) []Match {
 	if k <= 0 {
 		return nil
 	}
+	var ks *keyScratch
+	var gen uint64
+	if ix.cache != nil {
+		ks = getKeyScratch()
+		ks.topKKey(ix.measure.Name(), counts, k)
+		gen = ix.gen.Load() // before the query, like QueryThreshold
+		if res, ok := ix.cache.get(ks.b, gen); ok {
+			putKeyScratch(ks)
+			return res
+		}
+	}
 	q := ix.buildQuery(counts)
+	bp := matchBufPool.Get().(*[]index.Match)
 	// Probe for k+1: the extra result is a tie detector. If the k-th and
 	// (k+1)-th best similarities differ (or fewer than k+1 exist), no tied
 	// entity was evicted at the boundary and the heap's selection is
 	// already the canonical one — the common case, served by one pass.
-	ms := ix.inner.QueryTopK(q, k+1)
+	ms := ix.inner.QueryTopKInto(q, k+1, (*bp)[:0])
 	if len(ms) == k+1 && ms[k-1].Sim == ms[k].Sim {
 		// Ties straddle the boundary, and the heap broke them by entity
 		// ID; fetch every entity at or above the boundary similarity and
-		// let the canonical sort pick by name.
-		ms = ix.inner.QueryThreshold(q, ms[k-1].Sim)
+		// let the canonical sort pick by name. The buffer is reused from
+		// the top: the boundary similarity is captured first, and the
+		// re-query only appends, never reads the old contents.
+		boundary := ms[k-1].Sim
+		ms = ix.inner.QueryThresholdInto(q, boundary, ms[:0])
 	}
 	out := ix.resolve(ms)
+	*bp = ms
+	matchBufPool.Put(bp)
 	if len(out) > k {
 		out = out[:k]
+	}
+	if ix.cache != nil {
+		ix.cache.put(ks.b, gen, out)
+		putKeyScratch(ks)
 	}
 	return out
 }
@@ -777,6 +886,13 @@ func (ix *Index) queryByID(id multiset.ID) index.Query {
 // Stats returns a snapshot of the index counters.
 func (ix *Index) Stats() IndexStats {
 	s := ix.inner.Stats()
+	var cacheHits, cacheMisses int64
+	var cacheEntries int
+	if ix.cache != nil {
+		cacheHits = ix.cache.hits.Load()
+		cacheMisses = ix.cache.misses.Load()
+		cacheEntries = ix.cache.len()
+	}
 	return IndexStats{
 		Measure:      ix.measure.Name(),
 		Shards:       ix.inner.Shards(),
@@ -793,6 +909,9 @@ func (ix *Index) Stats() IndexStats {
 		LengthPruned: s.LengthPruned,
 		Verified:     s.Verified,
 		Results:      s.Results,
+		CacheHits:    cacheHits,
+		CacheMisses:  cacheMisses,
+		CacheEntries: cacheEntries,
 	}
 }
 

@@ -159,11 +159,7 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 
 	// Background IPs with Zipf-skewed cookie popularity.
 	if cfg.NumBackground > 0 {
-		v := cfg.BackgroundZipfV
-		if v < 1 {
-			v = 1
-		}
-		zipf := rand.NewZipf(rng, cfg.BackgroundZipfS, v, uint64(cfg.BackgroundAlphabet-1))
+		zipf := NewZipf(rng, cfg.BackgroundZipfS, cfg.BackgroundZipfV, uint64(cfg.BackgroundAlphabet-1))
 		for i := 0; i < cfg.NumBackground; i++ {
 			k := cfg.CookiesPerIPMin + rng.Intn(cfg.CookiesPerIPMax-cfg.CookiesPerIPMin+1)
 			counts := make(map[multiset.Elem]uint32, k)
@@ -279,4 +275,31 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// NewZipf is the one Zipf sampler of the repo: rand.NewZipf with the
+// offset clamped the way trace generation needs (v < 1 reads as 1, the
+// smallest offset the stdlib accepts). Both the background-cookie
+// population above and the serving benchmarks' skewed query-repetition
+// workloads draw from it, so "zipf-skewed" means the same distribution
+// in data generation and in load modeling.
+func NewZipf(rng *rand.Rand, s, v float64, imax uint64) *rand.Zipf {
+	if v < 1 {
+		v = 1
+	}
+	return rand.NewZipf(rng, s, v, imax)
+}
+
+// ZipfRanks returns a deterministic sequence of n ranks drawn from
+// Zipf(s, v) over [0, imax] — the query-popularity schedule of a
+// skewed serving workload (a few head queries repeated constantly, a
+// long tail seen once). Same seed, same schedule.
+func ZipfRanks(seed int64, s, v float64, imax uint64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := NewZipf(rng, s, v, imax)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = zipf.Uint64()
+	}
+	return out
 }

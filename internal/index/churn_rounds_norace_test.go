@@ -1,0 +1,7 @@
+//go:build !race
+
+package index
+
+// Native runs are cheap enough for a long soak; see the race variant
+// for why -race runs a shorter schedule.
+const churnRounds = 300

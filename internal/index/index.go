@@ -28,6 +28,7 @@ package index
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,9 +48,21 @@ const verifyEps = 1e-12
 // entry is one indexed entity. Entries are immutable after insertion:
 // Add of an existing ID swaps in a fresh entry, so a query that captured
 // the old pointer can keep verifying against a consistent snapshot.
+//
+// slot is the entry's index into the per-query candidate mark table: a
+// small dense integer assigned under the write lock when the entry is
+// created and recycled when it dies (replacement or Remove). Live
+// entries always hold distinct slots, and a query deduplicates
+// candidates by stamping slots with its epoch instead of inserting
+// pointers into a freshly allocated map. Slot recycling cannot alias
+// within one query: slots only move between entries under the write
+// lock, the probe loop runs entirely inside one read-lock hold, and
+// dead entries (which may share a recycled slot with a live one) are
+// dropped by the identity check before any stamping happens.
 type entry struct {
-	set multiset.Multiset
-	uni similarity.UniStats
+	set  multiset.Multiset
+	uni  similarity.UniStats
+	slot int32
 }
 
 // Match is one query result.
@@ -110,6 +123,17 @@ type Index struct {
 	// outnumber live ones, keeping probe work amortized-linear.
 	postingCount int
 	deadPostings int
+	// nextSlot is the high-water mark of the dense entry-slot space (all
+	// live slots are < nextSlot); freeSlots recycles the slots of dead
+	// entries so the space stays as dense as the live entity count.
+	nextSlot  int32
+	freeSlots []int32
+
+	// scratch pools per-query state (probe order, candidate buffer, mark
+	// table, top-k heap) so the steady-state query path allocates
+	// nothing. Not guarded by mu: sync.Pool is concurrency-safe, and a
+	// scratch is owned by exactly one query between Get and Put.
+	scratch sync.Pool
 
 	adds        atomic.Int64
 	removes     atomic.Int64
@@ -141,6 +165,26 @@ func (ix *Index) Len() int {
 	return len(ix.entities)
 }
 
+// allocSlotLocked hands out a dense mark-table slot for a new live
+// entry, recycling dead entries' slots first. Caller holds the write
+// lock.
+func (ix *Index) allocSlotLocked() int32 {
+	if n := len(ix.freeSlots); n > 0 {
+		s := ix.freeSlots[n-1]
+		ix.freeSlots = ix.freeSlots[:n-1]
+		return s
+	}
+	s := ix.nextSlot
+	ix.nextSlot++
+	return s
+}
+
+// freeSlotLocked returns a dead entry's slot to the free list. Caller
+// holds the write lock.
+func (ix *Index) freeSlotLocked(e *entry) {
+	ix.freeSlots = append(ix.freeSlots, e.slot)
+}
+
 // Add inserts an entity, replacing any previous entity with the same ID.
 // The index takes ownership of m: callers must not mutate its entries
 // afterwards (the hot insert path avoids a defensive copy; Snapshot
@@ -148,10 +192,12 @@ func (ix *Index) Len() int {
 func (ix *Index) Add(m multiset.Multiset) {
 	e := &entry{set: m, uni: similarity.UniOf(m)}
 	ix.mu.Lock()
+	e.slot = ix.allocSlotLocked()
 	if old, ok := ix.entities[m.ID]; ok {
 		// The old entry's postings become stale the moment the map points
 		// at the new one; count them for compaction.
 		ix.deadPostings += len(old.set.Entries)
+		ix.freeSlotLocked(old)
 	}
 	ix.entities[m.ID] = e
 	for _, ent := range e.set.Entries {
@@ -190,13 +236,17 @@ func (ix *Index) BulkLoad(sets []multiset.Multiset) error {
 	}
 	ix.entities = make(map[multiset.ID]*entry, len(sets))
 	for _, m := range sets {
-		e := &entry{set: m, uni: similarity.UniOf(m)}
+		e := &entry{set: m, uni: similarity.UniOf(m), slot: ix.allocSlotLocked()}
 		ix.entities[m.ID] = e
 		for _, ent := range e.set.Entries {
 			ix.postings[ent.Elem] = append(ix.postings[ent.Elem], e)
 		}
 		ix.postingCount += len(e.set.Entries)
 	}
+	// Bulk-loaded entities are mutations like any other: a daemon
+	// bootstrapped from snapshot files must report the entities it
+	// serves in Stats.Adds (and /readyz's mutation counter), not 0.
+	ix.adds.Add(int64(len(sets)))
 	return nil
 }
 
@@ -208,6 +258,7 @@ func (ix *Index) Remove(id multiset.ID) bool {
 	if ok {
 		delete(ix.entities, id)
 		ix.deadPostings += len(e.set.Entries)
+		ix.freeSlotLocked(e)
 		ix.maybeCompactLocked()
 	}
 	ix.mu.Unlock()
@@ -305,36 +356,92 @@ func queryStats(q Query) similarity.UniStats {
 	return u
 }
 
-// probeOrder returns the query entries sorted for probing: decreasing
-// multiplicity first so the residual bound collapses as fast as possible,
-// element ID second for determinism.
-func probeOrder(q multiset.Multiset) []multiset.Entry {
-	ord := make([]multiset.Entry, len(q.Entries))
-	copy(ord, q.Entries)
-	sort.Slice(ord, func(i, j int) bool {
-		if ord[i].Count != ord[j].Count {
-			return ord[i].Count > ord[j].Count
+// queryScratch is the reusable per-query state: the sorted probe order,
+// the gathered candidate buffer, the epoch-stamped dedup mark table,
+// and the top-k heap. A scratch is owned by exactly one query between
+// getScratch and putScratch; pooling them makes the steady-state query
+// path allocation-free.
+type queryScratch struct {
+	order []multiset.Entry
+	cands []*entry
+	// marks[slot] == epoch iff the entry holding slot was already seen
+	// by the current query; bumping epoch resets the whole table in O(1).
+	marks []uint32
+	epoch uint32
+	heap  topkHeap
+}
+
+// begin readies the dedup table for one probe pass over an index whose
+// slot high-water mark is limit. The caller must hold (at least) the
+// read lock for the whole pass: slots only migrate between entries
+// under the write lock, so within one pass live slots are stable.
+func (s *queryScratch) begin(limit int) {
+	if cap(s.marks) < limit {
+		// A fresh zeroed table is correct at any epoch > 0: no slot was
+		// stamped with the current epoch yet.
+		s.marks = make([]uint32, limit+limit/2+16)
+	}
+	s.marks = s.marks[:cap(s.marks)]
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide, wipe them
+		clear(s.marks)
+		s.epoch = 1
+	}
+}
+
+func (ix *Index) getScratch() *queryScratch {
+	if s, ok := ix.scratch.Get().(*queryScratch); ok {
+		return s
+	}
+	return &queryScratch{}
+}
+
+// putScratch returns a scratch to the pool, dropping entry references
+// so a pooled scratch cannot pin dead entities' multisets in memory.
+func (ix *Index) putScratch(s *queryScratch) {
+	clear(s.cands)
+	s.cands = s.cands[:0]
+	ix.scratch.Put(s)
+}
+
+// sortProbeOrder sorts query entries for probing: decreasing
+// multiplicity first so the residual bound collapses as fast as
+// possible, element ID second for determinism.
+func sortProbeOrder(ord []multiset.Entry) {
+	slices.SortFunc(ord, func(a, b multiset.Entry) int {
+		if a.Count != b.Count {
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
 		}
-		return ord[i].Elem < ord[j].Elem
+		if a.Elem != b.Elem {
+			if a.Elem < b.Elem {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
-	return ord
 }
 
 // gather probes the query's posting lists under the read lock and returns
-// the deduplicated live candidates that survive both filters. stop is the
-// residual-bound cut-off: probing ends once the unprobed tail of the query
-// cannot reach it. An entity whose ID equals the query's own ID is never a
-// candidate (self-pairs are meaningless; use ID 0 for ad-hoc queries).
-func (ix *Index) gather(q Query, qUni similarity.UniStats, stop float64) []*entry {
-	order := probeOrder(q.Set)
+// the deduplicated live candidates (in s.cands) that survive both
+// filters. stop is the residual-bound cut-off: probing ends once the
+// unprobed tail of the query cannot reach it. An entity whose ID equals
+// the query's own ID is never a candidate (self-pairs are meaningless;
+// use ID 0 for ad-hoc queries).
+func (ix *Index) gather(s *queryScratch, q Query, qUni similarity.UniStats, stop float64) []*entry {
+	s.order = append(s.order[:0], q.Set.Entries...)
+	sortProbeOrder(s.order)
 	residual := qUni
 	residual.Sub(q.Extra) // extras match nothing; they never feed postings
-	seen := make(map[*entry]struct{})
-	var cands []*entry
+	s.cands = s.cands[:0]
 	var probes, lenPruned int64
 
 	ix.mu.RLock()
-	for _, ent := range order {
+	s.begin(int(ix.nextSlot))
+	for _, ent := range s.order {
 		if similarity.ResidualUpperBound(ix.measure, qUni, residual)+boundEps < stop {
 			break
 		}
@@ -346,15 +453,15 @@ func (ix *Index) gather(q Query, qUni similarity.UniStats, stop float64) []*entr
 			if ix.entities[e.set.ID] != e {
 				continue // tombstoned or replaced
 			}
-			if _, ok := seen[e]; ok {
+			if s.marks[e.slot] == s.epoch {
 				continue
 			}
-			seen[e] = struct{}{}
+			s.marks[e.slot] = s.epoch
 			if similarity.SimUpperBound(ix.measure, qUni, e.uni)+boundEps < stop {
 				lenPruned++
 				continue
 			}
-			cands = append(cands, e)
+			s.cands = append(s.cands, e)
 		}
 		var probed similarity.UniStats
 		probed.AccumulateUni(ent.Count)
@@ -363,9 +470,9 @@ func (ix *Index) gather(q Query, qUni similarity.UniStats, stop float64) []*entr
 	ix.mu.RUnlock()
 
 	ix.probes.Add(probes)
-	ix.candidates.Add(int64(len(cands)) + lenPruned)
+	ix.candidates.Add(int64(len(s.cands)) + lenPruned)
 	ix.lenPruned.Add(lenPruned)
-	return cands
+	return s.cands
 }
 
 // QueryThreshold returns every indexed entity whose similarity to q is at
@@ -374,24 +481,35 @@ func (ix *Index) gather(q Query, qUni similarity.UniStats, stop float64) []*entr
 // are immutable, so a concurrent Add/Remove cannot corrupt the snapshot —
 // it only makes the answer reflect the index as of the probe.
 func (ix *Index) QueryThreshold(q Query, t float64) []Match {
+	return ix.QueryThresholdInto(q, t, nil)
+}
+
+// QueryThresholdInto is QueryThreshold appending into buf (typically a
+// reused buffer truncated to buf[:0]) instead of allocating the result —
+// the allocation-free form the sharded fan-out and steady-state callers
+// use. Only the appended region is sorted, so buf's existing contents
+// are preserved untouched.
+func (ix *Index) QueryThresholdInto(q Query, t float64, buf []Match) []Match {
 	ix.queries.Add(1)
 	if len(q.Set.Entries) == 0 {
-		return nil
+		return buf
 	}
 	qUni := queryStats(q)
-	cands := ix.gather(q, qUni, t)
+	s := ix.getScratch()
+	cands := ix.gather(s, q, qUni, t)
 
-	out := make([]Match, 0, len(cands))
+	base := len(buf)
 	for _, e := range cands {
 		sim := ix.measure.Sim(qUni, e.uni, similarity.ConjOf(q.Set, e.set))
 		if sim+verifyEps >= t {
-			out = append(out, Match{ID: e.set.ID, Sim: sim})
+			buf = append(buf, Match{ID: e.set.ID, Sim: sim})
 		}
 	}
 	ix.verified.Add(int64(len(cands)))
-	ix.results.Add(int64(len(out)))
-	SortMatches(out)
-	return out
+	ix.results.Add(int64(len(buf) - base))
+	ix.putScratch(s)
+	SortMatches(buf[base:])
+	return buf
 }
 
 // QueryTopK returns the k most similar indexed entities, sorted by
@@ -400,25 +518,34 @@ func (ix *Index) QueryThreshold(q Query, t float64) []Match {
 // residual-bound floor; the whole pass holds the read lock to keep the
 // floor consistent with the probed snapshot.
 func (ix *Index) QueryTopK(q Query, k int) []Match {
+	return ix.QueryTopKInto(q, k, nil)
+}
+
+// QueryTopKInto is QueryTopK appending into buf (typically a reused
+// buffer truncated to buf[:0]) instead of allocating the result. Only
+// the appended region is sorted; buf's existing contents are preserved.
+func (ix *Index) QueryTopKInto(q Query, k int, buf []Match) []Match {
 	ix.queries.Add(1)
 	if k <= 0 || len(q.Set.Entries) == 0 {
-		return nil
+		return buf
 	}
 	qUni := queryStats(q)
-	order := probeOrder(q.Set)
+	s := ix.getScratch()
+	s.order = append(s.order[:0], q.Set.Entries...)
+	sortProbeOrder(s.order)
 	residual := qUni
 	residual.Sub(q.Extra)
-	seen := make(map[*entry]struct{})
-	var heap topkHeap
+	s.heap = s.heap[:0]
 	var probes, cands, lenPruned, verified int64
 
 	ix.mu.RLock()
-	for _, ent := range order {
+	s.begin(int(ix.nextSlot))
+	for _, ent := range s.order {
 		// Below k results every candidate is wanted, so the floor is 0
 		// (with t=0 semantics: any overlap qualifies).
 		floor := 0.0
-		if len(heap) == k {
-			floor = heap[0].Sim
+		if len(s.heap) == k {
+			floor = s.heap[0].Sim
 			if similarity.ResidualUpperBound(ix.measure, qUni, residual) < floor-boundEps {
 				break
 			}
@@ -431,21 +558,21 @@ func (ix *Index) QueryTopK(q Query, k int) []Match {
 			if ix.entities[e.set.ID] != e {
 				continue
 			}
-			if _, ok := seen[e]; ok {
+			if s.marks[e.slot] == s.epoch {
 				continue
 			}
-			seen[e] = struct{}{}
+			s.marks[e.slot] = s.epoch
 			cands++
-			if len(heap) == k && similarity.SimUpperBound(ix.measure, qUni, e.uni) < floor-boundEps {
+			if len(s.heap) == k && similarity.SimUpperBound(ix.measure, qUni, e.uni) < floor-boundEps {
 				lenPruned++
 				continue
 			}
 			verified++
 			//lint:vsmart-allow lockscope top-k must verify under the RLock so the rising floor keeps pruning; threshold queries verify outside it
 			sim := ix.measure.Sim(qUni, e.uni, similarity.ConjOf(q.Set, e.set))
-			heap.offer(Match{ID: e.set.ID, Sim: sim}, k)
-			if len(heap) == k {
-				floor = heap[0].Sim
+			s.heap.offer(Match{ID: e.set.ID, Sim: sim}, k)
+			if len(s.heap) == k {
+				floor = s.heap[0].Sim
 			}
 		}
 		var probed similarity.UniStats
@@ -458,10 +585,12 @@ func (ix *Index) QueryTopK(q Query, k int) []Match {
 	ix.candidates.Add(cands)
 	ix.lenPruned.Add(lenPruned)
 	ix.verified.Add(verified)
-	out := []Match(heap)
-	SortMatches(out)
-	ix.results.Add(int64(len(out)))
-	return out
+	base := len(buf)
+	buf = append(buf, s.heap...)
+	ix.putScratch(s)
+	SortMatches(buf[base:])
+	ix.results.Add(int64(len(buf) - base))
+	return buf
 }
 
 // worseMatch is the single result-ordering comparator: a ranks below b on
@@ -480,7 +609,18 @@ func worseMatch(a, b Match) bool {
 // sharded fan-out merge (internal/shard) all defer to it, so any
 // partitioning of the same entities answers identically.
 func SortMatches(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool { return worseMatch(ms[j], ms[i]) })
+	// slices.SortFunc, not sort.Slice: the latter's reflect-based swapper
+	// allocates, and this runs on the allocation-free query path.
+	slices.SortFunc(ms, func(a, b Match) int {
+		switch {
+		case worseMatch(b, a):
+			return -1
+		case worseMatch(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // MergeTopK folds per-partition top-k lists into the global top-k,
@@ -492,15 +632,35 @@ func MergeTopK(k int, lists ...[]Match) []Match {
 	if k <= 0 {
 		return nil
 	}
-	var heap topkHeap
+	return MergeTopKInto(k, nil, lists...)
+}
+
+// mergeHeapPool recycles the bounded heaps MergeTopKInto folds with, so
+// steady-state fan-out merges stop allocating a heap per query. The
+// pooled heaps are not tied to any Index: the merge only rearranges
+// Match values.
+var mergeHeapPool = sync.Pool{New: func() any { return new(topkHeap) }}
+
+// MergeTopKInto is MergeTopK appending into buf (typically a reused
+// buffer truncated to buf[:0]) instead of allocating the result. Only
+// the appended region is sorted; buf's existing contents are preserved.
+func MergeTopKInto(k int, buf []Match, lists ...[]Match) []Match {
+	if k <= 0 {
+		return buf
+	}
+	hp := mergeHeapPool.Get().(*topkHeap)
+	h := (*hp)[:0]
 	for _, list := range lists {
 		for _, m := range list {
-			heap.offer(m, k)
+			h.offer(m, k)
 		}
 	}
-	out := []Match(heap)
-	SortMatches(out)
-	return out
+	base := len(buf)
+	buf = append(buf, h...)
+	*hp = h
+	mergeHeapPool.Put(hp)
+	SortMatches(buf[base:])
+	return buf
 }
 
 // topkHeap is a bounded min-heap under worseMatch, so the root is always

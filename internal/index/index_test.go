@@ -350,6 +350,11 @@ func TestBulkLoadMatchesAdds(t *testing.T) {
 	if bulk.Len() != added.Len() {
 		t.Fatalf("bulk len %d, added len %d", bulk.Len(), added.Len())
 	}
+	// Bulk-loaded entities count as adds: a daemon bootstrapped from
+	// snapshot files serves them and must not report zero mutations.
+	if got, want := bulk.Stats().Adds, added.Stats().Adds; got != want || got == 0 {
+		t.Fatalf("bulk-loaded Adds = %d, incremental Adds = %d; want equal and nonzero", got, want)
+	}
 	for _, q := range sets[:12] {
 		for _, thr := range []float64{0, 0.4, 0.8} {
 			g := bulk.QueryThreshold(QueryOf(q), thr)

@@ -18,8 +18,11 @@
 // The tracking is a source-order scan, not a full dataflow analysis:
 // assigning a fresh literal/make/append/conversion to a variable clears
 // its canonical status, a canonicalizer call or delegation assignment
-// sets it, and re-slicing (out = out[:k]) preserves it. Test files are
-// exempt — fixtures and oracles build deliberately unsorted lists.
+// sets it, and re-slicing (out = out[:k]) preserves it. Sorting a
+// sub-slice in place — SortMatches(buf[base:]), the Into query variants'
+// idiom of canonicalizing only the region they appended — marks the
+// underlying variable canonical too. Test files are exempt — fixtures
+// and oracles build deliberately unsorted lists.
 package canonicalorder
 
 import (
@@ -62,6 +65,7 @@ var canonicalizers = [][2]string{
 // canonicalProducers return an already-canonical []Match.
 var canonicalProducers = [][2]string{
 	{"vsmartjoin/internal/index", "MergeTopK"},
+	{"vsmartjoin/internal/index", "MergeTopKInto"},
 }
 
 func run(pass *analysis.Pass) error {
@@ -114,6 +118,22 @@ func returnsMatchSlice(pass *analysis.Pass, fd *ast.FuncDecl) bool {
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	canonical := map[types.Object]bool{}
 	info := pass.TypesInfo
+
+	// []Match parameters start canonical: the Into query variants append
+	// into a caller-owned buffer and guarantee only that the region THEY
+	// append is sorted — the incoming prefix's order is the caller's
+	// responsibility, and returning the buffer untouched adds nothing
+	// out of order. Appending to the parameter still clears the mark, so
+	// the function must re-canonicalize anything it adds.
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil && isMatchSlice(obj.Type()) {
+					canonical[obj] = true
+				}
+			}
+		}
+	}
 
 	// exprCanonical decides whether an expression may be returned as-is.
 	var exprCanonical func(e ast.Expr) bool
@@ -193,7 +213,17 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil {
 					for _, c := range canonicalizers {
 						if fn.Pkg().Path() == c[0] && fn.Name() == c[1] && len(call.Args) > 0 {
-							if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+							// SortMatches(buf) and SortMatches(buf[base:])
+							// both canonicalize buf: the Into query
+							// variants sort the region they appended in
+							// place, and the unsorted prefix is the
+							// caller's own (already-canonical or empty)
+							// buffer contents.
+							arg := ast.Unparen(call.Args[0])
+							if sl, ok := arg.(*ast.SliceExpr); ok {
+								arg = ast.Unparen(sl.X)
+							}
+							if id, ok := arg.(*ast.Ident); ok {
 								if obj := info.Uses[id]; obj != nil {
 									canonical[obj] = true
 								}

@@ -48,9 +48,26 @@ func sliced(in []Match, k int) []Match {
 	return out
 }
 
+func paramPassthrough(in []Match) []Match {
+	return in // parameters start canonical: the caller owns the buffer's order
+}
+
+func paramAppendNeedsSort(buf []Match, m Match) []Match {
+	buf = append(buf, m) // appending clears the parameter's canonical mark
+	return buf           // want `did not pass through a canonicalizer`
+}
+
+func intoVariant(in, buf []Match) []Match {
+	base := len(buf)
+	buf = append(buf, in...)
+	SortMatchesByName(buf[base:]) // region sort re-canonicalizes buf
+	return buf
+}
+
 func suppressedReturn(in []Match) []Match {
-	//lint:vsmart-allow canonicalorder fixture: order-preserving passthrough of already-canonical input
-	return in
+	out := append([]Match{}, in...)
+	//lint:vsmart-allow canonicalorder fixture: caller contractually re-sorts this copy
+	return out
 }
 
 func stale() []Match {

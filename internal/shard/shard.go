@@ -39,6 +39,33 @@ type Set struct {
 	// every shard, so summing the per-shard counters would overcount by
 	// the shard width.
 	queries atomic.Int64
+	// scratch pools fan-out merge state (*fanScratch): per-shard result
+	// buffers reused across queries so the steady-state fan-out stops
+	// allocating a fresh [][]Match per call.
+	scratch sync.Pool
+}
+
+// fanScratch is the reusable per-fan-out state: one result buffer per
+// shard, each handed to that shard's Into query and merged afterwards.
+// Slots are written only by the worker that claimed the shard, so the
+// buffers need no locking within one fan-out.
+type fanScratch struct {
+	per [][]index.Match
+}
+
+func (s *Set) getFan() *fanScratch {
+	f, _ := s.scratch.Get().(*fanScratch)
+	if f == nil {
+		f = &fanScratch{per: make([][]index.Match, len(s.shards))}
+	}
+	return f
+}
+
+func (s *Set) putFan(f *fanScratch) {
+	for i := range f.per {
+		f.per[i] = f.per[i][:0]
+	}
+	s.scratch.Put(f)
 }
 
 // New returns an empty set of n shards (n < 1 is treated as 1)
@@ -78,7 +105,14 @@ func shardHash(id multiset.ID) uint64 {
 // with it so batch-written shard files match the shard a live Set would
 // route every entity to; the per-shard durability layout depends on the
 // two never disagreeing.
+// A width below 2 routes everything to shard 0, matching New's "n < 1
+// is treated as 1": without the guard a zero width panics on the mod
+// (integer divide by zero) and a negative width wraps through uint64(n)
+// to an arbitrary huge modulus.
 func ShardOf(id multiset.ID, n int) int {
+	if n < 2 {
+		return 0
+	}
 	return int(shardHash(id) % uint64(n))
 }
 
@@ -192,22 +226,27 @@ func (s *Set) fanOut(fn func(i int)) {
 // is exactly the single-index answer: shards partition the entities, so
 // the per-shard result sets are disjoint and their union is complete.
 func (s *Set) QueryThreshold(q index.Query, t float64) []index.Match {
+	return s.QueryThresholdInto(q, t, nil)
+}
+
+// QueryThresholdInto is QueryThreshold appending into buf instead of
+// allocating the result. Per-shard results land in pooled merge buffers
+// and each shard query itself runs through index.QueryThresholdInto, so
+// a steady-state fan-out's only allocations are the worker goroutines.
+func (s *Set) QueryThresholdInto(q index.Query, t float64, buf []index.Match) []index.Match {
 	s.queries.Add(1)
 	if len(s.shards) == 1 {
-		return s.shards[0].QueryThreshold(q, t)
+		return s.shards[0].QueryThresholdInto(q, t, buf)
 	}
-	per := make([][]index.Match, len(s.shards))
-	s.fanOut(func(i int) { per[i] = s.shards[i].QueryThreshold(q, t) })
-	total := 0
-	for _, ms := range per {
-		total += len(ms)
+	f := s.getFan()
+	s.fanOut(func(i int) { f.per[i] = s.shards[i].QueryThresholdInto(q, t, f.per[i][:0]) })
+	base := len(buf)
+	for _, ms := range f.per {
+		buf = append(buf, ms...)
 	}
-	out := make([]index.Match, 0, total)
-	for _, ms := range per {
-		out = append(out, ms...)
-	}
-	index.SortMatches(out)
-	return out
+	s.putFan(f)
+	index.SortMatches(buf[base:])
+	return buf
 }
 
 // QueryTopK fans out and merges per-shard top-k lists into the global
@@ -216,13 +255,22 @@ func (s *Set) QueryThreshold(q index.Query, t float64) []index.Match {
 // somewhat more candidates than a single index — the price of running
 // the probe in parallel — but returns the identical result.
 func (s *Set) QueryTopK(q index.Query, k int) []index.Match {
+	return s.QueryTopKInto(q, k, nil)
+}
+
+// QueryTopKInto is QueryTopK appending into buf instead of allocating
+// the result, with pooled per-shard merge buffers like
+// QueryThresholdInto.
+func (s *Set) QueryTopKInto(q index.Query, k int, buf []index.Match) []index.Match {
 	s.queries.Add(1)
 	if len(s.shards) == 1 {
-		return s.shards[0].QueryTopK(q, k)
+		return s.shards[0].QueryTopKInto(q, k, buf)
 	}
-	per := make([][]index.Match, len(s.shards))
-	s.fanOut(func(i int) { per[i] = s.shards[i].QueryTopK(q, k) })
-	return index.MergeTopK(k, per...)
+	f := s.getFan()
+	s.fanOut(func(i int) { f.per[i] = s.shards[i].QueryTopKInto(q, k, f.per[i][:0]) })
+	buf = index.MergeTopKInto(k, buf, f.per...)
+	s.putFan(f)
+	return buf
 }
 
 // Stats sums the per-shard counters. Queries is counted at the set

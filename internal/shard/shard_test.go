@@ -216,3 +216,29 @@ func TestConcurrentFanOut(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestShardOfDegenerateWidths pins the routing guard: a zero width used
+// to panic with an integer divide by zero, and a negative width wrapped
+// through uint64(n) to a mod by a huge modulus — both now route to
+// shard 0, matching New's "n < 1 is treated as 1".
+func TestShardOfDegenerateWidths(t *testing.T) {
+	for _, n := range []int{0, -1, -64, 1} {
+		for _, id := range []multiset.ID{0, 1, 42, 1 << 40} {
+			if got := ShardOf(id, n); got != 0 {
+				t.Fatalf("ShardOf(%d, %d) = %d, want 0", id, n, got)
+			}
+		}
+	}
+	// Sane widths stay in range and deterministic.
+	for _, n := range []int{2, 7, 64} {
+		for id := multiset.ID(1); id <= 200; id++ {
+			got := ShardOf(id, n)
+			if got < 0 || got >= n {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", id, n, got)
+			}
+			if again := ShardOf(id, n); again != got {
+				t.Fatalf("ShardOf(%d, %d) unstable: %d then %d", id, n, got, again)
+			}
+		}
+	}
+}
