@@ -4,12 +4,12 @@ GO ?= go
 # smoke run that only proves the benchmarks and the JSON pipeline work.
 BENCHTIME ?= 1s
 
-# The query-path benchmarks recorded in BENCH_007.json: internal index
+# The query-path benchmarks recorded in BENCH_008.json: internal index
 # probe/verify, public API, sharded fan-out, zipf repeated-query cache,
-# and cluster scatter-gather.
-BENCH_REGEX := ^(BenchmarkQueryThreshold|BenchmarkQueryTopK|BenchmarkIndexQuery|BenchmarkIndexTopK|BenchmarkShardedQuery|BenchmarkZipfRepeatedQuery|BenchmarkClusterQuery)$$
+# WAL append cost, and cluster scatter-gather.
+BENCH_REGEX := ^(BenchmarkQueryThreshold|BenchmarkQueryTopK|BenchmarkIndexQuery|BenchmarkIndexTopK|BenchmarkShardedQuery|BenchmarkZipfRepeatedQuery|BenchmarkWALAppend|BenchmarkClusterQuery)$$
 
-.PHONY: all build test race lint fmt vet vsmartlint staticcheck govulncheck bench-json
+.PHONY: all build test race lint fmt vet vsmartlint staticcheck govulncheck bench-json loadtest-smoke
 
 all: build test
 
@@ -46,10 +46,25 @@ govulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck -test ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-# Run the query-path benchmarks and regenerate BENCH_007.json, diffed
-# against the committed pre-optimization baseline. benchjson re-reads
-# the file after writing, so this target fails if the artifact is not
-# parseable JSON.
+# Run the query-path benchmarks and regenerate BENCH_008.json, diffed
+# against the committed pre-instrumentation baseline. benchjson
+# re-reads the file after writing, so this target fails if the
+# artifact is not parseable JSON.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem -benchtime $(BENCHTIME) ./... > bench/.last_bench.txt
-	$(GO) run ./cmd/benchjson -in bench/.last_bench.txt -baseline bench/BASELINE_007.txt -out BENCH_007.json
+	$(GO) run ./cmd/benchjson -in bench/.last_bench.txt -baseline bench/BASELINE_008.txt -out BENCH_008.json
+
+# End-to-end load-harness smoke: boot a throwaway volatile daemon,
+# drive it with vsmartbench for a couple of seconds, and fail unless
+# the report is well-formed JSON with non-zero sustained QPS. CI runs
+# this; locally it doubles as a quick "is serving alive" check.
+loadtest-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/vsmartjoind.smoke ./cmd/vsmartjoind; \
+	/tmp/vsmartjoind.smoke -addr 127.0.0.1:18321 & daemon=$$!; \
+	trap "kill $$daemon 2>/dev/null" EXIT; \
+	sleep 1; \
+	$(GO) run ./cmd/vsmartbench -target 127.0.0.1:18321 \
+		-entities 2000 -concurrency 8 -warmup 500ms -duration 2s \
+		-out /tmp/vsmartbench.smoke.json; \
+	$(GO) run ./cmd/vsmartbench -check /tmp/vsmartbench.smoke.json

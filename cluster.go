@@ -91,13 +91,26 @@ func PartitionOfEntity(entity string, n int) int { return cluster.PartitionOf(en
 // as in any quorum system, a minority of replicas may still hold it,
 // and repair completes it rather than undoing it.
 func (c *Cluster) Add(entity string, counts map[string]uint32) error {
-	return c.inner.Add(entity, counts)
+	return c.AddContext(context.Background(), entity, counts)
+}
+
+// AddContext is Add carrying a context: trace values (WithRequestID)
+// propagate onto every node request. Cancellation does not abort the
+// write — quorum bookkeeping must outlive an impatient caller.
+func (c *Cluster) AddContext(ctx context.Context, entity string, counts map[string]uint32) error {
+	return c.inner.Add(ctx, entity, counts)
 }
 
 // Remove deletes an entity by name at majority quorum, reporting
 // whether any acknowledging replica still had it.
 func (c *Cluster) Remove(entity string) (bool, error) {
-	return c.inner.Remove(entity)
+	return c.RemoveContext(context.Background(), entity)
+}
+
+// RemoveContext is Remove carrying a context, with AddContext's
+// trace-propagation and cancellation semantics.
+func (c *Cluster) RemoveContext(ctx context.Context, entity string) (bool, error) {
+	return c.inner.Remove(ctx, entity)
 }
 
 // QueryThreshold returns every entity in the cluster whose similarity
@@ -105,19 +118,46 @@ func (c *Cluster) Remove(entity string) (bool, error) {
 // (decreasing similarity, entity name ascending on ties) — exactly the
 // answer a single Index over the same entities gives.
 func (c *Cluster) QueryThreshold(counts map[string]uint32, t float64) ([]Match, error) {
-	return fromClusterMatches(c.inner.QueryThreshold(counts, t))
+	return c.QueryThresholdContext(context.Background(), counts, t)
+}
+
+// QueryThresholdContext is QueryThreshold carrying a context:
+// cancelling it reels in the scatter, and trace values (WithRequestID)
+// propagate onto every node request.
+func (c *Cluster) QueryThresholdContext(ctx context.Context, counts map[string]uint32, t float64) ([]Match, error) {
+	return fromClusterMatches(c.inner.QueryThreshold(ctx, counts, t))
 }
 
 // QueryTopK returns the k most similar entities across the whole
 // cluster, best first under the canonical order.
 func (c *Cluster) QueryTopK(counts map[string]uint32, k int) ([]Match, error) {
-	return fromClusterMatches(c.inner.QueryTopK(counts, k))
+	return c.QueryTopKContext(context.Background(), counts, k)
+}
+
+// QueryTopKContext is QueryTopK carrying a context, with
+// QueryThresholdContext's cancellation and trace semantics.
+func (c *Cluster) QueryTopKContext(ctx context.Context, counts map[string]uint32, k int) ([]Match, error) {
+	return fromClusterMatches(c.inner.QueryTopK(ctx, counts, k))
 }
 
 // QueryEntity runs QueryThreshold with an indexed entity as the query;
 // the entity itself is excluded from the results.
 func (c *Cluster) QueryEntity(entity string, t float64) ([]Match, error) {
-	return fromClusterMatches(c.inner.QueryEntity(entity, t))
+	return c.QueryEntityContext(context.Background(), entity, t)
+}
+
+// QueryEntityContext is QueryEntity carrying a context, with
+// QueryThresholdContext's cancellation and trace semantics.
+func (c *Cluster) QueryEntityContext(ctx context.Context, entity string, t float64) ([]Match, error) {
+	return fromClusterMatches(c.inner.QueryEntity(ctx, entity, t))
+}
+
+// WithRequestID returns a context carrying a request ID that the
+// cluster client attaches to every node request as the
+// X-Vsmart-Request-Id header — how the HTTP router makes one logical
+// query greppable across its own and every node's logs.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return cluster.WithRequestID(ctx, id)
 }
 
 // Snapshot asks every node to cut a durable snapshot (nodes running
@@ -163,29 +203,49 @@ type ClusterNodeStatus struct {
 
 // ClusterStats is the router's view of the cluster: topology, traffic
 // counters (hedged and failed-over query attempts, write quorum
-// failures, repairs re-driven), and per-node status.
+// failures, repairs re-driven), latency digests, and per-node status.
 type ClusterStats struct {
-	Partitions int                 `json:"partitions"`
-	Queries    int64               `json:"queries"`
-	Hedges     int64               `json:"hedges"`
-	Failovers  int64               `json:"failovers"`
-	WriteFails int64               `json:"write_fails"`
-	Repairs    int64               `json:"repairs"`
-	Nodes      []ClusterNodeStatus `json:"nodes"`
+	Partitions int   `json:"partitions"`
+	Queries    int64 `json:"queries"`
+	Hedges     int64 `json:"hedges"`
+	// HedgeWins counts hedged attempts whose answer beat the primary's:
+	// Hedges fired minus HedgeWins is pure wasted work, the signal for
+	// tuning HedgeAfter.
+	HedgeWins  int64 `json:"hedge_wins"`
+	Failovers  int64 `json:"failovers"`
+	WriteFails int64 `json:"write_fails"`
+	Repairs    int64 `json:"repairs"`
+	// RepairBacklog is the current total of missed writes queued for
+	// anti-entropy across all nodes (the sum of per-node PendingRepair);
+	// Repairs counts ops already re-driven.
+	RepairBacklog int `json:"repair_backlog"`
+
+	// WriteLatency times quorum writes to their decision point (majority
+	// acked, or quorum lost); QueryLatency times scatter-gather queries
+	// end to end, hedges and failovers included.
+	WriteLatency LatencySummary `json:"write_latency"`
+	QueryLatency LatencySummary `json:"query_latency"`
+
+	Nodes []ClusterNodeStatus `json:"nodes"`
 }
 
 // Stats reports the router's counters and health table. It makes no
 // network calls; node fields are as of the last probe or contact.
 func (c *Cluster) Stats() ClusterStats {
 	s := c.inner.Stats()
+	m := c.inner.Metrics()
 	out := ClusterStats{
-		Partitions: s.Partitions,
-		Queries:    s.Queries,
-		Hedges:     s.Hedges,
-		Failovers:  s.Failovers,
-		WriteFails: s.WriteFails,
-		Repairs:    s.Repairs,
-		Nodes:      make([]ClusterNodeStatus, len(s.Nodes)),
+		Partitions:    s.Partitions,
+		Queries:       s.Queries,
+		Hedges:        s.Hedges,
+		HedgeWins:     s.HedgeWins,
+		Failovers:     s.Failovers,
+		WriteFails:    s.WriteFails,
+		Repairs:       s.Repairs,
+		RepairBacklog: s.RepairBacklog,
+		WriteLatency:  summarize(m.Write),
+		QueryLatency:  summarize(m.Query),
+		Nodes:         make([]ClusterNodeStatus, len(s.Nodes)),
 	}
 	for i, n := range s.Nodes {
 		out.Nodes[i] = ClusterNodeStatus(n)

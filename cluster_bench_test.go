@@ -46,7 +46,7 @@ func BenchmarkClusterQuery(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			ts := httptest.NewServer(httpd.NewNode(ix))
+			ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
 			b.Cleanup(ts.Close)
 			topo = append(topo, []string{ts.URL})
 		}

@@ -72,7 +72,7 @@ func startCluster(t *testing.T, measure string, partitions, replicas int) *clust
 			if err != nil {
 				t.Fatal(err)
 			}
-			ts := httptest.NewServer(httpd.NewNode(ix))
+			ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
 			t.Cleanup(ts.Close)
 			row = append(row, ts)
 			addrs = append(addrs, ts.URL)
@@ -323,7 +323,7 @@ func TestClusterCarvedBulkBuild(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { ix.Close() })
-		ts := httptest.NewServer(httpd.NewNode(ix))
+		ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
 		t.Cleanup(ts.Close)
 		topo = append(topo, []string{ts.URL})
 	}

@@ -11,6 +11,13 @@
 // computes the ns/op change. After writing, the tool re-reads the output
 // file and fails unless it parses back as the same report, so a CI
 // invocation of `make bench-json` also validates the artifact.
+//
+// -loadtest label=path (repeatable) folds a cmd/vsmartbench JSON
+// report into the same trajectory: each operation class becomes a
+// pseudo-benchmark entry named Loadtest/<label>/<class> whose ns/op is
+// the measured mean latency and whose custom metrics carry the
+// qps/p50/p99/p999/shed/error numbers — so the microbenchmarks and the
+// end-to-end load results live in one BENCH_*.json document.
 package main
 
 import (
@@ -167,6 +174,76 @@ func buildReport(names []string, after map[string]Result, before map[string]Resu
 	return rep
 }
 
+// loadtestReport mirrors the cmd/vsmartbench output fields the fold
+// needs (the two commands cannot share a package — both are main — so
+// the schema string is the contract).
+type loadtestReport struct {
+	Schema   string         `json:"schema"`
+	TotalQPS float64        `json:"total_qps"`
+	Reads    loadtestOp     `json:"reads"`
+	Writes   loadtestOp     `json:"writes"`
+	Config   map[string]any `json:"config"`
+}
+
+type loadtestOp struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	Shed   uint64  `json:"shed"`
+	QPS    float64 `json:"qps"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+}
+
+const loadtestSchema = "vsmartjoin-loadtest/1"
+
+// loadtestEntries flattens one vsmartbench report into Loadtest/...
+// pseudo-benchmark entries. They carry no baseline pairing — load
+// numbers are compared run-to-run across BENCH_*.json files, not
+// against the microbenchmark baseline text.
+func loadtestEntries(label, path string) ([]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadtestReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s is not valid JSON: %w", path, err)
+	}
+	if rep.Schema != loadtestSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, loadtestSchema)
+	}
+	if rep.Reads.Count == 0 && rep.Writes.Count == 0 {
+		return nil, fmt.Errorf("%s: no completed operations", path)
+	}
+	var out []Entry
+	for _, op := range []struct {
+		class string
+		o     loadtestOp
+	}{{"reads", rep.Reads}, {"writes", rep.Writes}} {
+		if op.o.Count == 0 {
+			continue
+		}
+		out = append(out, Entry{
+			Name: "Loadtest/" + label + "/" + op.class,
+			After: Result{
+				Iterations: int64(op.o.Count),
+				NsPerOp:    op.o.MeanNs,
+				Metrics: map[string]float64{
+					"qps":     op.o.QPS,
+					"p50_ns":  op.o.P50Ns,
+					"p99_ns":  op.o.P99Ns,
+					"p999_ns": op.o.P999Ns,
+					"shed":    float64(op.o.Shed),
+					"errors":  float64(op.o.Errors),
+				},
+			},
+		})
+	}
+	return out, nil
+}
+
 // validate re-reads path and confirms it round-trips as a Report with at
 // least one benchmark, so a truncated or mangled write fails the build
 // rather than landing in the repo.
@@ -188,7 +265,7 @@ func validate(path string) error {
 	return nil
 }
 
-func run(inPath, baselinePath, outPath string) error {
+func run(inPath, baselinePath, outPath string, loadtests []string) error {
 	in := io.Reader(os.Stdin)
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -220,6 +297,21 @@ func run(inPath, baselinePath, outPath string) error {
 	}
 
 	rep := buildReport(names, after, before, baselinePath)
+	for _, spec := range loadtests {
+		label, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-loadtest %q: want label=path", spec)
+		}
+		entries, err := loadtestEntries(label, path)
+		if err != nil {
+			return fmt.Errorf("loadtest %s: %w", label, err)
+		}
+		// Loadtest entries join the document but not the microbenchmark
+		// summary counters: a mean-latency pseudo-benchmark is not a
+		// zero-alloc candidate and has no ns/op baseline.
+		rep.Benchmarks = append(rep.Benchmarks, entries...)
+		rep.Summary.Benchmarks = len(rep.Benchmarks)
+	}
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -244,8 +336,13 @@ func main() {
 	inPath := flag.String("in", "", "bench output file (default stdin)")
 	baselinePath := flag.String("baseline", "", "baseline bench output to diff against")
 	outPath := flag.String("out", "", "JSON report path (default stdout)")
+	var loadtests []string
+	flag.Func("loadtest", "vsmartbench JSON report to fold in, as label=path (repeatable)", func(v string) error {
+		loadtests = append(loadtests, v)
+		return nil
+	})
 	flag.Parse()
-	if err := run(*inPath, *baselinePath, *outPath); err != nil {
+	if err := run(*inPath, *baselinePath, *outPath, loadtests); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

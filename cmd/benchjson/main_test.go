@@ -107,7 +107,7 @@ func TestRunWritesValidJSON(t *testing.T) {
 	if err := os.WriteFile(basePath, []byte(sampleBefore), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(inPath, basePath, outPath); err != nil {
+	if err := run(inPath, basePath, outPath, nil); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(outPath)
@@ -123,13 +123,84 @@ func TestRunWritesValidJSON(t *testing.T) {
 	}
 }
 
+const sampleLoadtest = `{
+  "schema": "vsmartjoin-loadtest/1",
+  "config": {"concurrency": 4, "read_pct": 90},
+  "elapsed_ns": 2000000000,
+  "total_qps": 5500,
+  "reads": {"count": 10000, "errors": 0, "shed": 25, "qps": 5000,
+            "mean_ns": 800000, "p50_ns": 600000, "p99_ns": 4000000, "p999_ns": 9000000},
+  "writes": {"count": 1000, "errors": 2, "shed": 0, "qps": 500,
+             "mean_ns": 1200000, "p50_ns": 900000, "p99_ns": 6000000, "p999_ns": 12000000}
+}`
+
+func TestRunFoldsLoadtestReport(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "after.txt")
+	ltPath := filepath.Join(dir, "loadtest.json")
+	outPath := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(inPath, []byte(sampleAfter), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ltPath, []byte(sampleLoadtest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(inPath, "", outPath, []string{"nodes1=" + ltPath}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 3 microbenchmarks + reads + writes.
+	if rep.Summary.Benchmarks != 5 || len(rep.Benchmarks) != 5 {
+		t.Fatalf("benchmarks = %d, want 5", len(rep.Benchmarks))
+	}
+	reads := rep.Benchmarks[3]
+	if reads.Name != "Loadtest/nodes1/reads" {
+		t.Fatalf("fold name = %q", reads.Name)
+	}
+	if reads.After.NsPerOp != 800000 || reads.After.Metrics["p99_ns"] != 4e6 || reads.After.Metrics["shed"] != 25 {
+		t.Fatalf("fold result = %+v", reads.After)
+	}
+	if reads.Before != nil || reads.NsChangePct != nil {
+		t.Fatalf("loadtest entry should carry no baseline join: %+v", reads)
+	}
+	// Loadtest entries must not count toward the zero-alloc tally.
+	if rep.Summary.ZeroAllocAfter != 2 {
+		t.Fatalf("zero_alloc_after = %d, want 2", rep.Summary.ZeroAllocAfter)
+	}
+}
+
+func TestRunRejectsBadLoadtestSpec(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "after.txt")
+	if err := os.WriteFile(inPath, []byte(sampleAfter), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(inPath, "", filepath.Join(dir, "out.json"), []string{"no-equals-sign"}); err == nil {
+		t.Fatal("run accepted a -loadtest spec without label=path")
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"schema":"other/1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(inPath, "", filepath.Join(dir, "out.json"), []string{"x=" + badPath}); err == nil {
+		t.Fatal("run accepted a loadtest report with the wrong schema")
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	dir := t.TempDir()
 	inPath := filepath.Join(dir, "empty.txt")
 	if err := os.WriteFile(inPath, []byte("PASS\nok vsmartjoin 1s\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(inPath, "", filepath.Join(dir, "out.json")); err == nil {
+	if err := run(inPath, "", filepath.Join(dir, "out.json"), nil); err == nil {
 		t.Fatal("run accepted input with no benchmark lines")
 	}
 }

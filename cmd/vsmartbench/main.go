@@ -1,0 +1,460 @@
+// Command vsmartbench is the load harness behind the BENCH_*.json
+// latency evidence: a closed-loop driver (in the Doppel benchmark-rig
+// tradition — fixed worker count, configurable operation mix and skew,
+// timed window) that aims a read/write workload at a live vsmartjoind
+// daemon or cluster router and reports sustained QPS with p50/p99/p999
+// latency percentiles per operation class.
+//
+// The workload is synthetic but shaped like the entity-resolution
+// serving traffic the index exists for: a keyspace of entities whose
+// popularity is zipf-skewed (hot entities get queried and rewritten
+// far more than the tail), a read percentage splitting queries from
+// upserts, and a churn percentage turning a slice of the writes into
+// removes — so the daemon sees deletes, re-adds, and cache
+// invalidation, not just a monotonically growing index.
+//
+// A run has three phases: preload (populate the keyspace through
+// /add, skipped with -no-preload when the target is already loaded),
+// warmup (drive the workload without recording, letting connection
+// pools, caches, and the runtime settle), and the measured window.
+// Latencies are recorded into internal/metrics histograms — the same
+// fixed-bucket digests the daemon itself exports on /metrics — so the
+// client-observed and server-observed distributions are directly
+// comparable.
+//
+// The report is JSON on stdout (or -out). cmd/benchjson folds it into
+// the BENCH_*.json trajectory via its -loadtest flag.
+//
+// Examples:
+//
+//	vsmartjoind -addr :8321 &
+//	vsmartbench -target localhost:8321 -duration 10s -read-pct 90
+//	vsmartbench -target localhost:9000 -concurrency 32 -zipf 1.2 -out loadtest.json
+//
+// Driving past saturation is a feature: with -concurrency far above
+// the daemon's -max-inflight admission bound, the shed (429) count in
+// the report shows the daemon degrading predictably — rejected
+// requests are counted and excluded from the latency digests rather
+// than queueing into a latency collapse.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"vsmartjoin/internal/cluster"
+	"vsmartjoin/internal/metrics"
+)
+
+// Config is one run's shape, echoed into the report so an artifact is
+// self-describing.
+type Config struct {
+	Targets     []string      `json:"targets"`
+	Concurrency int           `json:"concurrency"`
+	Duration    time.Duration `json:"duration_ns"`
+	Warmup      time.Duration `json:"warmup_ns"`
+	ReadPct     int           `json:"read_pct"`
+	ChurnPct    int           `json:"churn_pct"`
+	Entities    int           `json:"entities"`
+	ElementsPer int           `json:"elements_per_entity"`
+	Universe    int           `json:"element_universe"`
+	Zipf        float64       `json:"zipf_s"`
+	Threshold   float64       `json:"threshold"`
+	TopK        int           `json:"topk"`
+	Seed        int64         `json:"seed"`
+	Preload     bool          `json:"preload"`
+	Timeout     time.Duration `json:"timeout_ns"`
+}
+
+// OpReport is the measured outcome of one operation class.
+type OpReport struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	Shed   uint64  `json:"shed"` // 429s from admission control
+	QPS    float64 `json:"qps"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Schema    string   `json:"schema"`
+	Config    Config   `json:"config"`
+	ElapsedNs int64    `json:"elapsed_ns"`
+	TotalQPS  float64  `json:"total_qps"`
+	Reads     OpReport `json:"reads"`
+	Writes    OpReport `json:"writes"`
+}
+
+// Schema identifies the report format; benchjson checks it when
+// folding a load-test report into a BENCH_*.json trajectory.
+const Schema = "vsmartjoin-loadtest/1"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vsmartbench: ")
+	var (
+		target      = flag.String("target", "localhost:8321", "daemon or router base URLs, comma-separated (round-robin)")
+		concurrency = flag.Int("concurrency", 16, "closed-loop workers")
+		duration    = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup      = flag.Duration("warmup", 2*time.Second, "unrecorded warmup before measuring")
+		readPct     = flag.Int("read-pct", 90, "percent of operations that are queries (the rest are writes)")
+		churnPct    = flag.Int("churn-pct", 10, "percent of writes that are removes (the rest are upserts)")
+		entities    = flag.Int("entities", 10000, "keyspace size")
+		elementsPer = flag.Int("elements-per-entity", 8, "elements per entity multiset")
+		zipfS       = flag.Float64("zipf", 1.1, "zipf skew of entity popularity (s>1; 0 = uniform)")
+		threshold   = flag.Float64("threshold", 0.5, "similarity threshold queries use (ignored with -topk)")
+		topK        = flag.Int("topk", 0, "use top-k queries with this k instead of threshold queries")
+		seed        = flag.Int64("seed", 1, "workload RNG seed")
+		noPreload   = flag.Bool("no-preload", false, "skip populating the keyspace before the run")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		out         = flag.String("out", "", "JSON report path (default stdout)")
+		check       = flag.String("check", "", "validate an existing report file instead of running (schema, non-zero QPS); exits non-zero on a malformed or empty report")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: well-formed report with traffic", *check)
+		return
+	}
+
+	cfg := Config{
+		Targets:     splitTargets(*target),
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		ReadPct:     *readPct,
+		ChurnPct:    *churnPct,
+		Entities:    *entities,
+		ElementsPer: *elementsPer,
+		Zipf:        *zipfS,
+		Threshold:   *threshold,
+		TopK:        *topK,
+		Seed:        *seed,
+		Preload:     !*noPreload,
+		Timeout:     *timeout,
+	}
+	rep, err := Run(cfg, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d reads (p99 %.2fms) + %d writes (p99 %.2fms) at %.0f qps -> %s",
+		rep.Reads.Count, rep.Reads.P99Ns/1e6, rep.Writes.Count, rep.Writes.P99Ns/1e6, rep.TotalQPS, *out)
+}
+
+// checkReport is the CI smoke gate: the file must round-trip as a
+// loadtest report whose measured window actually carried traffic.
+func checkReport(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s is not valid JSON: %w", path, err)
+	}
+	switch {
+	case rep.Schema != Schema:
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, Schema)
+	case rep.TotalQPS <= 0:
+		return fmt.Errorf("%s: zero sustained QPS", path)
+	case rep.Reads.Count+rep.Writes.Count == 0:
+		return fmt.Errorf("%s: no completed operations", path)
+	case rep.Reads.Count > 0 && rep.Reads.P50Ns <= 0:
+		return fmt.Errorf("%s: reads recorded but p50 is zero", path)
+	}
+	return nil
+}
+
+// splitTargets normalizes the -target flag: comma-separated base URLs,
+// "http://" assumed when no scheme is given.
+func splitTargets(spec string) []string {
+	var out []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t == "" {
+			continue
+		}
+		if !strings.Contains(t, "://") {
+			t = "http://" + t
+		}
+		out = append(out, strings.TrimRight(t, "/"))
+	}
+	return out
+}
+
+// Validate rejects configurations the driver cannot run.
+func (cfg *Config) Validate() error {
+	switch {
+	case len(cfg.Targets) == 0:
+		return fmt.Errorf("no targets")
+	case cfg.Concurrency < 1:
+		return fmt.Errorf("concurrency %d < 1", cfg.Concurrency)
+	case cfg.Duration <= 0:
+		return fmt.Errorf("duration %v <= 0", cfg.Duration)
+	case cfg.ReadPct < 0 || cfg.ReadPct > 100:
+		return fmt.Errorf("read-pct %d outside [0,100]", cfg.ReadPct)
+	case cfg.ChurnPct < 0 || cfg.ChurnPct > 100:
+		return fmt.Errorf("churn-pct %d outside [0,100]", cfg.ChurnPct)
+	case cfg.Entities < 1:
+		return fmt.Errorf("entities %d < 1", cfg.Entities)
+	case cfg.ElementsPer < 1:
+		return fmt.Errorf("elements-per-entity %d < 1", cfg.ElementsPer)
+	case cfg.Zipf != 0 && cfg.Zipf <= 1:
+		return fmt.Errorf("zipf %v must be > 1 (or 0 for uniform)", cfg.Zipf)
+	}
+	return nil
+}
+
+// recorder accumulates one operation class across all workers. The
+// histogram absorbs only successful operations: a shed or failed
+// request has no meaningful service latency.
+type recorder struct {
+	lat    metrics.Histogram
+	count  metrics.Counter
+	errors metrics.Counter
+	shed   metrics.Counter
+}
+
+func (r *recorder) report(elapsed time.Duration) OpReport {
+	s := r.lat.Snapshot()
+	return OpReport{
+		Count:  uint64(r.count.Load()),
+		Errors: uint64(r.errors.Load()),
+		Shed:   uint64(r.shed.Load()),
+		QPS:    float64(r.count.Load()) / elapsed.Seconds(),
+		MeanNs: s.Mean(),
+		P50Ns:  s.Quantile(0.50),
+		P99Ns:  s.Quantile(0.99),
+		P999Ns: s.Quantile(0.999),
+	}
+}
+
+// Run executes preload, warmup, and the measured window, returning the
+// report. logf narrates phases (tests pass a no-op).
+func Run(cfg Config, logf func(string, ...any)) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Universe == 0 {
+		// A shared element universe a quarter the keyspace size makes
+		// entities overlap, so threshold queries return real match sets
+		// instead of only the queried entity.
+		cfg.Universe = cfg.Entities/4 + 1
+	}
+	d := driver{cfg: cfg, client: cluster.NewHTTPClient(cfg.Timeout, len(cfg.Targets))}
+
+	if cfg.Preload {
+		start := time.Now()
+		if err := d.preload(); err != nil {
+			return nil, fmt.Errorf("preload: %w", err)
+		}
+		logf("preloaded %d entities in %v", cfg.Entities, time.Since(start).Round(time.Millisecond))
+	}
+	if cfg.Warmup > 0 {
+		logf("warming up for %v", cfg.Warmup)
+		d.drive(cfg.Warmup, &recorder{}, &recorder{})
+	}
+	logf("measuring for %v with %d workers (%d%% reads)", cfg.Duration, cfg.Concurrency, cfg.ReadPct)
+	reads, writes := &recorder{}, &recorder{}
+	elapsed := d.drive(cfg.Duration, reads, writes)
+
+	rep := &Report{
+		Schema:    Schema,
+		Config:    cfg,
+		ElapsedNs: int64(elapsed),
+		Reads:     reads.report(elapsed),
+		Writes:    writes.report(elapsed),
+	}
+	rep.TotalQPS = rep.Reads.QPS + rep.Writes.QPS
+	return rep, nil
+}
+
+type driver struct {
+	cfg    Config
+	client *http.Client
+}
+
+// entityName and elements generate the deterministic keyspace: entity
+// i's multiset draws ElementsPer elements from the shared universe at
+// an i-dependent stride, with small multiplicities.
+func entityName(i int) string { return fmt.Sprintf("e%07d", i) }
+
+func (d *driver) elements(i int) map[string]uint32 {
+	m := make(map[string]uint32, d.cfg.ElementsPer)
+	for j := 0; j < d.cfg.ElementsPer; j++ {
+		el := (i*7 + j*j + 1) % d.cfg.Universe
+		m[fmt.Sprintf("x%06d", el)] += uint32(1 + (i+j)%4)
+	}
+	return m
+}
+
+// preload populates the keyspace through /add with the run's worker
+// count, failing fast on the first error — a dead target should stop
+// the run before the measured window, not during it.
+func (d *driver) preload() error {
+	ids := make(chan int)
+	errc := make(chan error, d.cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < d.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range ids {
+				body, _ := json.Marshal(map[string]any{"entity": entityName(i), "elements": d.elements(i)})
+				if _, err := d.post(d.target(i), "/add", body); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < d.cfg.Entities; i++ {
+		select {
+		case err := <-errc:
+			close(ids)
+			wg.Wait()
+			return err
+		case ids <- i:
+		}
+	}
+	close(ids)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+func (d *driver) target(i int) string { return d.cfg.Targets[i%len(d.cfg.Targets)] }
+
+// drive runs the closed loop for window, recording into reads/writes,
+// and returns the actual elapsed time (which the QPS math uses, so a
+// slow final request does not inflate throughput).
+func (d *driver) drive(window time.Duration, reads, writes *recorder) time.Duration {
+	start := time.Now()
+	deadline := start.Add(window)
+	var wg sync.WaitGroup
+	for w := 0; w < d.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d.worker(w, deadline, reads, writes)
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// worker is one closed-loop client: sample an operation and an entity,
+// issue the request, record, repeat until the deadline.
+func (d *driver) worker(id int, deadline time.Time, reads, writes *recorder) {
+	rng := rand.New(rand.NewSource(d.cfg.Seed + int64(id)*7919))
+	var zipf *rand.Zipf
+	if d.cfg.Zipf > 1 {
+		zipf = rand.NewZipf(rng, d.cfg.Zipf, 1, uint64(d.cfg.Entities-1))
+	}
+	sample := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(d.cfg.Entities)
+	}
+	for n := 0; ; n++ {
+		if time.Now().After(deadline) {
+			return
+		}
+		i := sample()
+		target := d.target(id + n)
+		if rng.Intn(100) < d.cfg.ReadPct {
+			d.one(reads, target, "/query", d.queryBody(i))
+		} else if rng.Intn(100) < d.cfg.ChurnPct {
+			// Churn: remove the entity now, re-add it on a later write
+			// draw — the daemon sees deletes and cache invalidation.
+			body, _ := json.Marshal(map[string]any{"entity": entityName(i)})
+			d.one(writes, target, "/remove", body)
+		} else {
+			body, _ := json.Marshal(map[string]any{"entity": entityName(i), "elements": d.elements(i)})
+			d.one(writes, target, "/add", body)
+		}
+	}
+}
+
+func (d *driver) queryBody(i int) []byte {
+	req := map[string]any{"elements": d.elements(i)}
+	if d.cfg.TopK > 0 {
+		req["topk"] = d.cfg.TopK
+	} else {
+		req["threshold"] = d.cfg.Threshold
+	}
+	body, _ := json.Marshal(req)
+	return body
+}
+
+// one issues a single operation and records its outcome.
+func (d *driver) one(rec *recorder, target, path string, body []byte) {
+	start := metrics.Now()
+	status, err := d.post(target, path, body)
+	switch {
+	case status == http.StatusTooManyRequests:
+		rec.shed.Inc()
+	case err != nil:
+		rec.errors.Inc()
+	default:
+		rec.lat.ObserveSince(start)
+		rec.count.Inc()
+	}
+}
+
+// post sends one JSON request, drains the response for connection
+// reuse, and returns the status code. A /remove 404-equivalent is not
+// possible (the endpoint answers 200 with removed:false), so any
+// non-2xx is an error — except 429, which the caller counts as shed.
+func (d *driver) post(target, path string, body []byte) (int, error) {
+	resp, err := d.client.Post(target+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		return resp.StatusCode, fmt.Errorf("%s%s: %s", target, path, resp.Status)
+	}
+	return resp.StatusCode, nil
+}

@@ -93,7 +93,8 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durability directory (per-shard write-ahead logs + snapshots); empty = volatile")
 		snapshotEvery = flag.Int("snapshot-every", 4096, "mutations between automatic snapshots (needs -data-dir; negative = only on /snapshot and shutdown)")
 
-		debugAddr = flag.String("debug-addr", "", "profiling listen address serving net/http/pprof under /debug/pprof/; empty = disabled (bind loopback or another private interface — the endpoints expose internals)")
+		debugAddr   = flag.String("debug-addr", "", "profiling listen address serving net/http/pprof under /debug/pprof/; empty = disabled (bind loopback or another private interface — the endpoints expose internals)")
+		maxInFlight = flag.Int("max-inflight", 0, "admission control: concurrent requests served before shedding with 429 (0 = default, negative = unlimited)")
 
 		clusterSpec = flag.String("cluster", "", `router mode: node topology "replica,replica;replica,replica" (partitions split by ';', replica URLs by ','); the daemon then routes instead of indexing`)
 		nodeTimeout = flag.Duration("node-timeout", 5*time.Second, "router mode: per-node request timeout")
@@ -128,7 +129,7 @@ func main() {
 			nodes += len(p)
 		}
 		log.Printf("routing %d partitions over %d nodes", len(topology), nodes)
-		handler, closer = httpd.NewRouter(c), closerFunc(func() error { c.Close(); return nil })
+		handler, closer = httpd.NewRouter(c, httpd.Options{MaxInFlight: *maxInFlight}), closerFunc(func() error { c.Close(); return nil })
 	} else {
 		opts := vsmartjoin.IndexOptions{
 			Measure:       *measure,
@@ -141,30 +142,32 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("serving %s similarity (%d shards)", *measure, ix.Stats().Shards)
-		handler, closer = httpd.NewNode(ix), ix
+		handler, closer = httpd.NewNode(ix, httpd.Options{MaxInFlight: *maxInFlight}), ix
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		// The debug server lives on its own mux and listener so the
-		// profiling surface can never leak onto the serving address; it
-		// needs no graceful drain — process exit takes it down.
+		// profiling surface can never leak onto the serving address. It
+		// shares the signal context: a long-running CPU profile or trace
+		// download is drained on SIGINT/SIGTERM like any serving request
+		// rather than cut off mid-stream by process exit.
 		go func() {
-			if err := http.Serve(dln, debugMux()); err != nil && !errors.Is(err, net.ErrClosed) {
+			if err := serveDebug(ctx, dln); err != nil {
 				log.Printf("debug server: %v", err)
 			}
 		}()
 		log.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	log.Printf("listening on http://%s", ln.Addr())
 	if err := serve(ctx, &http.Server{Handler: handler}, ln, closer); err != nil {
 		log.Fatal(err)
@@ -190,6 +193,30 @@ func debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// serveDebug runs the pprof listener until ctx is cancelled, then
+// drains it gracefully (bounded, since a pprof trace stream can be
+// arbitrarily long). Split from main so tests can drive it.
+func serveDebug(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: debugMux()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, net.ErrClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("debug drain: %w", err)
+	}
+	return nil
 }
 
 // parseTopology turns the -cluster flag into the NewCluster node grid:

@@ -30,7 +30,7 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(httpd.NewNode(ix))
+	ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -176,7 +176,7 @@ func TestDaemonDurableRestart(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, &http.Server{Handler: httpd.NewNode(ix)}, ln, ix) }()
+	go func() { done <- serve(ctx, &http.Server{Handler: httpd.NewNode(ix, httpd.Options{})}, ln, ix) }()
 	ts := &httptest.Server{URL: "http://" + ln.Addr().String()}
 
 	for _, body := range []string{
@@ -284,7 +284,7 @@ func TestDaemonHealthAndReadiness(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ix.Close()
-	ts := httptest.NewServer(httpd.NewNode(ix))
+	ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
 	defer ts.Close()
 	if err := ix.Add("a", map[string]uint32{"x": 1}); err != nil {
 		t.Fatal(err)
@@ -406,7 +406,7 @@ func TestDaemonRouterMode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ts := httptest.NewServer(httpd.NewNode(ix))
+		ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
 		t.Cleanup(ts.Close)
 		topology = append(topology, []string{ts.URL})
 	}
@@ -417,7 +417,7 @@ func TestDaemonRouterMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	router := httptest.NewServer(httpd.NewRouter(c))
+	router := httptest.NewServer(httpd.NewRouter(c, httpd.Options{}))
 	t.Cleanup(router.Close)
 
 	for _, body := range []string{
@@ -527,7 +527,7 @@ func TestOpenIndexBulkBootstrap(t *testing.T) {
 	if st := ix.Stats(); st.Adds != 3 {
 		t.Fatalf("bulk bootstrap reports Adds %d, want 3 (stats %+v)", st.Adds, st)
 	}
-	ts := httptest.NewServer(httpd.NewNode(ix))
+	ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
 	resp, err := testClient.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
@@ -619,5 +619,42 @@ func TestDebugMux(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Fatalf("serving mux exposes /debug/pprof/ (status %d)", resp.StatusCode)
+	}
+}
+
+// TestServeDebugGracefulShutdown drives the -debug-addr lifecycle: the
+// pprof listener answers while the signal context is live, and
+// cancelling the context (SIGINT/SIGTERM) drains it cleanly instead of
+// abandoning the goroutine to process exit.
+func TestServeDebugGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveDebug(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String() + "/debug/pprof/cmdline"
+	resp, err := testClient.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug endpoint before shutdown: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveDebug: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("debug server did not drain")
+	}
+	if _, err := testClient.Get(url); err == nil {
+		t.Fatal("debug listener still answering after shutdown")
 	}
 }

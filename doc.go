@@ -169,6 +169,34 @@
 // flag serves a Cluster over the identical HTTP surface a node
 // exposes, so clients and load balancers cannot tell router from node.
 //
+// # Observability
+//
+// Every layer is instrumented through internal/metrics — atomic
+// counters and fixed-bucket log-spaced latency histograms, cheap
+// enough (one clock read, three atomic adds, zero allocations) that
+// the query hot path stays 0 allocs/op with instrumentation on.
+// IndexStats carries latency summaries (count, mean, p50/p99/p999) for
+// the uncached query path, the cross-shard merge, and WAL
+// append/fsync stalls; ClusterStats adds quorum-write and
+// scatter-gather query latency, hedge-fired/hedge-won counts, and the
+// current anti-entropy repair backlog:
+//
+//	st := ix.Stats()
+//	fmt.Printf("p99 query: %.2fms\n", st.QueryLatency.P99Ns/1e6)
+//
+// The vsmartjoind daemon exposes the same data two ways: GET /stats
+// (the stats structs as JSON) and GET /metrics (Prometheus text
+// exposition, hand-rolled, no client dependency) on both node and
+// router modes. Every request carries an X-Vsmart-Request-Id header —
+// assigned if absent, echoed on the response, and propagated from the
+// router to its node sub-requests (WithRequestID attaches one to a
+// Cluster call's context) — and a query with "debug": true returns
+// per-stage timings alongside the matches. The daemon sheds load
+// predictably: -max-inflight bounds concurrently served requests, and
+// beyond the bound requests are answered 429 + Retry-After instead of
+// queueing (probes and the metrics scrape are exempt). cmd/vsmartbench
+// is the closed-loop load harness that measures all of it end to end.
+//
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package vsmartjoin

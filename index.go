@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"vsmartjoin/internal/index"
+	"vsmartjoin/internal/metrics"
 	"vsmartjoin/internal/multiset"
 	"vsmartjoin/internal/shard"
 	"vsmartjoin/internal/similarity"
@@ -164,6 +165,17 @@ type IndexStats struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
+
+	// Latency digests of the serving path, in nanoseconds. QueryLatency
+	// covers uncached public queries end to end (cache hits are counted
+	// above but never timed); MergeLatency is the cross-shard merge step
+	// of multi-shard fan-outs; WALAppend/WALFsync are durability stalls
+	// merged across the per-shard logs (empty for a volatile index).
+	// Full-resolution histograms back Index.Metrics and GET /metrics.
+	QueryLatency LatencySummary `json:"query_latency"`
+	MergeLatency LatencySummary `json:"merge_latency"`
+	WALAppend    LatencySummary `json:"wal_append"`
+	WALFsync     LatencySummary `json:"wal_fsync"`
 }
 
 // Index is the online counterpart of AllPairs: an incremental inverted
@@ -196,6 +208,12 @@ type Index struct {
 	// when IndexOptions.CacheSize is negative.
 	gen   atomic.Uint64
 	cache *queryCache
+
+	// queryLatency times uncached public queries end to end (probe,
+	// verify, resolve). The stamp is taken only after a cache miss, so
+	// the sub-microsecond hit path pays no clock read — hits are counted
+	// by the cache, not timed here.
+	queryLatency metrics.Histogram
 }
 
 // NewIndex returns an index configured by opts. With a Dir it opens (or
@@ -736,11 +754,13 @@ func (ix *Index) QueryThreshold(counts map[string]uint32, t float64) ([]Match, e
 			return res, nil
 		}
 	}
+	start := metrics.Now()
 	bp := matchBufPool.Get().(*[]index.Match)
 	ms := ix.inner.QueryThresholdInto(ix.buildQuery(counts), t, (*bp)[:0])
 	out := ix.resolve(ms)
 	*bp = ms
 	matchBufPool.Put(bp)
+	ix.queryLatency.ObserveSince(start)
 	if ix.cache != nil {
 		ix.cache.put(ks.b, gen, out)
 		putKeyScratch(ks)
@@ -774,11 +794,13 @@ func (ix *Index) QueryEntity(entity string, t float64) ([]Match, error) {
 		}
 		return nil, fmt.Errorf("vsmartjoin: entity %q not indexed", entity)
 	}
+	start := metrics.Now()
 	bp := matchBufPool.Get().(*[]index.Match)
 	ms := ix.inner.QueryThresholdInto(ix.queryByID(id), t, (*bp)[:0])
 	out := ix.resolve(ms)
 	*bp = ms
 	matchBufPool.Put(bp)
+	ix.queryLatency.ObserveSince(start)
 	if ix.cache != nil {
 		ix.cache.put(ks.b, gen, out)
 		putKeyScratch(ks)
@@ -811,6 +833,7 @@ func (ix *Index) QueryTopK(counts map[string]uint32, k int) []Match {
 			return res
 		}
 	}
+	start := metrics.Now()
 	q := ix.buildQuery(counts)
 	bp := matchBufPool.Get().(*[]index.Match)
 	// Probe for k+1: the extra result is a tie detector. If the k-th and
@@ -830,6 +853,7 @@ func (ix *Index) QueryTopK(counts map[string]uint32, k int) []Match {
 	out := ix.resolve(ms)
 	*bp = ms
 	matchBufPool.Put(bp)
+	ix.queryLatency.ObserveSince(start)
 	if len(out) > k {
 		out = out[:k]
 	}
@@ -886,6 +910,7 @@ func (ix *Index) queryByID(id multiset.ID) index.Query {
 // Stats returns a snapshot of the index counters.
 func (ix *Index) Stats() IndexStats {
 	s := ix.inner.Stats()
+	m := ix.Metrics()
 	var cacheHits, cacheMisses int64
 	var cacheEntries int
 	if ix.cache != nil {
@@ -912,6 +937,10 @@ func (ix *Index) Stats() IndexStats {
 		CacheHits:    cacheHits,
 		CacheMisses:  cacheMisses,
 		CacheEntries: cacheEntries,
+		QueryLatency: summarize(m.Query),
+		MergeLatency: summarize(m.Merge),
+		WALAppend:    summarize(m.WALAppend),
+		WALFsync:     summarize(m.WALFsync),
 	}
 }
 

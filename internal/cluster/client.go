@@ -65,6 +65,9 @@ func (c *Cluster) postJSON(ctx context.Context, n *node, path string, req, out a
 		return err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if rid := RequestID(ctx); rid != "" {
+		httpReq.Header.Set(HeaderRequestID, rid)
+	}
 	return c.do(n, httpReq, out)
 }
 
@@ -73,6 +76,9 @@ func (c *Cluster) getJSON(ctx context.Context, n *node, path string, out any) er
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, n.addr+path, nil)
 	if err != nil {
 		return err
+	}
+	if rid := RequestID(ctx); rid != "" {
+		httpReq.Header.Set(HeaderRequestID, rid)
 	}
 	return c.do(n, httpReq, out)
 }

@@ -60,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vsmartjoin/internal/metrics"
 	"vsmartjoin/internal/multiset"
 	"vsmartjoin/internal/shard"
 )
@@ -151,13 +152,33 @@ type Cluster struct {
 
 	queries    atomic.Int64
 	hedges     atomic.Int64
+	hedgeWins  atomic.Int64 // hedged attempts whose answer won the race
 	failovers  atomic.Int64
 	writeFails atomic.Int64
 	repairs    atomic.Int64
 
+	// writeLatency times quorum writes to decision (majority acked or
+	// quorum lost — stragglers keep running but no longer count);
+	// queryLatency times scatter-gather queries end to end.
+	writeLatency metrics.Histogram
+	queryLatency metrics.Histogram
+
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
+}
+
+// Metrics is the full-resolution capture of the router's latency
+// histograms, for the /metrics endpoint; Stats digests the same
+// distributions for /stats.
+type Metrics struct {
+	Write metrics.Snapshot
+	Query metrics.Snapshot
+}
+
+// Metrics captures the router's latency histograms.
+func (c *Cluster) Metrics() Metrics {
+	return Metrics{Write: c.writeLatency.Snapshot(), Query: c.queryLatency.Snapshot()}
 }
 
 // New validates the topology and starts the health and repair loops

@@ -253,7 +253,7 @@ func TestNewRejectsBadTopologies(t *testing.T) {
 // and the failed replica gets a pending repair op.
 func TestWriteReplicatesAndQuorum(t *testing.T) {
 	nodes, c := grid(t, 2, 3, -1)
-	if err := c.Add("e1", map[string]uint32{"x": 2}); err != nil {
+	if err := c.Add(context.Background(), "e1", map[string]uint32{"x": 2}); err != nil {
 		t.Fatal(err)
 	}
 	p := PartitionOf("e1", 2)
@@ -278,14 +278,14 @@ func TestWriteReplicatesAndQuorum(t *testing.T) {
 
 	// One of three replicas failing: quorum met, repair queued.
 	nodes[p][1].set(func(f *fakeNode) { f.failWrites = true })
-	if err := c.Add("e2", map[string]uint32{"y": 1}); err != nil {
+	if err := c.Add(context.Background(), "e2", map[string]uint32{"y": 1}); err != nil {
 		t.Fatalf("write with 2/3 acks should meet quorum: %v", err)
 	}
 	waitPending(t, c, 1)
 
 	// Two of three failing: quorum missed, the error says so.
 	nodes[p][2].set(func(f *fakeNode) { f.failWrites = true })
-	err := c.Add("e3", map[string]uint32{"z": 1})
+	err := c.Add(context.Background(), "e3", map[string]uint32{"z": 1})
 	if !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("want quorum failure wrapping ErrUnavailable, got %v", err)
 	}
@@ -305,13 +305,13 @@ func TestRepairConvergesLaggingReplica(t *testing.T) {
 
 	// Majority of 2 is 2: with one replica down every write errors, but
 	// the live replica applied it and the dead one owes a repair.
-	if err := c.Add("e1", map[string]uint32{"x": 1}); !errors.Is(err, ErrUnavailable) {
+	if err := c.Add(context.Background(), "e1", map[string]uint32{"x": 1}); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("want quorum failure, got %v", err)
 	}
-	if err := c.Add("e2", map[string]uint32{"y": 1}); !errors.Is(err, ErrUnavailable) {
+	if err := c.Add(context.Background(), "e2", map[string]uint32{"y": 1}); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("want quorum failure, got %v", err)
 	}
-	if _, err := c.Remove("e2"); !errors.Is(err, ErrUnavailable) {
+	if _, err := c.Remove(context.Background(), "e2"); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("want quorum failure, got %v", err)
 	}
 	waitPending(t, c, 2) // the latest op per entity, lagging replica only
@@ -351,14 +351,14 @@ func TestRepairNeverResurrectsStaleWrites(t *testing.T) {
 	nodes, c := grid(t, 1, 3, -1)
 	lagging := nodes[0][2]
 	lagging.set(func(f *fakeNode) { f.failWrites = true })
-	if err := c.Add("e", map[string]uint32{"old": 1}); err != nil {
+	if err := c.Add(context.Background(), "e", map[string]uint32{"old": 1}); err != nil {
 		t.Fatal(err) // 2/3 acks
 	}
 	waitPending(t, c, 1)
 	lagging.set(func(f *fakeNode) { f.failWrites = false })
 	// The newer upsert reaches all three replicas and must erase the
 	// queued stale one.
-	if err := c.Add("e", map[string]uint32{"new": 2}); err != nil {
+	if err := c.Add(context.Background(), "e", map[string]uint32{"new": 2}); err != nil {
 		t.Fatal(err)
 	}
 	waitPending(t, c, 0)
@@ -395,7 +395,7 @@ func TestNodeDownAtStartup(t *testing.T) {
 	// Depending on round-robin rotation the dead node may be tried
 	// first; both orders must answer exactly.
 	for i := 0; i < 4; i++ {
-		ms, err := c.QueryThreshold(map[string]uint32{"x": 1}, 0)
+		ms, err := c.QueryThreshold(context.Background(), map[string]uint32{"x": 1}, 0)
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
@@ -443,7 +443,7 @@ func TestHedgeWinsWhenNodeDiesMidQuery(t *testing.T) {
 			t.Fatal("no query was ever hedged")
 		default:
 		}
-		ms, err := c.QueryThreshold(map[string]uint32{"x": 1}, 0)
+		ms, err := c.QueryThreshold(context.Background(), map[string]uint32{"x": 1}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -463,7 +463,7 @@ func TestHedgeWinsWhenNodeDiesMidQuery(t *testing.T) {
 func TestAllReplicasDownFailsQuery(t *testing.T) {
 	nodes, c := grid(t, 2, 1, -1)
 	nodes[1][0].set(func(f *fakeNode) { f.down = true })
-	_, err := c.QueryThreshold(map[string]uint32{"x": 1}, 0)
+	_, err := c.QueryThreshold(context.Background(), map[string]uint32{"x": 1}, 0)
 	if !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("want ErrUnavailable, got %v", err)
 	}
@@ -476,7 +476,7 @@ func TestAllReplicasDownFailsQuery(t *testing.T) {
 // multiset, every partition answers, the entity itself is excluded.
 func TestQueryEntityCrossPartition(t *testing.T) {
 	nodes, c := grid(t, 3, 1, -1)
-	if err := c.Add("probe", map[string]uint32{"x": 1}); err != nil {
+	if err := c.Add(context.Background(), "probe", map[string]uint32{"x": 1}); err != nil {
 		t.Fatal(err)
 	}
 	// Plant one twin entity per partition, bypassing routing so every
@@ -485,7 +485,7 @@ func TestQueryEntityCrossPartition(t *testing.T) {
 		name := fmt.Sprintf("twin-%d", pi)
 		nodes[pi][0].set(func(f *fakeNode) { f.ents[name] = map[string]uint32{"x": 1} })
 	}
-	ms, err := c.QueryEntity("probe", 0)
+	ms, err := c.QueryEntity(context.Background(), "probe", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +497,7 @@ func TestQueryEntityCrossPartition(t *testing.T) {
 			t.Fatalf("merge order wrong at %d: %v", i, ms)
 		}
 	}
-	if _, err := c.QueryEntity("never-indexed", 0); err == nil || errors.Is(err, ErrUnavailable) {
+	if _, err := c.QueryEntity(context.Background(), "never-indexed", 0); err == nil || errors.Is(err, ErrUnavailable) {
 		t.Fatalf("unknown entity should be a caller error, got %v", err)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"vsmartjoin/internal/metrics"
 )
 
 // Match is one query result as the node daemons report it. The JSON
@@ -63,22 +65,26 @@ type nodeRemoveResponse struct {
 // Add upserts an entity: the write goes to every replica of the owner
 // partition in parallel and succeeds once a majority acknowledged it.
 // Replicas that failed are left a pending repair op; see the package
-// comment for the exact quorum semantics.
-func (c *Cluster) Add(entity string, elements map[string]uint32) error {
+// comment for the exact quorum semantics. ctx carries trace values
+// (WithRequestID) onto the node requests; its cancellation does NOT
+// abort the write — quorum bookkeeping must outlive an impatient
+// caller, so node requests run under the cluster timeout alone.
+func (c *Cluster) Add(ctx context.Context, entity string, elements map[string]uint32) error {
 	if entity == "" {
 		return errors.New("cluster: empty entity name")
 	}
-	return c.write(pendingOp{op: opAdd, entity: entity, elements: elements})
+	return c.write(ctx, pendingOp{op: opAdd, entity: entity, elements: elements})
 }
 
 // Remove deletes an entity by name, reporting whether any acknowledging
-// replica still had it. Like Add, it succeeds at majority quorum.
-func (c *Cluster) Remove(entity string) (bool, error) {
+// replica still had it. Like Add, it succeeds at majority quorum and
+// ignores ctx cancellation (trace values still propagate).
+func (c *Cluster) Remove(ctx context.Context, entity string) (bool, error) {
 	if entity == "" {
 		return false, errors.New("cluster: empty entity name")
 	}
 	removed, err := false, error(nil)
-	err = c.writeFn(pendingOp{op: opRemove, entity: entity}, func(r nodeRemoveResponse) {
+	err = c.writeFn(ctx, pendingOp{op: opRemove, entity: entity}, func(r nodeRemoveResponse) {
 		if r.Removed {
 			removed = true
 		}
@@ -86,7 +92,7 @@ func (c *Cluster) Remove(entity string) (bool, error) {
 	return removed, err
 }
 
-func (c *Cluster) write(op pendingOp) error { return c.writeFn(op, nil) }
+func (c *Cluster) write(ctx context.Context, op pendingOp) error { return c.writeFn(ctx, op, nil) }
 
 // writeFn drives one mutation through the owner partition's replica
 // set. onRemove collects per-ack /remove payloads (nil for adds). The
@@ -100,7 +106,8 @@ func (c *Cluster) write(op pendingOp) error { return c.writeFn(op, nil) }
 // one hung replica costs its partition nothing but a background
 // goroutine: stragglers keep running on their own timeout and a
 // drainer does their repair bookkeeping after the caller has moved on.
-func (c *Cluster) writeFn(op pendingOp, onRemove func(nodeRemoveResponse)) error {
+func (c *Cluster) writeFn(callerCtx context.Context, op pendingOp, onRemove func(nodeRemoveResponse)) error {
+	start := metrics.Now()
 	replicas := c.owner(op.entity)
 	quorum := len(replicas)/2 + 1
 
@@ -110,7 +117,11 @@ func (c *Cluster) writeFn(op pendingOp, onRemove func(nodeRemoveResponse)) error
 		rr  nodeRemoveResponse
 	}
 	results := make(chan outcome, len(replicas))
-	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	// WithoutCancel keeps the caller's trace values on the node requests
+	// while detaching its cancellation: the straggler drain below runs
+	// after the caller has moved on, and a request-scoped ctx would
+	// abort about-to-succeed replicas and manufacture repair work.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(callerCtx), c.timeout)
 	for _, n := range replicas {
 		go func(n *node) {
 			o := outcome{n: n}
@@ -170,6 +181,7 @@ func (c *Cluster) writeFn(op pendingOp, onRemove func(nodeRemoveResponse)) error
 	} else {
 		cancel()
 	}
+	c.writeLatency.ObserveSince(start)
 	if acks >= quorum {
 		return nil
 	}
@@ -181,7 +193,7 @@ func (c *Cluster) writeFn(op pendingOp, onRemove func(nodeRemoveResponse)) error
 // QueryThreshold scatters the query to one replica per partition and
 // merges — the exact union of disjoint per-partition answers, in the
 // canonical order.
-func (c *Cluster) QueryThreshold(elements map[string]uint32, t float64) ([]Match, error) {
+func (c *Cluster) QueryThreshold(ctx context.Context, elements map[string]uint32, t float64) ([]Match, error) {
 	if t != t || t < 0 || t > 1 {
 		return nil, fmt.Errorf("cluster: threshold %v outside [0, 1]", t)
 	}
@@ -192,7 +204,7 @@ func (c *Cluster) QueryThreshold(elements map[string]uint32, t float64) ([]Match
 		return nil, nil
 	}
 	req := nodeQueryRequest{Elements: elements, Threshold: &t}
-	per, err := c.scatter(req)
+	per, err := c.scatter(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -208,14 +220,14 @@ func (c *Cluster) QueryThreshold(elements map[string]uint32, t float64) ([]Match
 // Every node's local top-k is exact under the same canonical total
 // order, so any entity of the global top-k is necessarily inside its
 // own partition's list — the classic scatter-gather k-NN merge.
-func (c *Cluster) QueryTopK(elements map[string]uint32, k int) ([]Match, error) {
+func (c *Cluster) QueryTopK(ctx context.Context, elements map[string]uint32, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("cluster: topk %d must be positive", k)
 	}
 	if len(elements) == 0 {
 		return nil, nil // as QueryThreshold: an empty query has no matches
 	}
-	per, err := c.scatter(nodeQueryRequest{Elements: elements, TopK: k})
+	per, err := c.scatter(ctx, nodeQueryRequest{Elements: elements, TopK: k})
 	if err != nil {
 		return nil, err
 	}
@@ -236,15 +248,15 @@ func (c *Cluster) QueryTopK(elements map[string]uint32, k int) ([]Match, error) 
 // dropped from the merge — exactly vsmartjoin.Index.QueryEntity's
 // semantics, entity excluded, everything else (including perfect
 // duplicates of it) retained.
-func (c *Cluster) QueryEntity(entity string, t float64) ([]Match, error) {
+func (c *Cluster) QueryEntity(ctx context.Context, entity string, t float64) ([]Match, error) {
 	if t != t || t < 0 || t > 1 {
 		return nil, fmt.Errorf("cluster: threshold %v outside [0, 1]", t)
 	}
-	elements, err := c.fetchEntity(entity)
+	elements, err := c.fetchEntity(ctx, entity)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := c.QueryThreshold(elements, t)
+	ms, err := c.QueryThreshold(ctx, elements, t)
 	if err != nil {
 		return nil, err
 	}
@@ -267,10 +279,10 @@ type entityResponse struct {
 // partition, failing over across replicas. Each attempt runs under its
 // own deadline — with a shared one, a hung first replica would eat the
 // whole budget and turn the failover into a formality.
-func (c *Cluster) fetchEntity(entity string) (map[string]uint32, error) {
+func (c *Cluster) fetchEntity(callerCtx context.Context, entity string) (map[string]uint32, error) {
 	var errs []error
 	for _, n := range c.prefer(c.owner(entity)) {
-		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		ctx, cancel := context.WithTimeout(callerCtx, c.timeout)
 		var er entityResponse
 		err := c.getJSON(ctx, n, "/entity?name="+url.QueryEscape(entity), &er)
 		cancel()
@@ -298,8 +310,10 @@ func strings404(err error) bool {
 // answering replica fails the whole query: a partial answer would be
 // silently wrong, the one thing the differential harness exists to
 // prevent.
-func (c *Cluster) scatter(req nodeQueryRequest) ([][]Match, error) {
+func (c *Cluster) scatter(ctx context.Context, req nodeQueryRequest) ([][]Match, error) {
 	c.queries.Add(1)
+	start := metrics.Now()
+	defer c.queryLatency.ObserveSince(start)
 	per := make([][]Match, len(c.parts))
 	errs := make([]error, len(c.parts))
 	var wg sync.WaitGroup
@@ -307,7 +321,7 @@ func (c *Cluster) scatter(req nodeQueryRequest) ([][]Match, error) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			per[p], errs[p] = c.queryPartition(p, req)
+			per[p], errs[p] = c.queryPartition(ctx, p, req)
 		}(p)
 	}
 	wg.Wait()
@@ -347,29 +361,30 @@ func (c *Cluster) prefer(replicas []*node) []*node {
 // preferred replica, immediate failover on error, and a hedged second
 // attempt if the current one is slow. The first successful answer
 // wins; cancelling the partition context reels the losers back in.
-func (c *Cluster) queryPartition(p int, req nodeQueryRequest) ([]Match, error) {
+func (c *Cluster) queryPartition(callerCtx context.Context, p int, req nodeQueryRequest) ([]Match, error) {
 	order := c.prefer(c.parts[p])
-	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	ctx, cancel := context.WithTimeout(callerCtx, c.timeout)
 	defer cancel()
 
 	type result struct {
-		ms  []Match
-		err error
+		ms     []Match
+		err    error
+		hedged bool // this attempt was a hedge, not the primary or a failover
 	}
 	results := make(chan result, len(order))
 	launched := 0
-	launch := func() {
+	launch := func(hedged bool) {
 		n := order[launched]
 		launched++
 		go func() {
 			var qr nodeQueryResponse
 			err := c.postJSON(ctx, n, "/query", req, &qr)
 			// Matches may legitimately be empty; nil keeps merges allocation-free.
-			results <- result{qr.Matches, err}
+			results <- result{qr.Matches, err, hedged}
 		}()
 	}
 
-	launch()
+	launch(false)
 	inflight := 1
 	var hedgeC <-chan time.Time
 	if c.hedge >= 0 && launched < len(order) {
@@ -383,20 +398,23 @@ func (c *Cluster) queryPartition(p int, req nodeQueryRequest) ([]Match, error) {
 		case r := <-results:
 			inflight--
 			if r.err == nil {
+				if r.hedged {
+					c.hedgeWins.Add(1)
+				}
 				//lint:vsmart-allow canonicalorder one partition's node-local reply; QueryThreshold/QueryTopK canonicalize after merging partitions
 				return r.ms, nil
 			}
 			errs = append(errs, r.err)
 			if launched < len(order) {
 				c.failovers.Add(1)
-				launch()
+				launch(false)
 				inflight++
 			}
 		case <-hedgeC:
 			hedgeC = nil
 			if launched < len(order) {
 				c.hedges.Add(1)
-				launch()
+				launch(true)
 				inflight++
 			}
 		}
@@ -440,13 +458,20 @@ type NodeStatus struct {
 
 // Stats is the router's view of the cluster.
 type Stats struct {
-	Partitions int          `json:"partitions"`
-	Queries    int64        `json:"queries"`
-	Hedges     int64        `json:"hedges"`
-	Failovers  int64        `json:"failovers"`
-	WriteFails int64        `json:"write_fails"`
-	Repairs    int64        `json:"repairs"`
-	Nodes      []NodeStatus `json:"nodes"`
+	Partitions int   `json:"partitions"`
+	Queries    int64 `json:"queries"`
+	Hedges     int64 `json:"hedges"`
+	// HedgeWins counts hedged attempts whose answer beat the primary —
+	// the fraction of Hedges that actually cut tail latency.
+	HedgeWins  int64 `json:"hedge_wins"`
+	Failovers  int64 `json:"failovers"`
+	WriteFails int64 `json:"write_fails"`
+	Repairs    int64 `json:"repairs"`
+	// RepairBacklog is the current total of pending repair ops across
+	// nodes — the live anti-entropy debt, where Repairs counts ops
+	// already re-driven.
+	RepairBacklog int          `json:"repair_backlog"`
+	Nodes         []NodeStatus `json:"nodes"`
 }
 
 // Stats reports topology, router counters, and the latest per-node
@@ -457,12 +482,14 @@ func (c *Cluster) Stats() Stats {
 		Partitions: len(c.parts),
 		Queries:    c.queries.Load(),
 		Hedges:     c.hedges.Load(),
+		HedgeWins:  c.hedgeWins.Load(),
 		Failovers:  c.failovers.Load(),
 		WriteFails: c.writeFails.Load(),
 		Repairs:    c.repairs.Load(),
 	}
 	for _, n := range c.nodes {
 		n.mu.Lock()
+		s.RepairBacklog += len(n.pending)
 		s.Nodes = append(s.Nodes, NodeStatus{
 			Addr:          n.addr,
 			Partition:     n.partition,

@@ -1,0 +1,27 @@
+package cluster
+
+import "context"
+
+// HeaderRequestID is the trace header: the router (or any client)
+// stamps each incoming request with an ID and propagates it on every
+// node sub-request, so one logical query is greppable across the
+// router's and every node's logs and debug payloads.
+const HeaderRequestID = "X-Vsmart-Request-Id"
+
+// ridKey is the context key carrying the request ID.
+type ridKey struct{}
+
+// WithRequestID returns a context carrying a request ID that postJSON/
+// getJSON attach to every node request as HeaderRequestID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID extracts the request ID from ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}

@@ -17,10 +17,12 @@
 package httpd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"vsmartjoin"
 	"vsmartjoin/internal/cluster"
@@ -28,16 +30,17 @@ import (
 
 // querier is the query surface both backends share; handleQuery is
 // written against it so node and router mode validate and answer
-// /query identically.
+// /query identically. The context carries the request ID (and, for the
+// router backend, cancellation) down to the backend.
 type querier interface {
-	QueryThreshold(counts map[string]uint32, t float64) ([]vsmartjoin.Match, error)
-	QueryTopK(counts map[string]uint32, k int) ([]vsmartjoin.Match, error)
-	QueryEntity(entity string, t float64) ([]vsmartjoin.Match, error)
+	QueryThreshold(ctx context.Context, counts map[string]uint32, t float64) ([]vsmartjoin.Match, error)
+	QueryTopK(ctx context.Context, counts map[string]uint32, k int) ([]vsmartjoin.Match, error)
+	QueryEntity(ctx context.Context, entity string, t float64) ([]vsmartjoin.Match, error)
 }
 
 // NewNode wires an index to the node HTTP API.
-func NewNode(ix *vsmartjoin.Index) http.Handler {
-	s := &nodeServer{ix: ix}
+func NewNode(ix *vsmartjoin.Index, opts Options) http.Handler {
+	s := &nodeServer{ix: ix, lim: newLimiter(opts.MaxInFlight)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /add", s.handleAdd)
 	mux.HandleFunc("POST /remove", s.handleRemove)
@@ -52,19 +55,20 @@ func NewNode(ix *vsmartjoin.Index) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.ix.Stats())
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return wrap(mux, s.lim)
 }
 
 // NewRouter wires a cluster client to the router HTTP API — the same
 // core surface a node serves, minus the node-only endpoints, so
 // clients built against one daemon talk to a cluster unchanged.
-func NewRouter(c *vsmartjoin.Cluster) http.Handler {
-	s := &routerServer{c: c}
+func NewRouter(c *vsmartjoin.Cluster, opts Options) http.Handler {
+	s := &routerServer{c: c, lim: newLimiter(opts.MaxInFlight)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /add", s.handleAdd)
 	mux.HandleFunc("POST /remove", s.handleRemove)
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(w, r, s.c)
+		handleQuery(w, r, clusterQuerier{s.c})
 	})
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", handleHealthz)
@@ -72,7 +76,8 @@ func NewRouter(c *vsmartjoin.Cluster) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.c.Stats())
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return wrap(mux, s.lim)
 }
 
 // ---- shared plumbing ----
@@ -156,6 +161,19 @@ type queryRequest struct {
 	// from absent.
 	Threshold *float64 `json:"threshold"`
 	TopK      int      `json:"topk"`
+	// Debug asks for a trace annotation block (request ID, per-stage
+	// timings) alongside the matches.
+	Debug bool `json:"debug"`
+}
+
+// queryDebug is the optional trace block a Debug query gets back: the
+// request ID (also on the response header, and propagated to every
+// node sub-request in router mode) and per-stage wall times.
+type queryDebug struct {
+	RequestID string `json:"request_id"`
+	DecodeNs  int64  `json:"decode_ns"`
+	QueryNs   int64  `json:"query_ns"`
+	TotalNs   int64  `json:"total_ns"`
 }
 
 // handleQuery validates and dispatches a /query body against either
@@ -163,10 +181,12 @@ type queryRequest struct {
 // entity, an out-of-range threshold, ...) except cluster-unavailable
 // ones, which are 503: the request was fine, the deployment is not.
 func handleQuery(w http.ResponseWriter, r *http.Request, q querier) {
+	start := time.Now()
 	var req queryRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	decoded := time.Now()
 	if (req.Entity == "") == (len(req.Elements) == 0) {
 		writeError(w, http.StatusBadRequest, "name the query with exactly one of entity or elements")
 		return
@@ -175,6 +195,10 @@ func handleQuery(w http.ResponseWriter, r *http.Request, q querier) {
 		writeError(w, http.StatusBadRequest, "select exactly one of threshold or topk")
 		return
 	}
+	// The wrap middleware guaranteed the header; carrying the ID in the
+	// context is what makes the router's node sub-requests traceable.
+	rid := r.Header.Get(cluster.HeaderRequestID)
+	ctx := cluster.WithRequestID(r.Context(), rid)
 	var matches []vsmartjoin.Match
 	var err error
 	switch {
@@ -186,11 +210,11 @@ func handleQuery(w http.ResponseWriter, r *http.Request, q querier) {
 		writeError(w, http.StatusBadRequest, "topk queries take elements, not an entity")
 		return
 	case req.TopK > 0:
-		matches, err = q.QueryTopK(req.Elements, req.TopK)
+		matches, err = q.QueryTopK(ctx, req.Elements, req.TopK)
 	case req.Entity != "":
-		matches, err = q.QueryEntity(req.Entity, *req.Threshold)
+		matches, err = q.QueryEntity(ctx, req.Entity, *req.Threshold)
 	default:
-		matches, err = q.QueryThreshold(req.Elements, *req.Threshold)
+		matches, err = q.QueryThreshold(ctx, req.Elements, *req.Threshold)
 	}
 	if err != nil {
 		status := http.StatusBadRequest
@@ -203,7 +227,17 @@ func handleQuery(w http.ResponseWriter, r *http.Request, q querier) {
 	if matches == nil {
 		matches = []vsmartjoin.Match{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"matches": matches})
+	resp := map[string]any{"matches": matches}
+	if req.Debug {
+		queried := time.Now()
+		resp["debug"] = queryDebug{
+			RequestID: rid,
+			DecodeNs:  decoded.Sub(start).Nanoseconds(),
+			QueryNs:   queried.Sub(decoded).Nanoseconds(),
+			TotalNs:   queried.Sub(start).Nanoseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // snapshotBody enforces "optional, but well-formed if present" for the
@@ -216,23 +250,55 @@ func snapshotBody(w http.ResponseWriter, r *http.Request) bool {
 // ---- node mode ----
 
 type nodeServer struct {
-	ix *vsmartjoin.Index
+	ix  *vsmartjoin.Index
+	lim *limiter
 }
 
 // indexQuerier adapts Index to the shared querier surface (its
-// QueryTopK cannot fail, the interface's can).
+// QueryTopK cannot fail, the interface's can; the index is local, so
+// the context's cancellation has nothing to reel in and only its trace
+// values matter — which the handler reads itself).
 type indexQuerier struct{ ix *vsmartjoin.Index }
 
-func (q indexQuerier) QueryThreshold(counts map[string]uint32, t float64) ([]vsmartjoin.Match, error) {
+func (q indexQuerier) QueryThreshold(ctx context.Context, counts map[string]uint32, t float64) ([]vsmartjoin.Match, error) {
 	return q.ix.QueryThreshold(counts, t)
 }
 
-func (q indexQuerier) QueryTopK(counts map[string]uint32, k int) ([]vsmartjoin.Match, error) {
+func (q indexQuerier) QueryTopK(ctx context.Context, counts map[string]uint32, k int) ([]vsmartjoin.Match, error) {
 	return q.ix.QueryTopK(counts, k), nil
 }
 
-func (q indexQuerier) QueryEntity(entity string, t float64) ([]vsmartjoin.Match, error) {
+func (q indexQuerier) QueryEntity(ctx context.Context, entity string, t float64) ([]vsmartjoin.Match, error) {
 	return q.ix.QueryEntity(entity, t)
+}
+
+// handleMetrics serves the node's Prometheus scrape: index size and
+// funnel counters, cache traffic, and the latency histograms of every
+// layer under this process (query, shard merge, WAL append/fsync).
+func (s *nodeServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.ix.Stats()
+	m := s.ix.Metrics()
+	w.Header().Set("Content-Type", promContentType)
+	p := promWriter{w}
+	p.gauge("vsmart_entities", "Live indexed entities.", float64(st.Entities))
+	p.gauge("vsmart_index_generation", "Highest write-ahead log generation across shards (0 = volatile).", float64(st.Generation))
+	p.gauge("vsmart_index_shards", "Hash-partitioned shards in this index.", float64(st.Shards))
+	p.counter("vsmart_adds_total", "Entity upserts applied.", float64(st.Adds))
+	p.counter("vsmart_removes_total", "Entity removals applied.", float64(st.Removes))
+	p.counter("vsmart_queries_total", "Queries answered by the inner index (cache hits excluded).", float64(st.Queries))
+	p.counter("vsmart_cache_hits_total", "Result-cache hits.", float64(st.CacheHits))
+	p.counter("vsmart_cache_misses_total", "Result-cache misses.", float64(st.CacheMisses))
+	p.gauge("vsmart_cache_entries", "Cached query answers resident.", float64(st.CacheEntries))
+	p.counter("vsmart_probes_total", "Posting-list probes.", float64(st.Probes))
+	p.counter("vsmart_candidates_total", "Candidates surviving the probe.", float64(st.Candidates))
+	p.counter("vsmart_length_pruned_total", "Candidates eliminated by length bounds.", float64(st.LengthPruned))
+	p.counter("vsmart_verified_total", "Candidates fully verified.", float64(st.Verified))
+	p.counter("vsmart_results_total", "Matches returned.", float64(st.Results))
+	p.histogram("vsmart_query_latency_seconds", "Uncached query latency (probe, verify, resolve).", m.Query)
+	p.histogram("vsmart_shard_merge_latency_seconds", "Cross-shard merge time of multi-shard fan-outs.", m.Merge)
+	p.histogram("vsmart_wal_append_latency_seconds", "Write-ahead log append stalls.", m.WALAppend)
+	p.histogram("vsmart_wal_fsync_latency_seconds", "Write-ahead log fsync stalls.", m.WALFsync)
+	p.admission(s.lim)
 }
 
 func (s *nodeServer) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -375,7 +441,63 @@ func hasMass(elements map[string]uint32) bool {
 // ---- router mode ----
 
 type routerServer struct {
-	c *vsmartjoin.Cluster
+	c   *vsmartjoin.Cluster
+	lim *limiter
+}
+
+// clusterQuerier adapts the cluster client's context-taking variants
+// to the shared querier surface.
+type clusterQuerier struct{ c *vsmartjoin.Cluster }
+
+func (q clusterQuerier) QueryThreshold(ctx context.Context, counts map[string]uint32, t float64) ([]vsmartjoin.Match, error) {
+	return q.c.QueryThresholdContext(ctx, counts, t)
+}
+
+func (q clusterQuerier) QueryTopK(ctx context.Context, counts map[string]uint32, k int) ([]vsmartjoin.Match, error) {
+	return q.c.QueryTopKContext(ctx, counts, k)
+}
+
+func (q clusterQuerier) QueryEntity(ctx context.Context, entity string, t float64) ([]vsmartjoin.Match, error) {
+	return q.c.QueryEntityContext(ctx, entity, t)
+}
+
+// traceCtx is the write-path counterpart of handleQuery's context
+// plumbing: node sub-requests carry the router-assigned request ID.
+func traceCtx(r *http.Request) context.Context {
+	return cluster.WithRequestID(r.Context(), r.Header.Get(cluster.HeaderRequestID))
+}
+
+// handleMetrics serves the router's Prometheus scrape: scatter-gather
+// and quorum-write latency, hedge/failover/repair counters, and the
+// per-node health table.
+func (s *routerServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.c.Stats()
+	m := s.c.Metrics()
+	w.Header().Set("Content-Type", promContentType)
+	p := promWriter{w}
+	p.gauge("vsmart_cluster_partitions", "Partitions in the cluster topology.", float64(st.Partitions))
+	p.counter("vsmart_cluster_queries_total", "Scatter-gather queries routed.", float64(st.Queries))
+	p.counter("vsmart_cluster_hedges_total", "Hedged query attempts fired.", float64(st.Hedges))
+	p.counter("vsmart_cluster_hedge_wins_total", "Hedged attempts whose answer won the race.", float64(st.HedgeWins))
+	p.counter("vsmart_cluster_failovers_total", "Query attempts failed over to another replica.", float64(st.Failovers))
+	p.counter("vsmart_cluster_write_fails_total", "Writes that missed their quorum.", float64(st.WriteFails))
+	p.counter("vsmart_cluster_repairs_total", "Missed writes re-driven by anti-entropy.", float64(st.Repairs))
+	p.gauge("vsmart_cluster_repair_backlog", "Missed writes currently queued for anti-entropy.", float64(st.RepairBacklog))
+	p.histogram("vsmart_cluster_query_latency_seconds", "Scatter-gather query latency end to end.", m.Query)
+	p.histogram("vsmart_cluster_write_latency_seconds", "Quorum write latency to decision.", m.Write)
+	p.header("vsmart_cluster_node_healthy", "gauge", "Per-node health as last observed by this router (1 healthy, 0 not).")
+	for _, n := range st.Nodes {
+		v := 0.0
+		if n.Healthy {
+			v = 1
+		}
+		p.labeled("vsmart_cluster_node_healthy", [][2]string{{"node", n.Addr}, {"partition", fmt.Sprint(n.Partition)}}, v)
+	}
+	p.header("vsmart_cluster_node_pending_repair", "gauge", "Missed writes queued for this node.")
+	for _, n := range st.Nodes {
+		p.labeled("vsmart_cluster_node_pending_repair", [][2]string{{"node", n.Addr}, {"partition", fmt.Sprint(n.Partition)}}, float64(n.PendingRepair))
+	}
+	p.admission(s.lim)
 }
 
 func (s *routerServer) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -383,7 +505,7 @@ func (s *routerServer) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) || !validateAdd(w, req) {
 		return
 	}
-	if err := s.c.Add(req.Entity, req.Elements); err != nil {
+	if err := s.c.AddContext(traceCtx(r), req.Entity, req.Elements); err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, vsmartjoin.ErrClusterUnavailable) {
 			status = http.StatusServiceUnavailable
@@ -403,7 +525,7 @@ func (s *routerServer) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing entity")
 		return
 	}
-	removed, err := s.c.Remove(req.Entity)
+	removed, err := s.c.RemoveContext(traceCtx(r), req.Entity)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, vsmartjoin.ErrClusterUnavailable) {

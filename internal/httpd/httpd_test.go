@@ -1,0 +1,519 @@
+package httpd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vsmartjoin"
+	"vsmartjoin/internal/cluster"
+	"vsmartjoin/internal/httpd"
+)
+
+func newTestIndex(t *testing.T, dir string) *vsmartjoin.Index {
+	t.Helper()
+	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: "ruzicka", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+func post(t *testing.T, c *http.Client, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatalf("decode %s response: %v", url, err)
+	}
+	return resp, out
+}
+
+// promSample is one parsed exposition sample in document order.
+type promSample struct {
+	series string // name plus label block, as printed
+	name   string
+	value  float64
+}
+
+// parsePromText validates body against the text exposition grammar the
+// scrape contract needs — HELP/TYPE preambles, known types, parseable
+// sample values, histogram series only under histogram-typed families —
+// and returns the samples keyed by series plus the family type table.
+func parsePromText(t *testing.T, body string) (map[string]float64, map[string]string, []promSample) {
+	t.Helper()
+	types := make(map[string]string)
+	helps := make(map[string]bool)
+	samples := make(map[string]float64)
+	var ordered []promSample
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			helps[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				t.Fatalf("line %d: bad TYPE: %q", ln+1, line)
+			}
+			if !helps[name] {
+				t.Fatalf("line %d: TYPE %s with no preceding HELP", ln+1, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: sample without value: %q", ln+1, line)
+		}
+		series, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, valText, err)
+		}
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label block: %q", ln+1, line)
+			}
+			name = name[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && types[base] == "histogram" {
+				family = base
+			}
+		}
+		if types[family] == "" {
+			t.Fatalf("line %d: sample %s outside any TYPE-declared family", ln+1, series)
+		}
+		if family != name && types[family] != "histogram" {
+			t.Fatalf("line %d: histogram-suffixed sample under %s type %s", ln+1, family, types[family])
+		}
+		samples[series] = val
+		ordered = append(ordered, promSample{series: series, name: name, value: val})
+	}
+	return samples, types, ordered
+}
+
+// checkHistogram asserts one family's bucket series are cumulative and
+// consistent with _count.
+func checkHistogram(t *testing.T, name string, samples map[string]float64, ordered []promSample) {
+	t.Helper()
+	last := -1.0
+	infSeen := false
+	for _, s := range ordered {
+		if s.name != name+"_bucket" {
+			continue
+		}
+		if s.value < last {
+			t.Fatalf("%s: bucket %s value %v below predecessor %v (not cumulative)", name, s.series, s.value, last)
+		}
+		last = s.value
+		if strings.Contains(s.series, `le="+Inf"`) {
+			infSeen = true
+		}
+	}
+	if !infSeen {
+		t.Fatalf("%s: no le=\"+Inf\" bucket", name)
+	}
+	count, ok := samples[name+"_count"]
+	if !ok || count != last {
+		t.Fatalf("%s: _count %v != +Inf bucket %v", name, count, last)
+	}
+}
+
+func TestNodeMetricsEndpoint(t *testing.T) {
+	ix := newTestIndex(t, t.TempDir())
+	ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
+	defer ts.Close()
+	c := ts.Client()
+
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"entity": "e%d", "elements": {"a": %d, "b": 1}}`, i, i+1)
+		if resp, out := post(t, c, ts.URL+"/add", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("add: %d %v", resp.StatusCode, out)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"elements": {"a": %d, "b": 1}, "threshold": 0.1}`, i+1)
+		if resp, out := post(t, c, ts.URL+"/query", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %d %v", resp.StatusCode, out)
+		}
+	}
+
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("scrape content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, types, ordered := parsePromText(t, string(raw))
+
+	if samples["vsmart_entities"] != 4 {
+		t.Fatalf("vsmart_entities = %v, want 4", samples["vsmart_entities"])
+	}
+	if samples["vsmart_queries_total"] < 3 {
+		t.Fatalf("vsmart_queries_total = %v, want >= 3", samples["vsmart_queries_total"])
+	}
+	for _, h := range []string{
+		"vsmart_query_latency_seconds",
+		"vsmart_shard_merge_latency_seconds",
+		"vsmart_wal_append_latency_seconds",
+		"vsmart_wal_fsync_latency_seconds",
+	} {
+		if types[h] != "histogram" {
+			t.Fatalf("%s: type %q, want histogram", h, types[h])
+		}
+		checkHistogram(t, h, samples, ordered)
+	}
+	// The 3 uncached queries and 4 durable adds must have landed in the
+	// latency digests.
+	if samples["vsmart_query_latency_seconds_count"] < 3 {
+		t.Fatalf("query latency count = %v, want >= 3", samples["vsmart_query_latency_seconds_count"])
+	}
+	if samples["vsmart_wal_append_latency_seconds_count"] < 4 {
+		t.Fatalf("wal append count = %v, want >= 4", samples["vsmart_wal_append_latency_seconds_count"])
+	}
+	if _, ok := samples["vsmart_http_rejected_total"]; !ok {
+		t.Fatal("admission series missing from scrape")
+	}
+}
+
+// startCluster brings up n single-replica partitions plus a router.
+func startCluster(t *testing.T, n int) (*vsmartjoin.Cluster, *httptest.Server, []*httptest.Server) {
+	t.Helper()
+	var nodes []*httptest.Server
+	var topology [][]string
+	for i := 0; i < n; i++ {
+		ix := newTestIndex(t, "")
+		ns := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
+		t.Cleanup(ns.Close)
+		nodes = append(nodes, ns)
+		topology = append(topology, []string{ns.URL})
+	}
+	c, err := vsmartjoin.NewCluster(vsmartjoin.ClusterOptions{
+		Nodes:       topology,
+		HedgeAfter:  -1,
+		HealthEvery: -1,
+		RepairEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	router := httptest.NewServer(httpd.NewRouter(c, httpd.Options{}))
+	t.Cleanup(router.Close)
+	return c, router, nodes
+}
+
+func TestRouterMetricsAndStats(t *testing.T) {
+	_, router, _ := startCluster(t, 2)
+	c := router.Client()
+
+	for i := 0; i < 6; i++ {
+		body := fmt.Sprintf(`{"entity": "e%d", "elements": {"a": %d, "b": 2}}`, i, i+1)
+		if resp, out := post(t, c, router.URL+"/add", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("add via router: %d %v", resp.StatusCode, out)
+		}
+	}
+	if resp, out := post(t, c, router.URL+"/query", `{"elements": {"a": 2, "b": 2}, "threshold": 0.1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query via router: %d %v", resp.StatusCode, out)
+	}
+
+	resp, err := c.Get(router.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, types, ordered := parsePromText(t, string(raw))
+	if samples["vsmart_cluster_queries_total"] < 1 {
+		t.Fatalf("cluster queries = %v", samples["vsmart_cluster_queries_total"])
+	}
+	for _, h := range []string{"vsmart_cluster_query_latency_seconds", "vsmart_cluster_write_latency_seconds"} {
+		if types[h] != "histogram" {
+			t.Fatalf("%s: type %q", h, types[h])
+		}
+		checkHistogram(t, h, samples, ordered)
+	}
+	if samples["vsmart_cluster_write_latency_seconds_count"] < 6 {
+		t.Fatalf("write latency count = %v, want >= 6", samples["vsmart_cluster_write_latency_seconds_count"])
+	}
+	healthy := 0
+	for series, v := range samples {
+		if strings.HasPrefix(series, "vsmart_cluster_node_healthy{") && v == 1 {
+			healthy++
+		}
+	}
+	if healthy != 2 {
+		t.Fatalf("healthy node series = %d, want 2", healthy)
+	}
+
+	// The /stats satellite: the router surfaces the full ClusterStats.
+	resp, err = c.Get(router.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats vsmartjoin.ClusterStats
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Partitions != 2 || len(stats.Nodes) != 2 {
+		t.Fatalf("stats topology: %+v", stats)
+	}
+	if stats.WriteLatency.Count < 6 || stats.WriteLatency.P99Ns <= 0 {
+		t.Fatalf("stats write latency: %+v", stats.WriteLatency)
+	}
+	if stats.QueryLatency.Count < 1 {
+		t.Fatalf("stats query latency: %+v", stats.QueryLatency)
+	}
+	if stats.RepairBacklog != 0 {
+		t.Fatalf("repair backlog = %d against healthy nodes", stats.RepairBacklog)
+	}
+}
+
+// TestAdmissionControl saturates a MaxInFlight=1 node by parking one
+// request inside its handler (the body read blocks on an open pipe),
+// then asserts the next request is shed with 429 + Retry-After while
+// the probe and scrape endpoints keep answering.
+func TestAdmissionControl(t *testing.T) {
+	ix := newTestIndex(t, "")
+	ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{MaxInFlight: 1}))
+	defer ts.Close()
+	c := ts.Client()
+
+	pr, pw := io.Pipe()
+	blocked := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/add", pr)
+		if err != nil {
+			blocked <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.Do(req)
+		if err != nil {
+			blocked <- err
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			blocked <- fmt.Errorf("parked add finished %d", resp.StatusCode)
+			return
+		}
+		blocked <- nil
+	}()
+
+	// Wait until the parked request holds the slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := c.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(raw), "vsmart_http_in_flight_requests 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("parked request never acquired the limiter slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// At capacity: work is shed...
+	resp, out := post(t, c, ts.URL+"/query", `{"elements": {"a": 1}, "threshold": 0.5}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("query at capacity: %d %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if out["error"] == "" {
+		t.Fatalf("429 without JSON error body: %v", out)
+	}
+	// ...but probes and the scrape stay exempt.
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := c.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s during saturation: %d", path, resp.StatusCode)
+		}
+	}
+
+	// Release the parked request and confirm it completes untouched.
+	if _, err := pw.Write([]byte(`{"entity": "late", "elements": {"a": 1}}`)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+
+	// The shed request is on the scrape.
+	resp2, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	samples, _, _ := parsePromText(t, string(raw))
+	if samples["vsmart_http_rejected_total"] < 1 {
+		t.Fatalf("rejected total = %v, want >= 1", samples["vsmart_http_rejected_total"])
+	}
+}
+
+func TestRequestTracing(t *testing.T) {
+	ix := newTestIndex(t, "")
+	ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
+	defer ts.Close()
+	c := ts.Client()
+
+	if resp, out := post(t, c, ts.URL+"/add", `{"entity": "e1", "elements": {"a": 2}}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: %d %v", resp.StatusCode, out)
+	}
+
+	// Without an inbound ID the server assigns one and echoes it.
+	resp, _ := post(t, c, ts.URL+"/query", `{"elements": {"a": 2}, "threshold": 0.5}`)
+	if resp.Header.Get(cluster.HeaderRequestID) == "" {
+		t.Fatal("no request ID echoed on the response")
+	}
+
+	// An inbound ID is kept, echoed, and lands in the debug block with
+	// plausible stage timings.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/query",
+		bytes.NewReader([]byte(`{"elements": {"a": 2}, "threshold": 0.5, "debug": true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderRequestID, "trace-me-42")
+	resp2, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if got := resp2.Header.Get(cluster.HeaderRequestID); got != "trace-me-42" {
+		t.Fatalf("inbound request ID not echoed: %q", got)
+	}
+	var out struct {
+		Matches []vsmartjoin.Match `json:"matches"`
+		Debug   struct {
+			RequestID string `json:"request_id"`
+			DecodeNs  int64  `json:"decode_ns"`
+			QueryNs   int64  `json:"query_ns"`
+			TotalNs   int64  `json:"total_ns"`
+		} `json:"debug"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matches) != 1 || out.Matches[0].Entity != "e1" {
+		t.Fatalf("debug query matches: %+v", out.Matches)
+	}
+	d := out.Debug
+	if d.RequestID != "trace-me-42" {
+		t.Fatalf("debug request_id = %q", d.RequestID)
+	}
+	if d.DecodeNs < 0 || d.QueryNs <= 0 || d.TotalNs < d.QueryNs {
+		t.Fatalf("implausible stage timings: %+v", d)
+	}
+
+	// A plain query carries no debug block.
+	resp3, plain := post(t, c, ts.URL+"/query", `{"elements": {"a": 2}, "threshold": 0.5}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("plain query: %d", resp3.StatusCode)
+	}
+	if _, ok := plain["debug"]; ok {
+		t.Fatal("debug block present without debug: true")
+	}
+}
+
+// TestRouterPropagatesRequestID pins the router→node trace contract:
+// the ID a client sends to the router arrives on the node sub-requests.
+func TestRouterPropagatesRequestID(t *testing.T) {
+	ix := newTestIndex(t, "")
+	seen := make(chan string, 8)
+	node := httpd.NewNode(ix, httpd.Options{})
+	ns := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/query" {
+			seen <- r.Header.Get(cluster.HeaderRequestID)
+		}
+		node.ServeHTTP(w, r)
+	}))
+	defer ns.Close()
+	c, err := vsmartjoin.NewCluster(vsmartjoin.ClusterOptions{
+		Nodes:       [][]string{{ns.URL}},
+		HedgeAfter:  -1,
+		HealthEvery: -1,
+		RepairEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	router := httptest.NewServer(httpd.NewRouter(c, httpd.Options{}))
+	defer router.Close()
+
+	req, err := http.NewRequest(http.MethodPost, router.URL+"/query",
+		bytes.NewReader([]byte(`{"elements": {"a": 1}, "threshold": 0.5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderRequestID, "hop-hop-7")
+	resp, err := router.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query via router: %d", resp.StatusCode)
+	}
+	select {
+	case rid := <-seen:
+		if rid != "hop-hop-7" {
+			t.Fatalf("node saw request ID %q, want hop-hop-7", rid)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node never saw the scatter query")
+	}
+}

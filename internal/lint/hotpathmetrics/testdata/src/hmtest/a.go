@@ -1,0 +1,13 @@
+// Package hmtest sits outside the hot-path set: the raw clock is fine
+// here (request deadlines, health-check cadences, log timestamps).
+package hmtest
+
+import "time"
+
+func deadlines() time.Time {
+	return time.Now().Add(5 * time.Second)
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

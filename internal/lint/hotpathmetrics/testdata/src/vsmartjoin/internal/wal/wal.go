@@ -1,0 +1,40 @@
+// Package wal stands at the real import path: a hot-path package where
+// ad-hoc stopwatches are banned and the metrics seam is sanctioned.
+package wal
+
+import (
+	"time"
+
+	"vsmartjoin/internal/metrics"
+)
+
+// Log is a stub of the write-ahead log.
+type Log struct {
+	lastAppend time.Time
+	append     metrics.Histogram
+}
+
+func (l *Log) adHocStopwatch() time.Duration {
+	start := time.Now() // want `ad-hoc time\.Now in a hot-path package: instrument through metrics\.Now`
+	doWork()
+	return time.Since(start) // want `ad-hoc time\.Since in a hot-path package: instrument through metrics\.ObserveSince`
+}
+
+func (l *Log) sanctioned() {
+	start := metrics.Now()
+	doWork()
+	l.append.ObserveSince(start)
+}
+
+func (l *Log) suppressed() {
+	//lint:vsmart-allow hotpathmetrics fixture: wall-clock file mtime comparison, not a latency measurement
+	l.lastAppend = time.Now()
+}
+
+// timeValuesAreFine shows only the clock reads are flagged, not every
+// use of package time.
+func timeValuesAreFine(d time.Duration) bool {
+	return d > 5*time.Millisecond
+}
+
+func doWork() {}

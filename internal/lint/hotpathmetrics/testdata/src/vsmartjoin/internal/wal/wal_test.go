@@ -1,0 +1,16 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: benchmarks and deadline-driven tests use the
+// raw clock legitimately.
+func TestRawClockAllowedInTests(t *testing.T) {
+	start := time.Now()
+	doWork()
+	if time.Since(start) > time.Second {
+		t.Fatal("too slow")
+	}
+}

@@ -1,5 +1,5 @@
 // Package lint assembles the project's custom static-analysis suite:
-// five analyzers, each machine-checking an invariant that a refactor
+// six analyzers, each machine-checking an invariant that a refactor
 // introduced and that go vet / staticcheck cannot see.
 //
 //   - framesafety (PR 4): every durable byte flows through the one
@@ -16,6 +16,10 @@
 //     ad-hoc http.Client literals.
 //   - walerr (PR 3): errors from the WAL, framing, and public mutation
 //     paths are never discarded — append-before-apply durability.
+//   - hotpathmetrics (PR 8): latency accounting in the hot-path
+//     packages (index/shard/wal) goes through internal/metrics — no
+//     ad-hoc time.Now/time.Since stopwatches dodging the shared
+//     histograms.
 //
 // Run the suite with `go run ./cmd/vsmartlint ./...`. Deliberate
 // exceptions carry a //lint:vsmart-allow <analyzer> <reason> comment on
@@ -29,6 +33,7 @@ import (
 	"vsmartjoin/internal/lint/boundedclient"
 	"vsmartjoin/internal/lint/canonicalorder"
 	"vsmartjoin/internal/lint/framesafety"
+	"vsmartjoin/internal/lint/hotpathmetrics"
 	"vsmartjoin/internal/lint/lockscope"
 	"vsmartjoin/internal/lint/walerr"
 )
@@ -39,6 +44,7 @@ func Analyzers() []*analysis.Analyzer {
 		boundedclient.Analyzer,
 		canonicalorder.Analyzer,
 		framesafety.Analyzer,
+		hotpathmetrics.Analyzer,
 		lockscope.Analyzer,
 		walerr.Analyzer,
 	}

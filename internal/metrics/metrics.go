@@ -1,0 +1,249 @@
+// Package metrics is the one runtime-observability primitive layer of
+// the engine: atomic counters, gauges, and fixed-bucket latency
+// histograms, built for the serving hot path.
+//
+// Design constraints, in order:
+//
+//   - Allocation-free on the hot path. Observe/Inc/Add touch only
+//     atomics; no maps, no interfaces, no time formatting. The
+//     zero-alloc guarantees of the query path (BenchmarkQueryThreshold,
+//     BenchmarkQueryTopK at 0 allocs/op) must survive instrumentation.
+//   - Lock-free and write-concurrent. Histograms are plain arrays of
+//     atomic counters; any number of goroutines observe concurrently.
+//     Reads (Snapshot) are not atomic across buckets — a snapshot taken
+//     under concurrent writes can be off by in-flight observations,
+//     which is fine for monitoring and cheap for writers.
+//   - Mergeable. A Snapshot from every shard, node, or worker adds into
+//     one distribution (Merge), because bucket boundaries are fixed and
+//     identical everywhere — the property that lets a sharded index, a
+//     cluster router, and the vsmartbench load driver share one
+//     percentile pipeline.
+//
+// Buckets are log-spaced: four per octave (bounds grow by 2^(1/4) ≈
+// 1.19), from 256ns up to ~17.6s, plus an overflow bucket. That bounds
+// the relative quantile error by half a sub-octave (≈ ±9%) across the
+// whole range — plenty for p50/p99/p999 monitoring — while keeping the
+// histogram a fixed 1KiB of counters.
+//
+// Timing goes through Now/ObserveSince rather than callers touching
+// time.Now directly: the hotpathmetrics analyzer (internal/lint) bans
+// ad-hoc time.Now/time.Since accounting in internal/index, internal/
+// shard, and internal/wal, so every hot-path duration demonstrably
+// flows into a mergeable histogram instead of a one-off counter.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must not be negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (in-flight requests, queue
+// depths); unlike a Counter it moves both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Bucket geometry. Durations are measured in nanoseconds. Bucket i
+// spans (Bound(i-1), Bound(i)] with Bound(i) = minBound << (i/subOctave)
+// scaled by 2^((i%subOctave)/subOctave); the last bucket is +Inf.
+const (
+	// subOctave is the number of buckets per doubling of the bound.
+	subOctave = 4
+	// minExp is the exponent of the first bound: 1<<8 = 256ns. Anything
+	// faster lands in bucket 0 — sub-quarter-microsecond work is below
+	// what a serving latency distribution needs to resolve.
+	minExp = 8
+	// octaves spans 256ns << 26 ≈ 17.6s; slower observations land in
+	// the +Inf overflow bucket.
+	octaves = 26
+	// NumBuckets is the fixed bucket count of every Histogram, overflow
+	// included.
+	NumBuckets = octaves*subOctave + 1
+)
+
+// bounds holds the inclusive upper bound of every finite bucket in
+// nanoseconds, precomputed once so Observe is one comparison ladder
+// (binary search) over a fixed array.
+var bounds = func() [NumBuckets - 1]uint64 {
+	var b [NumBuckets - 1]uint64
+	for i := range b {
+		oct, sub := i/subOctave, i%subOctave
+		bound := math.Exp2(float64(minExp+oct) + float64(sub)/subOctave)
+		b[i] = uint64(math.Round(bound))
+	}
+	return b
+}()
+
+// BucketBound reports bucket i's inclusive upper bound in nanoseconds;
+// the last bucket reports +Inf. Bounds are identical across every
+// histogram in the process and across processes of the same build —
+// what makes snapshots mergeable across shards and nodes.
+func BucketBound(i int) float64 {
+	if i >= NumBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(bounds[i])
+}
+
+// bucketOf locates the bucket for a duration of ns nanoseconds.
+func bucketOf(ns uint64) int {
+	// Binary search over the fixed bounds: 7 comparisons, no branches on
+	// data-dependent loop lengths beyond that.
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns > bounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// ready to use; embed it by value. All methods are safe for concurrent
+// use; Observe performs three atomic adds and no allocation.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total observed nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero (a
+// monotonic-clock read can regress across VM migrations; losing one
+// sample to bucket 0 beats panicking).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Stamp is an opaque start time from Now, consumed by ObserveSince.
+type Stamp struct{ t time.Time }
+
+// Now returns a start stamp. It is the sanctioned clock read of the
+// hot path: internal/index, internal/shard, and internal/wal are
+// lint-banned from calling time.Now/time.Since directly, so every
+// duration measured there provably ends in a Histogram.
+func Now() Stamp { return Stamp{t: time.Now()} }
+
+// ObserveSince records the time elapsed since s.
+func (h *Histogram) ObserveSince(s Stamp) { h.Observe(time.Since(s.t)) }
+
+// Snapshot returns a point-in-time copy of the distribution. Under
+// concurrent writers the copy is not a consistent cut — counts may be
+// off by the observations in flight — which monitoring tolerates.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a frozen histogram: mergeable, serializable, and the
+// input to percentile extraction. The zero value is an empty
+// distribution.
+type Snapshot struct {
+	Count   uint64             `json:"count"`
+	Sum     uint64             `json:"sum_ns"`
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// Merge adds o's observations into s — the cross-shard / cross-node
+// fold. Bucket boundaries are fixed and shared, so merging is
+// element-wise addition and percentiles of the merged snapshot are
+// exactly the percentiles of the combined observation stream (up to
+// bucket resolution).
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the distribution in
+// nanoseconds, interpolated log-linearly inside the winning bucket. An
+// empty distribution reports 0; a quantile landing in the overflow
+// bucket reports the last finite bound (a floor, not a lie: the true
+// value is at least that).
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the wanted observation under the
+	// usual nearest-rank-with-interpolation convention.
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum+1e-9 < rank {
+			continue
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = BucketBound(i - 1)
+		}
+		hi := BucketBound(i)
+		if math.IsInf(hi, 1) {
+			return BucketBound(i - 1) // overflow: report the known floor
+		}
+		if lo == 0 {
+			// First bucket: linear interpolation from zero.
+			return hi * (rank - prev) / float64(c)
+		}
+		// Log-linear interpolation between the bucket's bounds.
+		frac := (rank - prev) / float64(c)
+		return lo * math.Exp2(frac*math.Log2(hi/lo))
+	}
+	return BucketBound(NumBuckets - 2)
+}
+
+// Mean returns the average observation in nanoseconds (0 when empty).
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"vsmartjoin/internal/index"
+	"vsmartjoin/internal/metrics"
 	"vsmartjoin/internal/multiset"
 	"vsmartjoin/internal/similarity"
 )
@@ -43,7 +44,16 @@ type Set struct {
 	// buffers reused across queries so the steady-state fan-out stops
 	// allocating a fresh [][]Match per call.
 	scratch sync.Pool
+
+	// merge times the cross-shard merge step of a multi-shard fan-out —
+	// the concat+sort (threshold) or heap fold (top-k) that happens after
+	// every shard has answered, with no shard lock held. The single-shard
+	// fast path delegates straight to the shard and is not timed here.
+	merge metrics.Histogram
 }
+
+// MergeSnapshot captures the fan-out merge-time distribution.
+func (s *Set) MergeSnapshot() metrics.Snapshot { return s.merge.Snapshot() }
 
 // fanScratch is the reusable per-fan-out state: one result buffer per
 // shard, each handed to that shard's Into query and merged afterwards.
@@ -240,12 +250,14 @@ func (s *Set) QueryThresholdInto(q index.Query, t float64, buf []index.Match) []
 	}
 	f := s.getFan()
 	s.fanOut(func(i int) { f.per[i] = s.shards[i].QueryThresholdInto(q, t, f.per[i][:0]) })
+	start := metrics.Now()
 	base := len(buf)
 	for _, ms := range f.per {
 		buf = append(buf, ms...)
 	}
 	s.putFan(f)
 	index.SortMatches(buf[base:])
+	s.merge.ObserveSince(start)
 	return buf
 }
 
@@ -268,8 +280,10 @@ func (s *Set) QueryTopKInto(q index.Query, k int, buf []index.Match) []index.Mat
 	}
 	f := s.getFan()
 	s.fanOut(func(i int) { f.per[i] = s.shards[i].QueryTopKInto(q, k, f.per[i][:0]) })
+	start := metrics.Now()
 	buf = index.MergeTopKInto(k, buf, f.per...)
 	s.putFan(f)
+	s.merge.ObserveSince(start)
 	return buf
 }
 

@@ -47,6 +47,7 @@ import (
 
 	"vsmartjoin/internal/codec"
 	"vsmartjoin/internal/frame"
+	"vsmartjoin/internal/metrics"
 )
 
 // MaxFrameLen caps a single log or snapshot frame, re-exported from the
@@ -102,7 +103,29 @@ type Log struct {
 	werr    error    // sticky: the WAL tail is torn and could not be rewound
 	payload *codec.Buffer
 	frame   []byte
+
+	// m is all-atomic and needs no lock; it lives in its own paragraph
+	// so lockscope does not fold it into mu's guard set.
+	m LogMetrics
 }
+
+// LogMetrics holds the log's latency distributions. Append and fsync
+// stalls are the two ways durability blocks the serving write path, so
+// each gets its own histogram; both are observed via metrics.Now /
+// ObserveSince (the clock reads here are the stall being measured, not
+// incidental accounting).
+type LogMetrics struct {
+	// Append is the wall time of Log.Append: encode, frame, and the
+	// write(2) that pushes the frame to the operating system.
+	Append metrics.Histogram
+	// Fsync is the wall time of every fsync the log issues — explicit
+	// Sync calls, snapshot file syncs, and the final sync in Close.
+	Fsync metrics.Histogram
+}
+
+// Metrics exposes the log's histograms for scraping. The returned
+// pointer stays valid after Close.
+func (l *Log) Metrics() *LogMetrics { return &l.m }
 
 func snapName(gen uint64) string { return fmt.Sprintf("snap-%08d", gen) }
 func walName(gen uint64) string  { return fmt.Sprintf("wal-%08d", gen) }
@@ -375,6 +398,7 @@ func (l *Log) replayWAL(path string, apply func(Record) error) error {
 // log: further appends are refused until a successful Snapshot rotates
 // to a fresh WAL file.
 func (l *Log) Append(rec Record) error {
+	start := metrics.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
@@ -402,6 +426,7 @@ func (l *Log) Append(rec Record) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.off += int64(n)
+	l.m.Append.ObserveSince(start)
 	return nil
 }
 
@@ -412,13 +437,18 @@ func (l *Log) Sync() error {
 	if l.f == nil {
 		return errors.New("wal: log is closed")
 	}
-	return l.f.Sync()
+	start := metrics.Now()
+	err := l.f.Sync()
+	l.m.Fsync.ObserveSince(start)
+	return err
 }
 
 // writeSnapshotFile writes a complete snapshot — header, one OpAdd
 // frame per record the iterator emits, trailer — to path, fsyncing
-// before close. On any error the partial file is removed.
-func writeSnapshotFile(path, measure string, iter func(emit func(Record) error) error) error {
+// before close. On any error the partial file is removed. fsync, when
+// non-nil, records the duration of the final sync (the bulk builder's
+// WriteSnapshot has no Log and passes nil).
+func writeSnapshotFile(path, measure string, fsync *metrics.Histogram, iter func(emit func(Record) error) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
@@ -459,8 +489,12 @@ func writeSnapshotFile(path, measure string, iter func(emit func(Record) error) 
 	if err := w.Flush(); err != nil {
 		return fail(fmt.Errorf("wal: snapshot: %w", err))
 	}
+	start := metrics.Now()
 	if err := f.Sync(); err != nil {
 		return fail(fmt.Errorf("wal: snapshot: %w", err))
+	}
+	if fsync != nil {
+		fsync.ObserveSince(start)
 	}
 	if err := f.Close(); err != nil {
 		return fail(fmt.Errorf("wal: snapshot: %w", err))
@@ -481,7 +515,7 @@ func WriteSnapshot(dir string, gen uint64, measure string, iter func(emit func(R
 		return fmt.Errorf("wal: %w", err)
 	}
 	tmp := filepath.Join(dir, snapName(gen)+".tmp")
-	if err := writeSnapshotFile(tmp, measure, iter); err != nil {
+	if err := writeSnapshotFile(tmp, measure, nil, iter); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, snapName(gen))); err != nil {
@@ -506,7 +540,7 @@ func (l *Log) Snapshot(iter func(emit func(Record) error) error) error {
 	}
 	next := l.gen + 1
 	tmp := filepath.Join(l.dir, snapName(next)+".tmp")
-	if err := writeSnapshotFile(tmp, l.measure, iter); err != nil {
+	if err := writeSnapshotFile(tmp, l.measure, &l.m.Fsync, iter); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(next))); err != nil {
@@ -549,7 +583,9 @@ func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
+	start := metrics.Now()
 	err := l.f.Sync()
+	l.m.Fsync.ObserveSince(start)
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

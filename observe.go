@@ -1,0 +1,78 @@
+package vsmartjoin
+
+import "vsmartjoin/internal/metrics"
+
+// LatencySummary is the JSON-friendly digest of a latency histogram:
+// the count and the mean/p50/p99/p999 in nanoseconds. Percentiles are
+// extracted from log-spaced fixed buckets (internal/metrics), so each
+// is accurate to about ±9% — distribution shape, not an exact order
+// statistic. A zero Count means the summary is empty and the other
+// fields are 0.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+}
+
+// summarize digests a histogram snapshot into the public form.
+func summarize(s metrics.Snapshot) LatencySummary {
+	return LatencySummary{
+		Count:  s.Count,
+		MeanNs: s.Mean(),
+		P50Ns:  s.Quantile(0.50),
+		P99Ns:  s.Quantile(0.99),
+		P999Ns: s.Quantile(0.999),
+	}
+}
+
+// IndexMetrics is the full-resolution capture of an Index's latency
+// histograms — what the /metrics endpoint (internal/httpd) renders as
+// Prometheus bucket series. IndexStats carries the same distributions
+// digested to LatencySummary; this form keeps every bucket so an
+// external aggregator can merge distributions across processes.
+type IndexMetrics struct {
+	// Query times uncached public queries (threshold, entity, top-k)
+	// end to end; cache hits are counted in IndexStats but not timed.
+	Query metrics.Snapshot
+	// Merge is the cross-shard merge step of multi-shard fan-outs.
+	Merge metrics.Snapshot
+	// WALAppend and WALFsync are durability stalls, merged across the
+	// per-shard logs; both are empty for a volatile index.
+	WALAppend metrics.Snapshot
+	WALFsync  metrics.Snapshot
+}
+
+// ClusterMetrics is the full-resolution capture of a Cluster router's
+// latency histograms — the /metrics counterpart of the digests in
+// ClusterStats.
+type ClusterMetrics struct {
+	// Write times quorum writes to their decision point; Query times
+	// scatter-gather queries end to end.
+	Write metrics.Snapshot
+	Query metrics.Snapshot
+}
+
+// Metrics captures the router's latency histograms.
+func (c *Cluster) Metrics() ClusterMetrics {
+	m := c.inner.Metrics()
+	return ClusterMetrics{Write: m.Write, Query: m.Query}
+}
+
+// Metrics captures the index's latency histograms.
+func (ix *Index) Metrics() IndexMetrics {
+	m := IndexMetrics{
+		Query: ix.queryLatency.Snapshot(),
+		Merge: ix.inner.MergeSnapshot(),
+	}
+	ix.mu.RLock()
+	logs := ix.logs
+	ix.mu.RUnlock()
+	for _, l := range logs {
+		lm := l.Metrics()
+		m.WALAppend.Merge(lm.Append.Snapshot())
+		m.WALFsync.Merge(lm.Fsync.Snapshot())
+	}
+	return m
+}
