@@ -4,10 +4,11 @@ GO ?= go
 # smoke run that only proves the benchmarks and the JSON pipeline work.
 BENCHTIME ?= 1s
 
-# The query-path benchmarks recorded in BENCH_008.json: internal index
-# probe/verify, public API, sharded fan-out, zipf repeated-query cache,
-# WAL append cost, and cluster scatter-gather.
-BENCH_REGEX := ^(BenchmarkQueryThreshold|BenchmarkQueryTopK|BenchmarkIndexQuery|BenchmarkIndexTopK|BenchmarkShardedQuery|BenchmarkZipfRepeatedQuery|BenchmarkWALAppend|BenchmarkClusterQuery)$$
+# The serving-path benchmarks recorded in BENCH_009.json: internal
+# index probe/verify, public API, sharded fan-out, zipf repeated-query
+# cache, WAL append cost, the group-commit write storm, and cluster
+# scatter-gather.
+BENCH_REGEX := ^(BenchmarkQueryThreshold|BenchmarkQueryTopK|BenchmarkIndexQuery|BenchmarkIndexTopK|BenchmarkShardedQuery|BenchmarkZipfRepeatedQuery|BenchmarkWALAppend|BenchmarkWriteStorm|BenchmarkClusterQuery)$$
 
 .PHONY: all build test race lint fmt vet vsmartlint staticcheck govulncheck bench-json loadtest-smoke
 
@@ -46,18 +47,23 @@ govulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck -test ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-# Run the query-path benchmarks and regenerate BENCH_008.json, diffed
-# against the committed pre-instrumentation baseline. benchjson
-# re-reads the file after writing, so this target fails if the
-# artifact is not parseable JSON.
+# Run the serving-path benchmarks and regenerate BENCH_009.json, diffed
+# against the committed pre-group-commit baseline. benchjson re-reads
+# the file after writing, so this target fails if the artifact is not
+# parseable JSON. The committed BENCH_009.json additionally folds in
+# vsmartbench write-storm runs via benchjson -loadtest (see
+# bench/loadtest_*.json); the smoke run here skips those.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem -benchtime $(BENCHTIME) ./... > bench/.last_bench.txt
-	$(GO) run ./cmd/benchjson -in bench/.last_bench.txt -baseline bench/BASELINE_008.txt -out BENCH_008.json
+	$(GO) run ./cmd/benchjson -in bench/.last_bench.txt -baseline bench/BASELINE_009.txt -out BENCH_009.json
 
 # End-to-end load-harness smoke: boot a throwaway volatile daemon,
 # drive it with vsmartbench for a couple of seconds, and fail unless
-# the report is well-formed JSON with non-zero sustained QPS. CI runs
-# this; locally it doubles as a quick "is serving alive" check.
+# the report is well-formed JSON with non-zero sustained QPS. The
+# second leg is a batched write storm — zipf hot keys, every write
+# shipped through POST /bulk — so a PR cannot silently break the
+# sanctioned batched-ingest path. CI runs this; locally it doubles as
+# a quick "is serving alive" check.
 loadtest-smoke:
 	@set -e; \
 	$(GO) build -o /tmp/vsmartjoind.smoke ./cmd/vsmartjoind; \
@@ -67,4 +73,9 @@ loadtest-smoke:
 	$(GO) run ./cmd/vsmartbench -target 127.0.0.1:18321 \
 		-entities 2000 -concurrency 8 -warmup 500ms -duration 2s \
 		-out /tmp/vsmartbench.smoke.json; \
-	$(GO) run ./cmd/vsmartbench -check /tmp/vsmartbench.smoke.json
+	$(GO) run ./cmd/vsmartbench -check /tmp/vsmartbench.smoke.json; \
+	$(GO) run ./cmd/vsmartbench -target 127.0.0.1:18321 \
+		-entities 2000 -concurrency 8 -read-pct 0 -zipf 1.2 \
+		-write-burst 64 -warmup 500ms -duration 2s \
+		-out /tmp/vsmartbench.storm.json; \
+	$(GO) run ./cmd/vsmartbench -check /tmp/vsmartbench.storm.json

@@ -113,6 +113,59 @@ func (c *Cluster) RemoveContext(ctx context.Context, entity string) (bool, error
 	return c.inner.Remove(ctx, entity)
 }
 
+// BulkMutation is one mutation of a Cluster.Bulk batch: an upsert
+// (Remove false; Elements is the entity's full new multiset) or a
+// removal (Remove true; Elements ignored).
+type BulkMutation struct {
+	Remove   bool
+	Entity   string
+	Elements map[string]uint32
+}
+
+// Bulk applies an ordered batch of mutations with one quorum write per
+// touched partition: the batch is grouped by owner partition (order
+// preserved; mutations of one entity always share a partition, so
+// per-entity order survives) and each partition's replicas receive
+// their group as a single batched request — under ingest storms this
+// replaces a round trip and a per-node WAL commit per mutation with
+// one per partition group. Each group succeeds or fails at majority
+// quorum independently; the returned error joins the groups that
+// missed quorum, and Add's error semantics apply per group (not
+// guaranteed applied, never undone — repair completes it).
+func (c *Cluster) Bulk(muts []BulkMutation) error {
+	return c.BulkContext(context.Background(), muts)
+}
+
+// BulkContext is Bulk carrying a context, with AddContext's
+// trace-propagation and cancellation semantics.
+func (c *Cluster) BulkContext(ctx context.Context, muts []BulkMutation) error {
+	ops := make([]cluster.BulkOp, len(muts))
+	for i, m := range muts {
+		if m.Remove {
+			ops[i] = cluster.BulkOp{Op: "remove", Entity: m.Entity}
+		} else {
+			ops[i] = cluster.BulkOp{Op: "add", Entity: m.Entity, Elements: m.Elements}
+		}
+	}
+	return c.inner.Bulk(ctx, ops)
+}
+
+// AddBatch upserts a batch of entities via Bulk — the batched
+// counterpart of calling Add per entry.
+func (c *Cluster) AddBatch(entries []BatchEntry) error {
+	return c.AddBatchContext(context.Background(), entries)
+}
+
+// AddBatchContext is AddBatch carrying a context, with AddContext's
+// trace-propagation and cancellation semantics.
+func (c *Cluster) AddBatchContext(ctx context.Context, entries []BatchEntry) error {
+	ops := make([]cluster.BulkOp, len(entries))
+	for i, e := range entries {
+		ops[i] = cluster.BulkOp{Op: "add", Entity: e.Entity, Elements: e.Elements}
+	}
+	return c.inner.Bulk(ctx, ops)
+}
+
 // QueryThreshold returns every entity in the cluster whose similarity
 // to the query multiset is at least t, in the canonical order
 // (decreasing similarity, entity name ascending on ties) — exactly the

@@ -30,6 +30,7 @@
 //	vsmartjoind -addr :8321 &
 //	vsmartbench -target localhost:8321 -duration 10s -read-pct 90
 //	vsmartbench -target localhost:9000 -concurrency 32 -zipf 1.2 -out loadtest.json
+//	vsmartbench -target localhost:8321 -read-pct 0 -zipf 1.2 -write-burst 64   (batched write storm)
 //
 // Driving past saturation is a feature: with -concurrency far above
 // the daemon's -max-inflight admission bound, the shed (429) count in
@@ -74,6 +75,13 @@ type Config struct {
 	Seed        int64         `json:"seed"`
 	Preload     bool          `json:"preload"`
 	Timeout     time.Duration `json:"timeout_ns"`
+	// WriteBurst > 1 batches each worker's writes: mutations accumulate
+	// until the burst size is reached and ship as one POST /bulk. The
+	// write counters stay per mutation (a shed or failed batch counts
+	// every op it carried), so batched and unbatched runs compare
+	// directly — the write-storm evidence in BENCH_009.json is this
+	// mode against WriteBurst 0.
+	WriteBurst int `json:"write_burst"`
 }
 
 // OpReport is the measured outcome of one operation class.
@@ -117,6 +125,7 @@ func main() {
 		zipfS       = flag.Float64("zipf", 1.1, "zipf skew of entity popularity (s>1; 0 = uniform)")
 		threshold   = flag.Float64("threshold", 0.5, "similarity threshold queries use (ignored with -topk)")
 		topK        = flag.Int("topk", 0, "use top-k queries with this k instead of threshold queries")
+		writeBurst  = flag.Int("write-burst", 0, "batch each worker's writes and ship them as one POST /bulk per this many mutations (0 or 1 = one request per write)")
 		seed        = flag.Int64("seed", 1, "workload RNG seed")
 		noPreload   = flag.Bool("no-preload", false, "skip populating the keyspace before the run")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
@@ -148,6 +157,7 @@ func main() {
 		Seed:        *seed,
 		Preload:     !*noPreload,
 		Timeout:     *timeout,
+		WriteBurst:  *writeBurst,
 	}
 	rep, err := Run(cfg, log.Printf)
 	if err != nil {
@@ -228,6 +238,8 @@ func (cfg *Config) Validate() error {
 		return fmt.Errorf("elements-per-entity %d < 1", cfg.ElementsPer)
 	case cfg.Zipf != 0 && cfg.Zipf <= 1:
 		return fmt.Errorf("zipf %v must be > 1 (or 0 for uniform)", cfg.Zipf)
+	case cfg.WriteBurst < 0:
+		return fmt.Errorf("write-burst %d < 0", cfg.WriteBurst)
 	}
 	return nil
 }
@@ -378,7 +390,10 @@ func (d *driver) drive(window time.Duration, reads, writes *recorder) time.Durat
 }
 
 // worker is one closed-loop client: sample an operation and an entity,
-// issue the request, record, repeat until the deadline.
+// issue the request, record, repeat until the deadline. With
+// WriteBurst > 1 writes accumulate into a per-worker batch and ship as
+// one /bulk request when the burst fills (and once more at the
+// deadline, so a partial final batch is not dropped).
 func (d *driver) worker(id int, deadline time.Time, reads, writes *recorder) {
 	rng := rand.New(rand.NewSource(d.cfg.Seed + int64(id)*7919))
 	var zipf *rand.Zipf
@@ -391,15 +406,34 @@ func (d *driver) worker(id int, deadline time.Time, reads, writes *recorder) {
 		}
 		return rng.Intn(d.cfg.Entities)
 	}
+	var pending []cluster.BulkOp
 	for n := 0; ; n++ {
+		target := d.target(id + n)
 		if time.Now().After(deadline) {
+			if len(pending) > 0 {
+				d.oneBulk(writes, target, pending)
+			}
 			return
 		}
 		i := sample()
-		target := d.target(id + n)
 		if rng.Intn(100) < d.cfg.ReadPct {
 			d.one(reads, target, "/query", d.queryBody(i))
-		} else if rng.Intn(100) < d.cfg.ChurnPct {
+			continue
+		}
+		churn := rng.Intn(100) < d.cfg.ChurnPct
+		if d.cfg.WriteBurst > 1 {
+			op := cluster.BulkOp{Op: "add", Entity: entityName(i), Elements: d.elements(i)}
+			if churn {
+				op = cluster.BulkOp{Op: "remove", Entity: entityName(i)}
+			}
+			pending = append(pending, op)
+			if len(pending) >= d.cfg.WriteBurst {
+				d.oneBulk(writes, target, pending)
+				pending = pending[:0]
+			}
+			continue
+		}
+		if churn {
 			// Churn: remove the entity now, re-add it on a later write
 			// draw — the daemon sees deletes and cache invalidation.
 			body, _ := json.Marshal(map[string]any{"entity": entityName(i)})
@@ -420,6 +454,27 @@ func (d *driver) queryBody(i int) []byte {
 	}
 	body, _ := json.Marshal(req)
 	return body
+}
+
+// oneBulk ships one batched write and records it per mutation: the
+// latency histogram takes one observation (the request), while count,
+// errors, and shed absorb the whole batch — a 429 sheds every op it
+// carried — so batched and unbatched runs report comparable per-op
+// numbers.
+func (d *driver) oneBulk(rec *recorder, target string, ops []cluster.BulkOp) {
+	n := int64(len(ops))
+	body, _ := json.Marshal(cluster.BulkRequest{Ops: ops})
+	start := metrics.Now()
+	status, err := d.post(target, "/bulk", body)
+	switch {
+	case status == http.StatusTooManyRequests:
+		rec.shed.Add(n)
+	case err != nil:
+		rec.errors.Add(n)
+	default:
+		rec.lat.ObserveSince(start)
+		rec.count.Add(n)
+	}
 }
 
 // one issues a single operation and records its outcome.

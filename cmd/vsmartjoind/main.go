@@ -26,9 +26,13 @@
 // With -data-dir the index is durable: mutations are written ahead to a
 // per-shard log under the directory, snapshots truncate each shard's
 // log every -snapshot-every mutations (or on POST /snapshot), and a
-// killed daemon restarts into exactly its prior state. -shards
-// partitions the index for parallel query fan-out and per-shard write
-// locking (0 adopts the shard count found on disk). On SIGINT/SIGTERM
+// killed daemon restarts into exactly its prior state. -durability
+// sync additionally fsyncs before every acknowledgement, group-
+// committed so concurrent writers (and /bulk batches) share one fsync;
+// -group-commit-window tunes how long the committer waits for company.
+// -shards partitions the index for parallel query fan-out and
+// per-shard write locking (0 adopts the shard count found on disk).
+// On SIGINT/SIGTERM
 // the daemon stops accepting connections, drains in-flight requests,
 // writes a final snapshot, and exits.
 //
@@ -92,6 +96,8 @@ func main() {
 		shards        = flag.Int("shards", 0, "hash-partitioned index shards (parallel query fan-out, per-shard write locks); 0 = adopt an existing data-dir's count, else 1")
 		dataDir       = flag.String("data-dir", "", "durability directory (per-shard write-ahead logs + snapshots); empty = volatile")
 		snapshotEvery = flag.Int("snapshot-every", 4096, "mutations between automatic snapshots (needs -data-dir; negative = only on /snapshot and shutdown)")
+		durability    = flag.String("durability", "os", `acknowledgement contract (needs -data-dir): "os" pushes records to the kernel, "sync" group-commits an fsync before every acknowledgement`)
+		gcWindow      = flag.Duration("group-commit-window", 0, "how long the group committer waits for concurrent writes to share one fsync (-durability sync; 0 = default 200µs)")
 
 		debugAddr   = flag.String("debug-addr", "", "profiling listen address serving net/http/pprof under /debug/pprof/; empty = disabled (bind loopback or another private interface — the endpoints expose internals)")
 		maxInFlight = flag.Int("max-inflight", 0, "admission control: concurrent requests served before shedding with 429 (0 = default, negative = unlimited)")
@@ -132,10 +138,18 @@ func main() {
 		handler, closer = httpd.NewRouter(c, httpd.Options{MaxInFlight: *maxInFlight}), closerFunc(func() error { c.Close(); return nil })
 	} else {
 		opts := vsmartjoin.IndexOptions{
-			Measure:       *measure,
-			Shards:        *shards,
-			Dir:           *dataDir,
-			SnapshotEvery: *snapshotEvery,
+			Measure:           *measure,
+			Shards:            *shards,
+			Dir:               *dataDir,
+			SnapshotEvery:     *snapshotEvery,
+			GroupCommitWindow: *gcWindow,
+		}
+		switch *durability {
+		case "os":
+		case "sync":
+			opts.Durability = vsmartjoin.DurabilitySync
+		default:
+			log.Fatalf(`-durability %q: want "os" or "sync"`, *durability)
 		}
 		ix, err := openIndex(opts, *load, log.Printf)
 		if err != nil {

@@ -72,6 +72,18 @@
 //     an automatic snapshot of that shard, which truncates its log;
 //     Snapshot forces one for every shard and Close writes final ones.
 //
+//   - Durability picks the acknowledgement contract: DurabilityOS (the
+//     default) acknowledges once the WAL append reaches the OS, while
+//     DurabilitySync makes every acknowledgement wait for an fsync. The
+//     fsync is group-committed — one sync covers every append that
+//     arrived while the previous sync was in flight — so the cost
+//     amortizes over concurrent writers instead of multiplying.
+//
+//   - GroupCommitWindow bounds how long the committer waits to coalesce
+//     more appends into one fsync (default 200µs; only meaningful under
+//     DurabilitySync), and MutationQueueDepth sizes the per-queue
+//     buffer behind AddAsync (default 1024).
+//
 // A production-shaped serving index combines them:
 //
 //	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{
@@ -82,6 +94,32 @@
 //	})
 //	if err != nil { ... }
 //	defer ix.Close()
+//
+// # Batched and asynchronous mutations
+//
+// Add and Remove pay one lock acquisition and one WAL append per call.
+// Under contended write load the batched surface amortizes both:
+// AddBatch applies many upserts in one call — entries are coalesced
+// per shard, appended to each shard's log as a single batch record,
+// and applied under one lock acquisition, with last-write-wins for
+// duplicate entities inside a batch — and RemoveBatch does the same
+// for deletions, returning how many named entities existed. AddAsync
+// enqueues a single upsert and returns an acknowledgement channel that
+// delivers exactly one error (nil on success) once the mutation is
+// logged and applied; mutations for the same entity are acknowledged
+// in submission order. The channel must be read — the batchorder
+// analyzer in internal/lint flags discarded acknowledgements:
+//
+//	errc := ix.AddAsync("ip-1", map[string]uint32{"cookie-a": 3})
+//	if err := <-errc; err != nil { ... }
+//
+// Queries keep their lock-free read contract throughout: a batch
+// becomes visible atomically, and under DurabilitySync it is
+// acknowledged only after its group-committed fsync. IndexStats
+// reports the moving parts — WALBatchSize and WALGroupCommitSize
+// histograms, WALRecords/WALFsyncs counters (their ratio is the
+// fsyncs-per-mutation amortization), WALCommitWait latency, and the
+// current MutationQueueDepth.
 //
 // # Bulk building
 //

@@ -15,34 +15,34 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"sort"
-	"strings"
+	"sync"
 	"testing"
+	"time"
 )
+
+// walPaths lists every shard WAL file under the data dir (via
+// bulk_test.go's walFiles), sorted for deterministic selection under a
+// seeded rng.
+func walPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	var wals []string
+	for path := range walFiles(t, dir) {
+		wals = append(wals, path)
+	}
+	sort.Strings(wals)
+	return wals
+}
 
 // tearWALTail appends a partial frame to one shard's current WAL file
 // under the data dir, simulating a process killed mid-append. The shard
 // is chosen at random: any shard's log must recover from a torn tail.
 func tearWALTail(t *testing.T, dir string, rng *rand.Rand) {
 	t.Helper()
-	var wals []string
-	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() && strings.HasPrefix(d.Name(), "wal-") {
-			wals = append(wals, path)
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	wals := walPaths(t, dir)
 	if len(wals) == 0 {
 		t.Fatal("no wal file to tear")
 	}
-	sort.Strings(wals) // deterministic order under the seeded rng
 	f, err := os.OpenFile(wals[rng.Intn(len(wals))], os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -312,4 +312,314 @@ func TestDifferentialShardedIndex(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+// indexAgrees is mustAgree's non-fatal twin: it reports whether two
+// indexes answer identically instead of failing the test, so torn-batch
+// recovery can search for WHICH prefix of a batch survived.
+func indexAgrees(got, oracle *Index, probes []map[string]uint32) bool {
+	if got.Len() != oracle.Len() {
+		return false
+	}
+	for _, probe := range probes {
+		for _, thr := range []float64{0, 0.5} {
+			g, err1 := got.QueryThreshold(probe, thr)
+			w, err2 := oracle.QueryThreshold(probe, thr)
+			if err1 != nil || err2 != nil || len(g) != len(w) {
+				return false
+			}
+			for i := range g {
+				if g[i] != w[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestCrashRecoveryMidGroupCommit kills a DurabilitySync index in the
+// middle of a group commit: a batch has been written to the WAL but the
+// crash shears off an arbitrary byte suffix of it, emulating every torn
+// write a mid-fsync kill can leave. The contract under test is the
+// group-commit acknowledgement boundary — everything acknowledged
+// before the batch (the base) must survive every cut, and the recovered
+// state must always equal base + some prefix of the torn batch, never a
+// subset with holes and never invented records.
+func TestCrashRecoveryMidGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	opts := IndexOptions{Measure: "ruzicka", Dir: dir, Shards: 1, SnapshotEvery: -1,
+		Durability: DurabilitySync, GroupCommitWindow: 50 * time.Microsecond}
+	ix, err := NewIndex(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Acknowledged base: once AddBatch returns under DurabilitySync the
+	// fsync happened, so no cut below may lose any of it.
+	base := make([]BatchEntry, 0, 16)
+	for i := 0; i < 16; i++ {
+		base = append(base, BatchEntry{
+			Entity:   fmt.Sprintf("base-%02d", i),
+			Elements: map[string]uint32{fmt.Sprintf("b%d", i%8): uint32(i + 1), "shared": 1},
+		})
+	}
+	if err := ix.AddBatch(base); err != nil {
+		t.Fatal(err)
+	}
+	wals := walPaths(t, dir)
+	if len(wals) != 1 {
+		t.Fatalf("want exactly one wal file, got %v", wals)
+	}
+	fi, err := os.Stat(wals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSize := fi.Size()
+
+	// The doomed batch: half overwrite base entities, half are new, and
+	// each carries a unique element so every prefix length is
+	// distinguishable by queries.
+	tail := make([]BatchEntry, 0, 10)
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("tail-%02d", i)
+		if i%2 == 0 {
+			name = fmt.Sprintf("base-%02d", i)
+		}
+		tail = append(tail, BatchEntry{
+			Entity:   name,
+			Elements: map[string]uint32{fmt.Sprintf("t%d", i): uint32(i + 1), "shared": 2},
+		})
+	}
+	if err := ix.AddBatch(tail); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: ix is abandoned without Close, and the final batch's
+	// bytes are sheared off a few at a time below.
+
+	oracles := make([]*Index, len(tail)+1)
+	for j := range oracles {
+		o, err := NewIndex(IndexOptions{Measure: "ruzicka"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.AddBatch(base); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.AddBatch(tail[:j]); err != nil {
+			t.Fatal(err)
+		}
+		oracles[j] = o
+	}
+	probes := []map[string]uint32{{"shared": 1}, {"b0": 1, "b4": 2}}
+	for i := range tail {
+		probes = append(probes, map[string]uint32{fmt.Sprintf("t%d", i): 1})
+	}
+
+	rng := rand.New(rand.NewSource(96))
+	lastJ := len(tail)
+	for round := 0; ; round++ {
+		fi, err := os.Stat(wals[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := fi.Size()
+		if round > 0 {
+			// Cut relative to the CURRENT size: recovery may itself have
+			// repaired the file down to a frame boundary, and truncating to
+			// a stale larger offset would zero-pad instead of shearing.
+			if cur <= baseSize {
+				break
+			}
+			cut := cur - int64(1+rng.Intn(40))
+			if cut < baseSize {
+				cut = baseSize
+			}
+			if err := os.Truncate(wals[0], cut); err != nil {
+				t.Fatal(err)
+			}
+		}
+		re, err := NewIndex(opts)
+		if err != nil {
+			t.Fatalf("round %d: reopen: %v", round, err)
+		}
+		j := -1
+		for cand := lastJ; cand >= 0; cand-- {
+			if indexAgrees(re, oracles[cand], probes) {
+				j = cand
+				break
+			}
+		}
+		if j < 0 {
+			t.Fatalf("round %d: recovered state matches no prefix base+tail[:j], j <= %d — acknowledged data lost or holes in the batch", round, lastJ)
+		}
+		if round == 0 && j != len(tail) {
+			t.Fatalf("uncut log recovered only %d of %d batch entries", j, len(tail))
+		}
+		lastJ = j
+		// re is deliberately leaked: Close would snapshot and rotate,
+		// destroying the very log bytes the next cut is about to shear.
+	}
+	if lastJ != 0 {
+		t.Fatalf("log cut back to the acknowledged base still recovered %d tail entries", lastJ)
+	}
+}
+
+// TestCrashRecoveryConcurrentBatches hammers a DurabilitySync index
+// with concurrent batched writers — AddAsync storms, RemoveBatch,
+// AddBatch — racing lock-free readers, then hard-stops it (no Close,
+// torn WAL tail) and requires the reopened index to answer exactly like
+// an oracle holding every acknowledged mutation. Writers own disjoint
+// entity spaces so the final state is deterministic; each writer reads
+// every AddAsync acknowledgement before touching the same entities
+// synchronously, which is the ordering contract the async pipeline
+// documents. Run under -race this is also the batched write path's
+// data-race gate.
+func TestCrashRecoveryConcurrentBatches(t *testing.T) {
+	dir := t.TempDir()
+	opts := IndexOptions{Measure: "ruzicka", Dir: dir, Shards: 3, SnapshotEvery: 29,
+		Durability: DurabilitySync, GroupCommitWindow: 100 * time.Microsecond}
+	ix, err := NewIndex(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const perWriter = 32
+	const rounds = 4
+	name := func(w, i int) string { return fmt.Sprintf("w%d-%03d", w, i) }
+	elems := func(w, i, round int) map[string]uint32 {
+		return map[string]uint32{
+			fmt.Sprintf("el%d", (w*7+i)%24):     uint32(round + 1),
+			fmt.Sprintf("el%d", (i*3+round)%24): uint32(i%5 + 1),
+			"shared":                            uint32(w + 1),
+		}
+	}
+
+	errs := make(chan error, writers+2)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	done := make(chan struct{})
+	var readerWG, writerWG sync.WaitGroup
+
+	// Readers race the writers on the lock-free query path.
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			probe := map[string]uint32{"shared": 1, fmt.Sprintf("el%d", r): 2}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := ix.QueryThreshold(probe, 0.3); err != nil {
+					fail(err)
+					return
+				}
+				ix.QueryTopK(probe, 3)
+			}
+		}(r)
+	}
+
+	finals := make([]map[string]map[string]uint32, writers)
+	for w := 0; w < writers; w++ {
+		finals[w] = make(map[string]map[string]uint32, perWriter)
+		writerWG.Add(1)
+		go func(w int, final map[string]map[string]uint32) {
+			defer writerWG.Done()
+			for round := 0; round < rounds; round++ {
+				// Async upsert storm over the whole key space; every ack is
+				// read before any synchronous op touches the same entities.
+				acks := make([]<-chan error, 0, perWriter)
+				for i := 0; i < perWriter; i++ {
+					acks = append(acks, ix.AddAsync(name(w, i), elems(w, i, round)))
+				}
+				for _, c := range acks {
+					if err := <-c; err != nil {
+						fail(err)
+						return
+					}
+				}
+				for i := 0; i < perWriter; i++ {
+					final[name(w, i)] = elems(w, i, round)
+				}
+				// Thin out a sliding window, then batch half of it back.
+				var victims []string
+				for i := round; i < perWriter; i += 4 {
+					victims = append(victims, name(w, i))
+				}
+				if _, err := ix.RemoveBatch(victims); err != nil {
+					fail(err)
+					return
+				}
+				for _, v := range victims {
+					delete(final, v)
+				}
+				var back []BatchEntry
+				for k, v := range victims {
+					if k%2 == 0 {
+						e := elems(w, k, round)
+						back = append(back, BatchEntry{Entity: v, Elements: e})
+						final[v] = e
+					}
+				}
+				if err := ix.AddBatch(back); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w, finals[w])
+	}
+	writerWG.Wait()
+	close(done)
+	readerWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Hard stop: abandon without Close. Every mutation above was
+	// acknowledged, so under DurabilitySync all of it must survive the
+	// torn frame a mid-append kill leaves behind.
+	rng := rand.New(rand.NewSource(97))
+	tearWALTail(t, dir, rng)
+	recovered, err := NewIndex(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+
+	oracle, err := NewIndex(IndexOptions{Measure: "ruzicka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, final := range finals {
+		// Writers own disjoint entity spaces, so apply order across
+		// writers cannot matter; within a writer only the final value of
+		// each surviving entity does.
+		names := make([]string, 0, len(final))
+		for n := range final {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if err := oracle.Add(n, final[n]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	probes := []map[string]uint32{
+		{"shared": 1},
+		{"el0": 1, "el7": 2},
+		{"el3": 1, "shared": 2},
+		elems(1, 3, rounds-1),
+	}
+	mustAgree(t, "recovered after concurrent batched writes", recovered, oracle, probes)
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vsmartjoin/internal/index"
 	"vsmartjoin/internal/metrics"
@@ -36,6 +37,38 @@ const defaultSnapshotEvery = 4096
 // maxShards bounds IndexOptions.Shards: past this the fan-out overhead
 // of a query dwarfs any lock-contention win.
 const maxShards = 1024
+
+// defaultGroupCommitWindow is how long the group committer waits after
+// the first pending record for neighbors to pile onto the same fsync
+// (DurabilitySync only). Small enough to stay invisible next to the
+// fsync itself, large enough to absorb a burst of concurrent writers.
+const defaultGroupCommitWindow = 200 * time.Microsecond
+
+// defaultMutationQueueDepth bounds each async mutation queue: a full
+// queue makes AddAsync block (backpressure), never drop.
+const defaultMutationQueueDepth = 1024
+
+// applierDrainMax caps how many queued mutations one applier drains
+// into a single applyBatch call — the batch each shard applies under
+// one lock acquisition, and the batch one WAL AppendBatch covers.
+const applierDrainMax = 256
+
+// Durability selects how a durable index acknowledges mutations.
+type Durability int
+
+const (
+	// DurabilityOS (the default) pushes every WAL record to the
+	// operating system before the mutation is acknowledged but fsyncs
+	// only at snapshots and Close: a process crash loses nothing, a
+	// machine crash can lose the un-fsynced tail of each shard's log.
+	DurabilityOS Durability = iota
+	// DurabilitySync acknowledges a mutation only after an fsync covers
+	// its WAL record. Fsyncs are group-committed: a committer goroutine
+	// coalesces the fsyncs of concurrent mutations into one, so the
+	// per-mutation cost is an fsync amortized over every write in the
+	// same commit window, not an fsync each. Requires Dir.
+	DurabilitySync
+)
 
 // IndexOptions configures NewIndex, OpenIndex, BuildIndex, and
 // BuildIndexFiles.
@@ -79,6 +112,24 @@ type IndexOptions struct {
 	// disables automatic snapshots — the logs then grow until Snapshot
 	// or Close. Ignored without Dir.
 	SnapshotEvery int
+
+	// Durability selects the acknowledgement contract of a durable
+	// index (requires Dir): DurabilityOS (default) never fsyncs until a
+	// snapshot, DurabilitySync group-commits an fsync before every
+	// acknowledgement. Ignored without Dir.
+	Durability Durability
+
+	// GroupCommitWindow is how long the group committer waits after the
+	// first pending WAL record for more to join the same fsync
+	// (DurabilitySync only; default 200µs, negative commits
+	// immediately). A longer window batches harder under bursty load at
+	// the cost of per-mutation latency.
+	GroupCommitWindow time.Duration
+
+	// MutationQueueDepth bounds each of the per-shard async mutation
+	// queues behind AddAsync (default 1024). A full queue blocks the
+	// next AddAsync until the applier drains — backpressure, not loss.
+	MutationQueueDepth int
 
 	// CacheSize bounds the query result cache: a per-index LRU over
 	// canonicalized queries ((measure, query elements, t or k) keys)
@@ -167,15 +218,31 @@ type IndexStats struct {
 	CacheEntries int   `json:"cache_entries"`
 
 	// Latency digests of the serving path, in nanoseconds. QueryLatency
-	// covers uncached public queries end to end (cache hits are counted
+	// covers uncached public queries end to end, sampled one query in
+	// eight so the timing stays off the hot path (cache hits are counted
 	// above but never timed); MergeLatency is the cross-shard merge step
 	// of multi-shard fan-outs; WALAppend/WALFsync are durability stalls
-	// merged across the per-shard logs (empty for a volatile index).
-	// Full-resolution histograms back Index.Metrics and GET /metrics.
-	QueryLatency LatencySummary `json:"query_latency"`
-	MergeLatency LatencySummary `json:"merge_latency"`
-	WALAppend    LatencySummary `json:"wal_append"`
-	WALFsync     LatencySummary `json:"wal_fsync"`
+	// merged across the per-shard logs (empty for a volatile index);
+	// WALCommitWait is how long acknowledged mutations waited for their
+	// group commit (DurabilitySync only). Full-resolution histograms
+	// back Index.Metrics and GET /metrics.
+	QueryLatency  LatencySummary `json:"query_latency"`
+	MergeLatency  LatencySummary `json:"merge_latency"`
+	WALAppend     LatencySummary `json:"wal_append"`
+	WALFsync      LatencySummary `json:"wal_fsync"`
+	WALCommitWait LatencySummary `json:"wal_commit_wait"`
+
+	// Write-batching telemetry. WALBatchSize is the records-per-
+	// AppendBatch distribution; WALGroupCommitSize is records per fsync
+	// (the group-commit amortization factor); WALRecords and WALFsyncs
+	// are the totals whose ratio is the fsyncs-per-mutation cost;
+	// MutationQueueDepth is the number of AddAsync mutations currently
+	// queued behind the appliers (0 when the pipeline has never run).
+	WALBatchSize       SizeSummary `json:"wal_batch_size"`
+	WALGroupCommitSize SizeSummary `json:"wal_group_commit_size"`
+	WALRecords         int64       `json:"wal_records"`
+	WALFsyncs          int64       `json:"wal_fsyncs"`
+	MutationQueueDepth int         `json:"mutation_queue_depth"`
 }
 
 // Index is the online counterpart of AllPairs: an incremental inverted
@@ -203,6 +270,21 @@ type Index struct {
 	logged        []int // per-shard mutations since that shard's snapshot; guarded by mu
 	closed        bool
 
+	// Async mutation pipeline (AddAsync): bounded queues drained by one
+	// applier goroutine each, started lazily on the first AddAsync so an
+	// index that never uses the pipe never spawns it. queues and
+	// pipeStopped are guarded by mu; pipeWG tracks in-flight enqueues so
+	// Close can drain the pipe without racing a send into a closed
+	// channel; applierWG tracks the applier goroutines themselves.
+	durability  Durability
+	gcWindow    time.Duration
+	queueDepth  int
+	pipeOnce    sync.Once
+	queues      []chan mutation
+	pipeStopped bool
+	pipeWG      sync.WaitGroup
+	applierWG   sync.WaitGroup
+
 	// gen counts mutations; every Add/Remove bumps it, invalidating all
 	// result-cache entries stamped with an earlier value. cache is nil
 	// when IndexOptions.CacheSize is negative.
@@ -210,9 +292,11 @@ type Index struct {
 	cache *queryCache
 
 	// queryLatency times uncached public queries end to end (probe,
-	// verify, resolve). The stamp is taken only after a cache miss, so
-	// the sub-microsecond hit path pays no clock read — hits are counted
-	// by the cache, not timed here.
+	// verify, resolve), sampled one query in eight per pooled query
+	// buffer (queryBuf.sample) so neither the clock reads nor the
+	// histogram's shared counters ride the hot path. The stamp is taken
+	// only after a cache miss — hits are counted by the cache, not
+	// timed here.
 	queryLatency metrics.Histogram
 }
 
@@ -275,6 +359,22 @@ func newIndex(opts IndexOptions, create bool) (*Index, error) {
 	if snapshotEvery == 0 {
 		snapshotEvery = defaultSnapshotEvery
 	}
+	switch opts.Durability {
+	case DurabilityOS, DurabilitySync:
+	default:
+		return nil, fmt.Errorf("vsmartjoin: unknown durability %d", opts.Durability)
+	}
+	if opts.Durability == DurabilitySync && opts.Dir == "" {
+		return nil, errors.New("vsmartjoin: DurabilitySync requires Dir")
+	}
+	gcWindow := opts.GroupCommitWindow
+	if gcWindow == 0 {
+		gcWindow = defaultGroupCommitWindow
+	}
+	queueDepth := opts.MutationQueueDepth
+	if queueDepth <= 0 {
+		queueDepth = defaultMutationQueueDepth
+	}
 	ix := &Index{
 		measure:       m,
 		inner:         shard.New(m, shards),
@@ -283,6 +383,9 @@ func newIndex(opts IndexOptions, create bool) (*Index, error) {
 		names:         make(map[multiset.ID]string),
 		nextID:        1,
 		snapshotEvery: snapshotEvery,
+		durability:    opts.Durability,
+		gcWindow:      gcWindow,
+		queueDepth:    queueDepth,
 	}
 	cacheSize := opts.CacheSize
 	if cacheSize == 0 {
@@ -363,9 +466,14 @@ func (ix *Index) openLogs(dir string) error {
 			}
 			return nil
 		}
+		var walOpts []wal.Option
+		if ix.durability == DurabilitySync {
+			walOpts = append(walOpts, wal.WithGroupCommit(ix.gcWindow))
+		}
 		l, err := wal.Open(filepath.Join(dir, wal.ShardDirName(i)), ix.measure.Name(),
 			func(rec wal.Record) error { return apply(rec, true) },
-			func(rec wal.Record) error { return apply(rec, false) })
+			func(rec wal.Record) error { return apply(rec, false) },
+			walOpts...)
 		if err != nil {
 			return err
 		}
@@ -493,17 +601,21 @@ func (ix *Index) applyRemoveLocked(entity string) bool {
 // Dataset.Add, which merges). Zero counts are ignored. On a durable
 // index the mutation is appended to the owning shard's write-ahead log
 // first; if the append fails the in-memory index is left untouched and
-// the error is returned — a returned error always means the mutation
+// the error is returned — an append error always means the mutation
 // did NOT happen (automatic snapshot trouble is reported by
-// Snapshot/Close instead). A volatile Add never fails.
+// Snapshot/Close instead). Under DurabilitySync, Add additionally
+// waits — outside the index lock, so queries and other writers keep
+// flowing — until a group-committed fsync covers the record; an error
+// from that wait means the mutation is applied in memory but NOT
+// guaranteed durable. A volatile Add never fails.
 //
 // The inner insert happens under the name-table lock: if it didn't, a
 // concurrent Remove of the same name could run between the two steps and
 // leave a nameless ghost entity in the inner index.
 func (ix *Index) Add(entity string, counts map[string]uint32) error {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if ix.closed {
+		ix.mu.Unlock()
 		return ErrIndexClosed
 	}
 	// The ID is fixed before the WAL append: routing is a hash of the
@@ -513,8 +625,12 @@ func (ix *Index) Add(entity string, counts map[string]uint32) error {
 		id = ix.nextID
 	}
 	si := shard.ShardOf(id, ix.inner.Shards())
+	var wait func() error
 	if ix.logs != nil {
-		if err := ix.logs[si].Append(walAddRecord(id, entity, counts)); err != nil {
+		var err error
+		wait, err = ix.logs[si].AppendDeferred(walAddRecord(id, entity, counts))
+		if err != nil {
+			ix.mu.Unlock()
 			return fmt.Errorf("vsmartjoin: add %q: %w", entity, err)
 		}
 	}
@@ -533,34 +649,379 @@ func (ix *Index) Add(entity string, counts map[string]uint32) error {
 	ix.inner.Add(multiset.New(id, entries))
 	ix.gen.Add(1) // invalidate cached answers computed before this add
 	ix.maybeSnapshotLocked(si)
+	ix.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("vsmartjoin: add %q: commit: %w", entity, err)
+		}
+	}
 	return nil
 }
 
 // Remove deletes an entity by name, reporting whether it was indexed.
 // The removal of a name that is not indexed is a no-op and is not
 // logged. Like Add, the WAL append happens before the in-memory
-// mutation, and a returned error (never for a volatile index) means
-// the removal did not happen — it reports log trouble, not absence.
+// mutation; an append error (never for a volatile index) means the
+// removal did not happen, and a DurabilitySync commit-wait error means
+// it is applied but not guaranteed durable.
 func (ix *Index) Remove(entity string) (bool, error) {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if ix.closed {
+		ix.mu.Unlock()
 		return false, ErrIndexClosed
 	}
 	id, ok := ix.byName[entity]
 	if !ok {
+		ix.mu.Unlock()
 		return false, nil
 	}
 	si := shard.ShardOf(id, ix.inner.Shards())
+	var wait func() error
 	if ix.logs != nil {
-		if err := ix.logs[si].Append(wal.Record{Op: wal.OpRemove, Entity: entity}); err != nil {
+		var err error
+		wait, err = ix.logs[si].AppendDeferred(wal.Record{Op: wal.OpRemove, Entity: entity})
+		if err != nil {
+			ix.mu.Unlock()
 			return false, fmt.Errorf("vsmartjoin: remove %q: %w", entity, err)
 		}
 	}
 	removed := ix.applyRemoveLocked(entity)
 	ix.gen.Add(1) // invalidate cached answers computed before this remove
 	ix.maybeSnapshotLocked(si)
+	ix.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return removed, fmt.Errorf("vsmartjoin: remove %q: commit: %w", entity, err)
+		}
+	}
 	return removed, nil
+}
+
+// BatchEntry is one entity of an AddBatch: a name with its element
+// multiplicities, the same shape Add takes.
+type BatchEntry struct {
+	Entity   string
+	Elements map[string]uint32
+}
+
+// AddBatch upserts a batch of entities through the batched mutation
+// pipeline: one WAL AppendBatch per touched shard (one write and, under
+// DurabilitySync, one group-committed fsync covering the whole shard
+// group), one shard-lock acquisition per touched shard, and repeated
+// upserts of the same entity within the batch coalesced last-write-wins
+// before they ever reach the log. Entries are applied in order;
+// relative order across different entities is preserved per shard.
+//
+// On error the batch may be partially applied at shard granularity: the
+// entries routed to a shard whose WAL append failed did not happen,
+// entries on other shards did (and a DurabilitySync commit-wait error
+// means applied but not guaranteed durable, as with Add).
+func (ix *Index) AddBatch(entries []BatchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	muts := make([]mutation, len(entries))
+	for i, e := range entries {
+		muts[i] = mutation{entity: e.Entity, counts: e.Elements}
+	}
+	_, err := ix.applyBatch(muts)
+	return err
+}
+
+// RemoveBatch deletes a batch of entities by name with AddBatch's
+// batching, ordering, and failure semantics, reporting how many were
+// present and removed. Names not indexed are no-ops and are not logged.
+func (ix *Index) RemoveBatch(entities []string) (int, error) {
+	if len(entities) == 0 {
+		return 0, nil
+	}
+	muts := make([]mutation, len(entities))
+	for i, e := range entities {
+		muts[i] = mutation{remove: true, entity: e}
+	}
+	applied, err := ix.applyBatch(muts)
+	removed := 0
+	for _, ok := range applied {
+		if ok {
+			removed++
+		}
+	}
+	return removed, err
+}
+
+// AddAsync enqueues an upsert on the async mutation pipeline and
+// returns immediately with a 1-buffered channel that receives the
+// mutation's outcome exactly once: nil after the upsert is applied (and
+// under DurabilitySync, durable), or the error that rejected it. The
+// pipeline batches queued mutations per shard and applies each batch
+// under one lock acquisition with one WAL append — under a write storm
+// this is the highest-throughput path. Mutations of the same entity
+// are applied in AddAsync call order; a full queue blocks AddAsync
+// (backpressure) rather than dropping. Discarding the returned channel
+// discards the error with it — callers that care about durability must
+// read it (the batchorder analyzer flags a dropped result).
+func (ix *Index) AddAsync(entity string, counts map[string]uint32) <-chan error {
+	errc := make(chan error, 1)
+	ix.mu.Lock()
+	if ix.closed || ix.pipeStopped {
+		ix.mu.Unlock()
+		errc <- ErrIndexClosed
+		return errc
+	}
+	ix.pipeOnce.Do(ix.startPipeLocked)
+	q := ix.queues[queueOf(entity, len(ix.queues))]
+	ix.pipeWG.Add(1)
+	ix.mu.Unlock()
+	// The send happens outside mu: a full queue must block this caller,
+	// not every reader and writer of the index.
+	q <- mutation{entity: entity, counts: counts, errc: errc}
+	ix.pipeWG.Done()
+	return errc
+}
+
+// mutation is one queued or batched write: an upsert (counts) or a
+// removal. errc, when non-nil, receives the mutation's outcome exactly
+// once (AddAsync); synchronous batch callers read the joined error from
+// applyBatch instead.
+type mutation struct {
+	remove bool
+	entity string
+	counts map[string]uint32
+	errc   chan error
+}
+
+// queueOf routes an entity name to an async mutation queue (FNV-1a).
+// Routing by name — not by shard of the ID, which is only known once
+// the ID is assigned under the lock — still guarantees what ordering
+// needs: every mutation of one entity lands in the same queue, FIFO.
+func queueOf(entity string, n int) int {
+	if n < 2 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(entity); i++ {
+		h ^= uint64(entity[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// startPipeLocked spawns the async mutation pipeline: one bounded
+// queue and one applier per shard width. Caller holds ix.mu (via the
+// pipeOnce in AddAsync), so startup cannot race Close's pipeStopped
+// check.
+func (ix *Index) startPipeLocked() {
+	ix.queues = make([]chan mutation, ix.inner.Shards())
+	for i := range ix.queues {
+		ix.queues[i] = make(chan mutation, ix.queueDepth)
+		ix.applierWG.Add(1)
+		go ix.applier(ix.queues[i])
+	}
+}
+
+// applier drains one async mutation queue: each wakeup batches
+// everything currently queued (up to applierDrainMax) into a single
+// applyBatch call, so a backed-up queue is applied with one lock
+// acquisition and one WAL append instead of one per mutation. Exits
+// when the queue closes.
+func (ix *Index) applier(q chan mutation) {
+	defer ix.applierWG.Done()
+	batch := make([]mutation, 0, applierDrainMax)
+	for first := range q {
+		batch = append(batch[:0], first)
+	drain:
+		for len(batch) < applierDrainMax {
+			select {
+			case more, ok := <-q:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		// applyBatch acks every mutation through its errc; the joined
+		// error is the synchronous callers' view and has no reader here.
+		ix.applyBatch(batch) //nolint — acks flow through each mutation's errc
+	}
+}
+
+// applyBatch is the one batched write path AddBatch, RemoveBatch, and
+// the async appliers share. Under a single ix.mu acquisition it
+// resolves entity IDs in order (simulating the name-table effects of
+// earlier ops in the same batch), coalesces superseded upserts
+// last-write-wins (an upsert later overwritten in the same batch, with
+// no intervening remove, never reaches the WAL), appends each touched
+// shard's records with one AppendBatch, and applies every op whose
+// shard append succeeded — WAL-append-before-apply, per shard, exactly
+// like the single-op path. DurabilitySync commit waits run after the
+// lock drops: visibility before durability, acknowledgement after the
+// fsync. The returned slice reports per-mutation whether state
+// actually changed (false for no-op removes, coalesced-away upserts,
+// and failed shards).
+func (ix *Index) applyBatch(muts []mutation) ([]bool, error) {
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	ix.mu.Lock()
+	if ix.closed {
+		ix.mu.Unlock()
+		for _, m := range muts {
+			if m.errc != nil {
+				m.errc <- ErrIndexClosed
+			}
+		}
+		return nil, ErrIndexClosed
+	}
+	n := ix.inner.Shards()
+
+	// Pass 1: resolve IDs and in-batch name-table effects in order.
+	// overlay maps names touched by this batch to their current in-batch
+	// ID (0 after an in-batch remove); lastAdd supports the LWW
+	// coalescing — a remove is a barrier, so only upserts with no
+	// intervening remove coalesce.
+	type resolved struct {
+		skip bool // no-op remove, or upsert superseded within the batch
+		id   multiset.ID
+		si   int
+	}
+	res := make([]resolved, len(muts))
+	overlay := make(map[string]multiset.ID, len(muts))
+	lastAdd := make(map[string]int, len(muts))
+	for i, m := range muts {
+		id, inBatch := overlay[m.entity]
+		present := id != 0 // an in-batch 0 is the remove tombstone
+		if !inBatch {
+			id, present = ix.byName[m.entity]
+		}
+		if m.remove {
+			if !present {
+				res[i].skip = true
+				continue
+			}
+			overlay[m.entity] = 0
+			delete(lastAdd, m.entity)
+			res[i] = resolved{id: id, si: shard.ShardOf(id, n)}
+			continue
+		}
+		if !present {
+			// A burned ID on a failed shard append leaves a harmless gap:
+			// recovery derives nextID from the highest ID it replays.
+			id = ix.nextID
+			ix.nextID++
+		}
+		overlay[m.entity] = id
+		if prev, ok := lastAdd[m.entity]; ok {
+			res[prev].skip = true // superseded: last write wins
+		}
+		lastAdd[m.entity] = i
+		res[i] = resolved{id: id, si: shard.ShardOf(id, n)}
+	}
+
+	// Pass 2: one WAL AppendBatch per touched shard, still under ix.mu
+	// so the record order of each shard's log matches the apply order
+	// and cannot interleave with a snapshot cut. The commit waits are
+	// collected and paid after the lock drops.
+	shardErr := map[int]error{}
+	waits := map[int]func() error{}
+	if ix.logs != nil {
+		recs := map[int][]wal.Record{}
+		for i, m := range muts {
+			if res[i].skip {
+				continue
+			}
+			if m.remove {
+				recs[res[i].si] = append(recs[res[i].si], wal.Record{Op: wal.OpRemove, Entity: m.entity})
+			} else {
+				recs[res[i].si] = append(recs[res[i].si], walAddRecord(res[i].id, m.entity, m.counts))
+			}
+		}
+		for si, rs := range recs {
+			wait, err := ix.logs[si].AppendBatchDeferred(rs)
+			if err != nil {
+				shardErr[si] = fmt.Errorf("vsmartjoin: batch append %s: %w", wal.ShardDirName(si), err)
+				continue
+			}
+			waits[si] = wait
+		}
+	}
+
+	// Pass 3: apply, in original batch order, every op whose shard
+	// append succeeded — name tables inline, shard structures grouped so
+	// each shard pays one lock acquisition via index.ApplyBatch.
+	applied := make([]bool, len(muts))
+	ops := map[int][]index.BatchOp{}
+	loggedN := map[int]int{}
+	for i, m := range muts {
+		r := res[i]
+		if r.skip || shardErr[r.si] != nil {
+			continue
+		}
+		if m.remove {
+			delete(ix.byName, m.entity)
+			delete(ix.names, r.id)
+			ops[r.si] = append(ops[r.si], index.BatchOp{Remove: true, ID: r.id})
+		} else {
+			ix.byName[m.entity] = r.id
+			ix.names[r.id] = m.entity
+			ops[r.si] = append(ops[r.si], index.BatchOp{Set: multiset.New(r.id, ix.internCounts(m.counts))})
+		}
+		applied[i] = true
+		loggedN[r.si]++
+	}
+	for si, group := range ops {
+		ix.inner.At(si).ApplyBatch(group)
+	}
+	if len(ops) > 0 {
+		ix.gen.Add(1) // one generation bump invalidates the cache for the whole batch
+	}
+	if ix.logs != nil {
+		for si, cnt := range loggedN {
+			ix.noteLoggedLocked(si, cnt)
+		}
+	}
+	ix.mu.Unlock()
+
+	// Pass 4: durability waits (outside every lock), then per-mutation
+	// acknowledgement. A coalesced-away upsert shares its winner's shard
+	// and therefore its winner's outcome.
+	for si, wait := range waits {
+		if err := wait(); err != nil {
+			shardErr[si] = fmt.Errorf("vsmartjoin: batch commit %s: %w", wal.ShardDirName(si), err)
+		}
+	}
+	var errs []error
+	for si := range shardErr {
+		errs = append(errs, shardErr[si])
+	}
+	err := errors.Join(errs...)
+	for i, m := range muts {
+		if m.errc == nil {
+			continue
+		}
+		r := res[i]
+		if r.skip && m.remove {
+			m.errc <- nil // removing an absent name is a successful no-op
+			continue
+		}
+		m.errc <- shardErr[r.si]
+	}
+	return applied, err
+}
+
+// internCounts interns a counts map into sorted multiset entries,
+// dropping zero counts — the map-shaped twin of internElements. Caller
+// holds ix.mu (Intern mutates the dictionary).
+func (ix *Index) internCounts(counts map[string]uint32) []multiset.Entry {
+	entries := make([]multiset.Entry, 0, len(counts))
+	for elem, c := range counts {
+		if c == 0 {
+			continue
+		}
+		entries = append(entries, multiset.Entry{Elem: ix.dict.Intern(elem), Count: c})
+	}
+	return entries
 }
 
 // maybeSnapshotLocked counts a mutation logged to shard si and cuts
@@ -570,11 +1031,16 @@ func (ix *Index) Remove(entity string) (bool, error) {
 // shard retries on its next mutation, and Close retries every shard
 // whose counter is still positive, surfacing a persistent failure
 // there. Caller holds ix.mu.
-func (ix *Index) maybeSnapshotLocked(si int) {
-	if ix.logs == nil {
+func (ix *Index) maybeSnapshotLocked(si int) { ix.noteLoggedLocked(si, 1) }
+
+// noteLoggedLocked is maybeSnapshotLocked for n mutations at once — the
+// batched write path logs a whole shard group before applying it and
+// advances the cadence in one step.
+func (ix *Index) noteLoggedLocked(si, n int) {
+	if ix.logs == nil || n == 0 {
 		return
 	}
-	ix.logged[si]++
+	ix.logged[si] += n
 	if ix.snapshotEvery < 0 || ix.logged[si] < ix.snapshotEvery {
 		return
 	}
@@ -635,11 +1101,30 @@ func (ix *Index) Snapshot() error {
 	return ix.snapshotLocked()
 }
 
-// Close writes a final snapshot of every shard with mutations logged
-// since its last one, and closes the write-ahead logs. Further
-// mutations fail; queries keep working against the in-memory state.
-// Closing a volatile or already-closed index is a no-op.
+// Close drains the async mutation pipeline (every mutation already
+// enqueued by AddAsync is applied and acknowledged; later AddAsync
+// calls are refused), then writes a final snapshot of every shard with
+// mutations logged since its last one and closes the write-ahead logs.
+// Further mutations fail; queries keep working against the in-memory
+// state. Closing a volatile or already-closed index is a no-op for the
+// durability state, but still drains the pipeline.
 func (ix *Index) Close() error {
+	// Phase 1: stop the pipeline. pipeStopped turns AddAsync away before
+	// the queues close (an enqueue into a closed channel would panic);
+	// pipeWG covers enqueues that passed the check before we flipped it.
+	ix.mu.Lock()
+	stopping := !ix.pipeStopped && ix.queues != nil
+	ix.pipeStopped = true
+	ix.mu.Unlock()
+	if stopping {
+		ix.pipeWG.Wait() // in-flight enqueues land in the queues
+		for _, q := range ix.queues {
+			close(q)
+		}
+		ix.applierWG.Wait() // appliers drain and ack everything queued
+	}
+
+	// Phase 2: persist and close the durability state.
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.logs == nil || ix.closed {
@@ -725,11 +1210,33 @@ func (ix *Index) resolve(ms []index.Match) []Match {
 	return out
 }
 
-// matchBufPool recycles the internal-match staging buffers of the
-// public query path: the inner Into query fills one, resolve translates
-// it into public matches, and the buffer returns to the pool — the
-// internal result list never reaches a caller, so pooling it is safe.
-var matchBufPool = sync.Pool{New: func() any { return new([]index.Match) }}
+// queryBuf is the pooled per-query state of the public read path: the
+// internal-match staging buffer (the inner Into query fills it, resolve
+// translates it into public matches, and it never reaches a caller, so
+// pooling is safe) plus a latency-sampling tick. Query latency is
+// observed on one query in eight per buffer: the two clock reads and
+// the histogram's shared-cacheline bump leave the hot path seven times
+// out of eight, keeping the uncached read at its pre-instrumentation
+// cost, while the sampled digest still converges on the steady-state
+// distribution (sampling is unbiased — the tick has no correlation
+// with query difficulty).
+type queryBuf struct {
+	ms   []index.Match
+	tick uint8
+}
+
+// sample advances the buffer's tick and stamps the clock on the queries
+// it elects to time: the first query through a fresh buffer (so a
+// lightly used index still populates the digest), then every eighth.
+func (b *queryBuf) sample() (metrics.Stamp, bool) {
+	b.tick++
+	if b.tick&7 != 1 {
+		return metrics.Stamp{}, false
+	}
+	return metrics.Now(), true
+}
+
+var matchBufPool = sync.Pool{New: func() any { return new(queryBuf) }}
 
 // QueryThreshold returns every indexed entity whose similarity to the
 // query multiset is at least t, in the canonical order (decreasing
@@ -754,13 +1261,15 @@ func (ix *Index) QueryThreshold(counts map[string]uint32, t float64) ([]Match, e
 			return res, nil
 		}
 	}
-	start := metrics.Now()
-	bp := matchBufPool.Get().(*[]index.Match)
-	ms := ix.inner.QueryThresholdInto(ix.buildQuery(counts), t, (*bp)[:0])
+	bp := matchBufPool.Get().(*queryBuf)
+	start, timed := bp.sample()
+	ms := ix.inner.QueryThresholdInto(ix.buildQuery(counts), t, bp.ms[:0])
 	out := ix.resolve(ms)
-	*bp = ms
+	bp.ms = ms
 	matchBufPool.Put(bp)
-	ix.queryLatency.ObserveSince(start)
+	if timed {
+		ix.queryLatency.ObserveSince(start)
+	}
 	if ix.cache != nil {
 		ix.cache.put(ks.b, gen, out)
 		putKeyScratch(ks)
@@ -794,13 +1303,15 @@ func (ix *Index) QueryEntity(entity string, t float64) ([]Match, error) {
 		}
 		return nil, fmt.Errorf("vsmartjoin: entity %q not indexed", entity)
 	}
-	start := metrics.Now()
-	bp := matchBufPool.Get().(*[]index.Match)
-	ms := ix.inner.QueryThresholdInto(ix.queryByID(id), t, (*bp)[:0])
+	bp := matchBufPool.Get().(*queryBuf)
+	start, timed := bp.sample()
+	ms := ix.inner.QueryThresholdInto(ix.queryByID(id), t, bp.ms[:0])
 	out := ix.resolve(ms)
-	*bp = ms
+	bp.ms = ms
 	matchBufPool.Put(bp)
-	ix.queryLatency.ObserveSince(start)
+	if timed {
+		ix.queryLatency.ObserveSince(start)
+	}
 	if ix.cache != nil {
 		ix.cache.put(ks.b, gen, out)
 		putKeyScratch(ks)
@@ -833,14 +1344,14 @@ func (ix *Index) QueryTopK(counts map[string]uint32, k int) []Match {
 			return res
 		}
 	}
-	start := metrics.Now()
 	q := ix.buildQuery(counts)
-	bp := matchBufPool.Get().(*[]index.Match)
+	bp := matchBufPool.Get().(*queryBuf)
+	start, timed := bp.sample()
 	// Probe for k+1: the extra result is a tie detector. If the k-th and
 	// (k+1)-th best similarities differ (or fewer than k+1 exist), no tied
 	// entity was evicted at the boundary and the heap's selection is
 	// already the canonical one — the common case, served by one pass.
-	ms := ix.inner.QueryTopKInto(q, k+1, (*bp)[:0])
+	ms := ix.inner.QueryTopKInto(q, k+1, bp.ms[:0])
 	if len(ms) == k+1 && ms[k-1].Sim == ms[k].Sim {
 		// Ties straddle the boundary, and the heap broke them by entity
 		// ID; fetch every entity at or above the boundary similarity and
@@ -851,9 +1362,11 @@ func (ix *Index) QueryTopK(counts map[string]uint32, k int) []Match {
 		ms = ix.inner.QueryThresholdInto(q, boundary, ms[:0])
 	}
 	out := ix.resolve(ms)
-	*bp = ms
+	bp.ms = ms
 	matchBufPool.Put(bp)
-	ix.queryLatency.ObserveSince(start)
+	if timed {
+		ix.queryLatency.ObserveSince(start)
+	}
 	if len(out) > k {
 		out = out[:k]
 	}
@@ -919,29 +1432,48 @@ func (ix *Index) Stats() IndexStats {
 		cacheEntries = ix.cache.len()
 	}
 	return IndexStats{
-		Measure:      ix.measure.Name(),
-		Shards:       ix.inner.Shards(),
-		Generation:   ix.Generation(),
-		Entities:     s.Entities,
-		Elements:     s.Elements,
-		Postings:     s.Postings,
-		Adds:         s.Adds,
-		Removes:      s.Removes,
-		Compactions:  s.Compactions,
-		Queries:      s.Queries,
-		Probes:       s.Probes,
-		Candidates:   s.Candidates,
-		LengthPruned: s.LengthPruned,
-		Verified:     s.Verified,
-		Results:      s.Results,
-		CacheHits:    cacheHits,
-		CacheMisses:  cacheMisses,
-		CacheEntries: cacheEntries,
-		QueryLatency: summarize(m.Query),
-		MergeLatency: summarize(m.Merge),
-		WALAppend:    summarize(m.WALAppend),
-		WALFsync:     summarize(m.WALFsync),
+		Measure:            ix.measure.Name(),
+		Shards:             ix.inner.Shards(),
+		Generation:         ix.Generation(),
+		Entities:           s.Entities,
+		Elements:           s.Elements,
+		Postings:           s.Postings,
+		Adds:               s.Adds,
+		Removes:            s.Removes,
+		Compactions:        s.Compactions,
+		Queries:            s.Queries,
+		Probes:             s.Probes,
+		Candidates:         s.Candidates,
+		LengthPruned:       s.LengthPruned,
+		Verified:           s.Verified,
+		Results:            s.Results,
+		CacheHits:          cacheHits,
+		CacheMisses:        cacheMisses,
+		CacheEntries:       cacheEntries,
+		QueryLatency:       summarize(m.Query),
+		MergeLatency:       summarize(m.Merge),
+		WALAppend:          summarize(m.WALAppend),
+		WALFsync:           summarize(m.WALFsync),
+		WALCommitWait:      summarize(m.WALCommitWait),
+		WALBatchSize:       summarizeSize(m.WALBatch),
+		WALGroupCommitSize: summarizeSize(m.WALGroupCommit),
+		WALRecords:         m.WALRecords,
+		WALFsyncs:          m.WALFsyncs,
+		MutationQueueDepth: ix.queueBacklog(),
 	}
+}
+
+// queueBacklog sums the AddAsync mutations currently sitting in the
+// pipeline queues — an instantaneous gauge, racing the appliers by
+// nature.
+func (ix *Index) queueBacklog() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, q := range ix.queues {
+		n += len(q)
+	}
+	return n
 }
 
 // checkThreshold applies the same threshold convention as AllPairs, except

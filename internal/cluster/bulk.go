@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"vsmartjoin/internal/metrics"
+)
+
+// Bulk drives an ordered batch of mutations through the cluster as one
+// quorum write per touched partition: ops are grouped by owner
+// partition with their relative order preserved (ops on the same
+// entity always share a partition, so per-entity order survives the
+// grouping), each partition's replicas receive their whole group as a
+// single POST /bulk, and each group succeeds or fails at majority
+// quorum independently — the returned error joins the partitions that
+// missed quorum, and ops routed to other partitions are unaffected.
+// Like Add, the caller context's cancellation is detached from the
+// node requests (trace values still propagate) and every per-replica
+// failure leaves pending repair ops behind, so partial replicas
+// converge through the normal anti-entropy pass.
+func (c *Cluster) Bulk(ctx context.Context, ops []BulkOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	for _, op := range ops {
+		if op.Entity == "" {
+			return errors.New("cluster: empty entity name")
+		}
+		if op.Op != "add" && op.Op != "remove" {
+			return fmt.Errorf("cluster: unknown bulk op %q", op.Op)
+		}
+	}
+	groups := make(map[int][]BulkOp)
+	for _, op := range ops {
+		p := PartitionOf(op.Entity, len(c.parts))
+		groups[p] = append(groups[p], op)
+	}
+	if len(groups) == 1 {
+		for p, group := range groups {
+			return c.bulkPartition(ctx, p, group)
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for p, group := range groups {
+		wg.Add(1)
+		go func(p int, group []BulkOp) {
+			defer wg.Done()
+			if err := c.bulkPartition(ctx, p, group); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
+		}(p, group)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// bulkPartition is writeFn for a batch: one POST /bulk per replica of
+// the partition, quorum decision as soon as it is known, and the same
+// repair bookkeeping writeFn does per op — a failed replica gets every
+// op of the batch queued, an acking replica gets its older pending ops
+// for the batch's entities cleared, and stragglers are pessimistically
+// queued then conditionally cleared when their ack drains.
+func (c *Cluster) bulkPartition(callerCtx context.Context, p int, ops []BulkOp) error {
+	start := metrics.Now()
+	replicas := c.parts[p]
+	quorum := len(replicas)/2 + 1
+
+	pend := make([]pendingOp, len(ops))
+	for i, op := range ops {
+		kind := opAdd
+		if op.Op == "remove" {
+			kind = opRemove
+		}
+		pend[i] = pendingOp{op: kind, entity: op.Entity, elements: op.Elements}
+	}
+	// The repair queue keeps only the latest op per (node, entity), so
+	// enqueueing the batch in order leaves exactly the right survivor
+	// when the batch mutates one entity more than once.
+	enqueueAll := func(n *node) []uint64 {
+		seqs := make([]uint64, len(pend))
+		for i, op := range pend {
+			seqs[i] = n.enqueueRepair(op)
+		}
+		return seqs
+	}
+
+	type outcome struct {
+		n   *node
+		err error
+	}
+	results := make(chan outcome, len(replicas))
+	// Same detachment as writeFn: quorum bookkeeping must outlive an
+	// impatient caller, so node requests run under the cluster timeout.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(callerCtx), c.timeout)
+	req := BulkRequest{Ops: ops}
+	for _, n := range replicas {
+		go func(n *node) {
+			results <- outcome{n: n, err: c.postJSON(ctx, n, "/bulk", req, nil)}
+		}(n)
+	}
+
+	acks, remaining := 0, len(replicas)
+	seen := make(map[*node]bool, len(replicas))
+	var errs []error
+	for remaining > 0 && acks < quorum && len(errs) <= len(replicas)-quorum {
+		o := <-results
+		remaining--
+		seen[o.n] = true
+		if o.err != nil {
+			errs = append(errs, o.err)
+			enqueueAll(o.n)
+			continue
+		}
+		acks++
+		for _, op := range pend {
+			o.n.clearRepair(op.entity)
+		}
+	}
+	if remaining > 0 {
+		provisional := make(map[*node][]uint64, remaining)
+		for _, n := range replicas {
+			if !seen[n] {
+				provisional[n] = enqueueAll(n)
+			}
+		}
+		go func(remaining int) {
+			defer cancel()
+			for ; remaining > 0; remaining-- {
+				if o := <-results; o.err == nil {
+					for i, op := range pend {
+						o.n.clearRepairIf(op.entity, provisional[o.n][i])
+					}
+				}
+			}
+		}(remaining)
+	} else {
+		cancel()
+	}
+	c.writeLatency.ObserveSince(start)
+	if acks >= quorum {
+		return nil
+	}
+	c.writeFails.Add(1)
+	return fmt.Errorf("cluster: %w: bulk write of %d ops to partition %d got %d/%d acks (quorum %d): %w",
+		ErrUnavailable, len(ops), p, acks, len(replicas), quorum, errors.Join(errs...))
+}

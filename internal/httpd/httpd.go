@@ -67,6 +67,7 @@ func NewRouter(c *vsmartjoin.Cluster, opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /add", s.handleAdd)
 	mux.HandleFunc("POST /remove", s.handleRemove)
+	mux.HandleFunc("POST /bulk", s.handleBulk)
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(w, r, clusterQuerier{s.c})
 	})
@@ -298,6 +299,10 @@ func (s *nodeServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.histogram("vsmart_shard_merge_latency_seconds", "Cross-shard merge time of multi-shard fan-outs.", m.Merge)
 	p.histogram("vsmart_wal_append_latency_seconds", "Write-ahead log append stalls.", m.WALAppend)
 	p.histogram("vsmart_wal_fsync_latency_seconds", "Write-ahead log fsync stalls.", m.WALFsync)
+	p.histogram("vsmart_wal_commit_wait_seconds", "Wait for the group commit covering an acknowledged mutation (DurabilitySync only).", m.WALCommitWait)
+	p.counter("vsmart_wal_records_total", "Write-ahead log records appended across shards.", float64(m.WALRecords))
+	p.counter("vsmart_wal_fsyncs_total", "Write-ahead log fsyncs issued across shards; the ratio to records is the amortized durability cost.", float64(m.WALFsyncs))
+	p.gauge("vsmart_mutation_queue_depth", "AddAsync mutations queued behind the async appliers.", float64(st.MutationQueueDepth))
 	p.admission(s.lim)
 }
 
@@ -350,49 +355,77 @@ func (s *nodeServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"snapshot": true, "entities": s.ix.Len()})
 }
 
-// handleBulk applies a batch of mutations in order — the endpoint the
-// router's anti-entropy pass re-drives missed writes through, and a
-// cheaper ingest path for any bulk writer (one request instead of one
-// per mutation). The wire types live in internal/cluster (the
-// sender), so the two sides share one schema. The batch is validated
-// fully before anything is applied, so a malformed op cannot leave a
-// half-applied 400; an internal failure mid-batch reports how many
-// ops had applied.
-func (s *nodeServer) handleBulk(w http.ResponseWriter, r *http.Request) {
-	var req cluster.BulkRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+// validateBulk checks every op of a bulk batch before anything is
+// applied, so a malformed op cannot leave a half-applied 400. Shared
+// by the node and router bulk endpoints.
+func validateBulk(w http.ResponseWriter, req cluster.BulkRequest) bool {
 	for i, op := range req.Ops {
 		switch op.Op {
 		case "add":
 			if op.Entity == "" || !hasMass(op.Elements) {
 				writeError(w, http.StatusBadRequest, "op %d: add needs an entity and nonzero elements", i)
-				return
+				return false
 			}
 		case "remove":
 			if op.Entity == "" {
 				writeError(w, http.StatusBadRequest, "op %d: remove needs an entity", i)
-				return
+				return false
 			}
 		default:
 			writeError(w, http.StatusBadRequest, "op %d: unknown op %q", i, op.Op)
-			return
+			return false
 		}
 	}
+	return true
+}
+
+// handleBulk applies a batch of mutations in order — the sanctioned
+// batched-ingest path (and the endpoint the router's anti-entropy pass
+// re-drives missed writes through). The wire types live in
+// internal/cluster (the sender), so the two sides share one schema.
+// Consecutive same-kind ops are applied through Index.AddBatch /
+// RemoveBatch, so an all-add ingest batch costs one WAL append and one
+// lock acquisition per touched shard — and under DurabilitySync one
+// group-committed fsync — instead of one per mutation. An internal
+// failure mid-batch reports how many ops preceded the failing run
+// (the failing run itself may be partially applied at shard
+// granularity; re-driving the batch is safe, every op is an
+// idempotent upsert or remove).
+func (s *nodeServer) handleBulk(w http.ResponseWriter, r *http.Request) {
+	var req cluster.BulkRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !validateBulk(w, req) {
+		return
+	}
 	applied := 0
-	for _, op := range req.Ops {
+	for lo := 0; lo < len(req.Ops); {
+		hi := lo + 1
+		for hi < len(req.Ops) && req.Ops[hi].Op == req.Ops[lo].Op {
+			hi++
+		}
+		run := req.Ops[lo:hi]
 		var err error
-		if op.Op == "add" {
-			err = s.ix.Add(op.Entity, op.Elements)
+		if run[0].Op == "add" {
+			entries := make([]vsmartjoin.BatchEntry, len(run))
+			for i, op := range run {
+				entries[i] = vsmartjoin.BatchEntry{Entity: op.Entity, Elements: op.Elements}
+			}
+			err = s.ix.AddBatch(entries)
 		} else {
-			_, err = s.ix.Remove(op.Entity)
+			names := make([]string, len(run))
+			for i, op := range run {
+				names[i] = op.Entity
+			}
+			_, err = s.ix.RemoveBatch(names)
 		}
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "after %d applied ops: %v", applied, err)
 			return
 		}
-		applied++
+		applied += len(run)
+		lo = hi
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"applied": applied, "entities": s.ix.Len()})
 }
@@ -535,6 +568,34 @@ func (s *routerServer) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": removed})
+}
+
+// handleBulk is the router's batched-ingest endpoint: the same wire
+// body a node's /bulk takes, driven through the cluster's partition-
+// grouped quorum writes (Cluster.Bulk) — one batched request per
+// touched partition's replicas instead of one quorum round per
+// mutation.
+func (s *routerServer) handleBulk(w http.ResponseWriter, r *http.Request) {
+	var req cluster.BulkRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !validateBulk(w, req) {
+		return
+	}
+	muts := make([]vsmartjoin.BulkMutation, len(req.Ops))
+	for i, op := range req.Ops {
+		muts[i] = vsmartjoin.BulkMutation{Remove: op.Op == "remove", Entity: op.Entity, Elements: op.Elements}
+	}
+	if err := s.c.BulkContext(traceCtx(r), muts); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, vsmartjoin.ErrClusterUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": len(req.Ops)})
 }
 
 func (s *routerServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {

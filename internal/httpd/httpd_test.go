@@ -157,7 +157,10 @@ func TestNodeMetricsEndpoint(t *testing.T) {
 			t.Fatalf("add: %d %v", resp.StatusCode, out)
 		}
 	}
-	for i := 0; i < 3; i++ {
+	// Query latency is sampled one query in eight, so run enough
+	// distinct (uncacheable-as-repeat) queries that at least one is
+	// guaranteed timed.
+	for i := 0; i < 24; i++ {
 		body := fmt.Sprintf(`{"elements": {"a": %d, "b": 1}, "threshold": 0.1}`, i+1)
 		if resp, out := post(t, c, ts.URL+"/query", body); resp.StatusCode != http.StatusOK {
 			t.Fatalf("query: %d %v", resp.StatusCode, out)
@@ -181,24 +184,28 @@ func TestNodeMetricsEndpoint(t *testing.T) {
 	if samples["vsmart_entities"] != 4 {
 		t.Fatalf("vsmart_entities = %v, want 4", samples["vsmart_entities"])
 	}
-	if samples["vsmart_queries_total"] < 3 {
-		t.Fatalf("vsmart_queries_total = %v, want >= 3", samples["vsmart_queries_total"])
+	if samples["vsmart_queries_total"] < 24 {
+		t.Fatalf("vsmart_queries_total = %v, want >= 24", samples["vsmart_queries_total"])
 	}
 	for _, h := range []string{
 		"vsmart_query_latency_seconds",
 		"vsmart_shard_merge_latency_seconds",
 		"vsmart_wal_append_latency_seconds",
 		"vsmart_wal_fsync_latency_seconds",
+		"vsmart_wal_commit_wait_seconds",
 	} {
 		if types[h] != "histogram" {
 			t.Fatalf("%s: type %q, want histogram", h, types[h])
 		}
 		checkHistogram(t, h, samples, ordered)
 	}
-	// The 3 uncached queries and 4 durable adds must have landed in the
-	// latency digests.
+	// 24 uncached queries at 1-in-8 sampling time at least 3; the 4
+	// durable adds all land in the WAL append digest.
 	if samples["vsmart_query_latency_seconds_count"] < 3 {
 		t.Fatalf("query latency count = %v, want >= 3", samples["vsmart_query_latency_seconds_count"])
+	}
+	if samples["vsmart_wal_records_total"] < 4 {
+		t.Fatalf("vsmart_wal_records_total = %v, want >= 4", samples["vsmart_wal_records_total"])
 	}
 	if samples["vsmart_wal_append_latency_seconds_count"] < 4 {
 		t.Fatalf("wal append count = %v, want >= 4", samples["vsmart_wal_append_latency_seconds_count"])

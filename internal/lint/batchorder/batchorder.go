@@ -1,0 +1,82 @@
+// Package batchorder enforces the async mutation pipeline's
+// acknowledgement contract (PR 9): the <-chan error returned by
+// Index.AddAsync must not be discarded. AddAsync acknowledges a
+// mutation only through that channel — nil once applied (and, under
+// DurabilitySync, durable), or the error that rejected it — so a
+// dropped channel is a write whose failure nobody can ever observe:
+// walerr's discarded-error rule, one indirection later.
+//
+// A call "discards" when it stands alone as a statement, runs under go
+// or defer (the channel has nowhere to go), or assigns the result to
+// the blank identifier. Receiving from the channel inline
+// (<-ix.AddAsync(...)) or binding it to a variable satisfies the
+// analyzer; whether the binding is eventually read is the reader's
+// code-review problem, not a shape this suite can check.
+package batchorder
+
+import (
+	"go/ast"
+
+	"vsmartjoin/internal/lint/analysis"
+)
+
+// Analyzer is the batchorder checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchorder",
+	Doc:  "the acknowledgement channel returned by AddAsync must not be discarded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				report(pass, st.X, "discarded")
+			case *ast.GoStmt:
+				report(pass, st.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				report(pass, st.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report flags e when it is an AddAsync call whose result is unused.
+func report(pass *analysis.Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if matchCall(pass, call) {
+		pass.Reportf(call.Pos(),
+			"acknowledgement channel from vsmartjoin.Index.AddAsync %s: the mutation's outcome is unobservable", how)
+	}
+}
+
+// checkBlankAssign flags `_ = ix.AddAsync(...)`.
+func checkBlankAssign(pass *analysis.Pass, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok || !matchCall(pass, call) {
+		return
+	}
+	if id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(st.Pos(),
+			"acknowledgement channel from vsmartjoin.Index.AddAsync assigned to _: the mutation's outcome is unobservable")
+	}
+}
+
+func matchCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Name() == "AddAsync" && analysis.IsMethod(fn, "vsmartjoin", "Index", "AddAsync")
+}

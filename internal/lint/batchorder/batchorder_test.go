@@ -1,0 +1,12 @@
+package batchorder_test
+
+import (
+	"testing"
+
+	"vsmartjoin/internal/lint/batchorder"
+	"vsmartjoin/internal/lint/linttest"
+)
+
+func TestBatchorder(t *testing.T) {
+	linttest.Run(t, batchorder.Analyzer, "testdata", "batchordertest")
+}

@@ -1,0 +1,51 @@
+// Package batchordertest exercises the batchorder analyzer: every
+// discard position, the blank-identifier assignment, correctly handled
+// calls, and the suppression contract.
+package batchordertest
+
+import "vsmartjoin"
+
+func discards(ix *vsmartjoin.Index) {
+	ix.AddAsync("a", nil)       // want `acknowledgement channel from vsmartjoin\.Index\.AddAsync discarded`
+	go ix.AddAsync("b", nil)    // want `acknowledgement channel from vsmartjoin\.Index\.AddAsync discarded by go statement`
+	defer ix.AddAsync("c", nil) // want `acknowledgement channel from vsmartjoin\.Index\.AddAsync discarded by defer`
+	_ = ix.AddAsync("d", nil)   // want `acknowledgement channel from vsmartjoin\.Index\.AddAsync assigned to _`
+}
+
+func handled(ix *vsmartjoin.Index) error {
+	errc := ix.AddAsync("a", nil)
+	if err := <-errc; err != nil {
+		return err
+	}
+	// Receiving inline is the tersest correct shape.
+	return <-ix.AddAsync("b", nil)
+}
+
+func collected(ix *vsmartjoin.Index) error {
+	acks := make([]<-chan error, 0, 4)
+	for i := 0; i < 4; i++ {
+		acks = append(acks, ix.AddAsync("e", nil))
+	}
+	for _, c := range acks {
+		if err := <-c; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func outsideTheSet() {
+	// The package-level stub shares the name but not the receiver.
+	vsmartjoin.AddAsync("x")
+}
+
+func suppressed(ix *vsmartjoin.Index) {
+	//lint:vsmart-allow batchorder fixture: fire-and-forget warm-up write whose failure the next read surfaces
+	ix.AddAsync("warm", nil)
+}
+
+func stale() {
+	//lint:vsmart-allow batchorder nothing below drops a channel // want `unused //lint:vsmart-allow batchorder suppression`
+	var n int
+	_ = n
+}

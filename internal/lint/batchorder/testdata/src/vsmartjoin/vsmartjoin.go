@@ -1,0 +1,16 @@
+// Package vsmartjoin is a hermetic stub of the module root: just the
+// async mutation surface the batchorder analyzer holds to the
+// acknowledgement contract.
+package vsmartjoin
+
+// Index is the stub durable index.
+type Index struct{}
+
+// AddAsync is the stub pipelined upsert.
+func (*Index) AddAsync(name string, counts map[string]uint32) <-chan error {
+	return make(chan error, 1)
+}
+
+// AddAsync the package-level function is NOT the method the analyzer
+// matches — callee identity includes the receiver.
+func AddAsync(name string) <-chan error { return make(chan error, 1) }

@@ -6,13 +6,30 @@ package vsmartjoin
 // Index is the stub durable index.
 type Index struct{}
 
+// BatchEntry is the stub AddBatch entry.
+type BatchEntry struct {
+	Entity   string
+	Elements map[string]uint32
+}
+
+// BulkMutation is the stub mixed bulk op.
+type BulkMutation struct {
+	Remove   bool
+	Entity   string
+	Elements map[string]uint32
+}
+
 func (*Index) Add(name string, counts map[string]uint32) error { return nil }
+func (*Index) AddBatch(entries []BatchEntry) error             { return nil }
 func (*Index) Remove(name string) (bool, error)                { return false, nil }
+func (*Index) RemoveBatch(names []string) (int, error)         { return 0, nil }
 func (*Index) Snapshot() error                                 { return nil }
 
 // Cluster is the stub multi-node client.
 type Cluster struct{}
 
 func (*Cluster) Add(name string, counts map[string]uint32) error { return nil }
+func (*Cluster) AddBatch(entries []BatchEntry) error             { return nil }
+func (*Cluster) Bulk(muts []BulkMutation) error                  { return nil }
 func (*Cluster) Remove(name string) (bool, error)                { return false, nil }
 func (*Cluster) Snapshot() error                                 { return nil }

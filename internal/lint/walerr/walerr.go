@@ -7,13 +7,17 @@
 //
 // The must-check set, matched by callee identity:
 //
-//   - (internal/wal) Log.Append, Log.Snapshot, Log.Sync, Log.Close and
+//   - (internal/wal) Log.Append, Log.AppendBatch, Log.AppendDeferred,
+//     Log.AppendBatchDeferred, Log.Snapshot, Log.Sync, Log.Close and
 //     the package function WriteSnapshot;
 //   - (internal/frame) Writer.WriteFrame, Writer.Flush, Append,
 //     ReplayFile;
-//   - (vsmartjoin) Index.Add, Index.Remove, Index.Snapshot and
-//     Cluster.Add, Cluster.Remove, Cluster.Snapshot — the public
-//     mutation surface whose errors are the durability contract;
+//   - (vsmartjoin) Index.Add, Index.AddBatch, Index.Remove,
+//     Index.RemoveBatch, Index.Snapshot and Cluster.Add,
+//     Cluster.AddBatch, Cluster.Bulk, Cluster.Remove, Cluster.Snapshot
+//     — the public mutation surface whose errors are the durability
+//     contract (AddAsync's channel-shaped twin is the batchorder
+//     analyzer's job);
 //   - (bufio) Writer.Flush — the classic way a CLI loses its last block
 //     of output.
 //
@@ -46,6 +50,9 @@ type callee struct {
 
 var mustCheck = []callee{
 	{"vsmartjoin/internal/wal", "Log", "Append"},
+	{"vsmartjoin/internal/wal", "Log", "AppendBatch"},
+	{"vsmartjoin/internal/wal", "Log", "AppendDeferred"},
+	{"vsmartjoin/internal/wal", "Log", "AppendBatchDeferred"},
 	{"vsmartjoin/internal/wal", "Log", "Snapshot"},
 	{"vsmartjoin/internal/wal", "Log", "Sync"},
 	{"vsmartjoin/internal/wal", "Log", "Close"},
@@ -55,9 +62,13 @@ var mustCheck = []callee{
 	{"vsmartjoin/internal/frame", "", "Append"},
 	{"vsmartjoin/internal/frame", "", "ReplayFile"},
 	{"vsmartjoin", "Index", "Add"},
+	{"vsmartjoin", "Index", "AddBatch"},
 	{"vsmartjoin", "Index", "Remove"},
+	{"vsmartjoin", "Index", "RemoveBatch"},
 	{"vsmartjoin", "Index", "Snapshot"},
 	{"vsmartjoin", "Cluster", "Add"},
+	{"vsmartjoin", "Cluster", "AddBatch"},
+	{"vsmartjoin", "Cluster", "Bulk"},
 	{"vsmartjoin", "Cluster", "Remove"},
 	{"vsmartjoin", "Cluster", "Snapshot"},
 	{"bufio", "Writer", "Flush"},

@@ -34,6 +34,7 @@ package metrics
 
 import (
 	"math"
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
@@ -246,4 +247,125 @@ func (s Snapshot) Mean() float64 {
 		return 0
 	}
 	return float64(s.Sum) / float64(s.Count)
+}
+
+// SizeNumBuckets is the fixed bucket count of every SizeHistogram:
+// power-of-two bounds 1, 2, 4, ..., 2^31, plus an overflow bucket.
+const SizeNumBuckets = 33
+
+// SizeBucketBound reports size bucket i's inclusive upper bound; the
+// last bucket reports +Inf. Like the latency bounds, they are fixed
+// and shared, so size snapshots merge across shards and nodes.
+func SizeBucketBound(i int) float64 {
+	if i >= SizeNumBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1) << i)
+}
+
+// SizeHistogram is a fixed-bucket histogram of small counts — batch
+// sizes, group-commit fan-in — where the latency geometry's 256-unit
+// first bucket would flatten the whole distribution. Buckets double
+// from 1, so sizes 1..2^31 resolve to within a factor of two. The zero
+// value is ready to use; Observe is three atomic adds, no allocation.
+type SizeHistogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [SizeNumBuckets]atomic.Uint64
+}
+
+// Observe records one size (0 clamps into the first bucket).
+func (h *SizeHistogram) Observe(n uint64) {
+	i := bits.Len64(n) // 1 -> 1, 2 -> 2, 3..4 -> 3, ...
+	if i > 0 {
+		i--
+		if n > 1<<i { // not an exact power of two: round up a bucket
+			i++
+		}
+	}
+	if i >= SizeNumBuckets {
+		i = SizeNumBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+// Snapshot returns a point-in-time copy of the size distribution; like
+// Histogram.Snapshot it is not a consistent cut under concurrent
+// writers, which monitoring tolerates.
+func (h *SizeHistogram) Snapshot() SizeSnapshot {
+	var s SizeSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// SizeSnapshot is a frozen SizeHistogram: mergeable, serializable, and
+// the input to quantile extraction. The zero value is empty.
+type SizeSnapshot struct {
+	Count   uint64                 `json:"count"`
+	Sum     uint64                 `json:"sum"`
+	Buckets [SizeNumBuckets]uint64 `json:"buckets"`
+}
+
+// Merge adds o's observations into s.
+func (s *SizeSnapshot) Merge(o SizeSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average observed size (0 when empty).
+func (s SizeSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-quantile of the size distribution,
+// interpolated log-linearly inside the winning bucket (the same
+// convention as the latency Snapshot).
+func (s SizeSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum+1e-9 < rank {
+			continue
+		}
+		hi := SizeBucketBound(i)
+		if math.IsInf(hi, 1) {
+			return SizeBucketBound(i - 1)
+		}
+		if i == 0 {
+			return hi
+		}
+		lo := SizeBucketBound(i - 1)
+		frac := (rank - prev) / float64(c)
+		return lo * math.Exp2(frac*math.Log2(hi/lo))
+	}
+	return SizeBucketBound(SizeNumBuckets - 2)
 }

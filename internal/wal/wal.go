@@ -29,10 +29,17 @@
 // a hard error instead: snapshots are renamed into place only after an
 // fsync, so a bad one means real damage the caller must see.
 //
-// Durability granularity: Append pushes frames to the operating system
-// on every call but does not fsync; Snapshot and Close do. A machine
-// (not process) crash can therefore lose the tail of the current WAL,
-// never a snapshot that Open has once returned.
+// Durability granularity: Append and AppendBatch push frames to the
+// operating system on every call but by default do not fsync; Snapshot
+// and Close do. A machine (not process) crash can therefore lose the
+// tail of the current WAL, never a snapshot that Open has once
+// returned. Opening with WithGroupCommit upgrades that: appends do not
+// return until an fsync covers them, and a committer goroutine
+// coalesces the fsyncs of concurrent appenders into one — the classic
+// group commit, one fsync amortized over every record written since
+// the previous one. A torn tail then still truncates to the last
+// intact frame, but everything an append call has acknowledged is
+// below that point even across a machine crash.
 package wal
 
 import (
@@ -44,6 +51,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"vsmartjoin/internal/codec"
 	"vsmartjoin/internal/frame"
@@ -96,13 +104,34 @@ type Log struct {
 	dir     string
 	measure string
 
+	// Group-commit configuration, immutable after Open; the channels
+	// exist only in group-commit mode.
+	syncMode bool
+	window   time.Duration
+	wake     chan struct{} // capacity 1: "records await an fsync"
+	quit     chan struct{} // closed to stop the committer
+	done     chan struct{} // closed when the committer has exited
+	stop     sync.Once
+
 	mu      sync.Mutex
 	gen     uint64
 	f       *os.File // current WAL, open for append; nil after Close
 	off     int64    // bytes of intact frames in f; write rollback point
+	seq     uint64   // records written across all generations
 	werr    error    // sticky: the WAL tail is torn and could not be rewound
 	payload *codec.Buffer
 	frame   []byte
+
+	// gmu guards the group-commit ledger: synced is the highest seq a
+	// successful fsync (or snapshot rotation) covers, syncErr is the
+	// sticky fsync failure (cleared by rotation, like werr), closing
+	// releases waiters at Close. gcond broadcasts every change. Lock
+	// order: gmu may be taken while holding mu, never the reverse.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	synced  uint64
+	syncErr error
+	closing bool
 
 	// m is all-atomic and needs no lock; it lives in its own paragraph
 	// so lockscope does not fold it into mu's guard set.
@@ -115,12 +144,28 @@ type Log struct {
 // ObserveSince (the clock reads here are the stall being measured, not
 // incidental accounting).
 type LogMetrics struct {
-	// Append is the wall time of Log.Append: encode, frame, and the
-	// write(2) that pushes the frame to the operating system.
+	// Append is the wall time of Log.Append/AppendBatch: encode, frame,
+	// and the write(2) that pushes the frames to the operating system
+	// (one observation per call, not per record).
 	Append metrics.Histogram
-	// Fsync is the wall time of every fsync the log issues — explicit
-	// Sync calls, snapshot file syncs, and the final sync in Close.
+	// Fsync is the wall time of every fsync the log issues — group
+	// commits, explicit Sync calls, snapshot file syncs, and the final
+	// sync in Close.
 	Fsync metrics.Histogram
+	// CommitWait is how long an acknowledged append waited for the
+	// group commit covering it (group-commit mode only): the latency
+	// cost of durability, paid outside every lock.
+	CommitWait metrics.Histogram
+	// Batch is the records-per-call distribution of AppendBatch — how
+	// large the batches arriving at the log are.
+	Batch metrics.SizeHistogram
+	// GroupCommit is the records-per-fsync distribution of the
+	// committer — the amortization factor group commit achieves.
+	// fsyncs/mutation under load is GroupCommit.Count / Records.
+	GroupCommit metrics.SizeHistogram
+	// Records counts every record appended (single and batched alike),
+	// the denominator of the fsyncs-per-mutation ratio.
+	Records metrics.Counter
 }
 
 // Metrics exposes the log's histograms for scraping. The returned
@@ -187,6 +232,26 @@ func parseGen(name, prefix string) (uint64, bool) {
 	return gen, err == nil && gen > 0
 }
 
+// Option configures a Log at Open.
+type Option func(*Log)
+
+// WithGroupCommit opens the log in group-commit durability mode: every
+// Append and AppendBatch blocks until an fsync covers its records, and
+// a committer goroutine coalesces the fsyncs of concurrent appenders —
+// after the first record of a commit lands it waits up to window for
+// neighbors to pile on, then issues one fsync for all of them. A
+// window of zero commits as fast as the disk acknowledges, which still
+// amortizes under load (every append that arrives during an fsync
+// joins the next one).
+func WithGroupCommit(window time.Duration) Option {
+	return func(l *Log) {
+		l.syncMode = true
+		if window > 0 {
+			l.window = window
+		}
+	}
+}
+
 // Open recovers the log in dir, creating the directory if needed: it
 // loads the newest snapshot (feeding every entity to applySnap), then
 // replays the matching WAL (truncating a torn tail) through applyWAL,
@@ -196,7 +261,7 @@ func parseGen(name, prefix string) (uint64, bool) {
 // similarity measure of the index being persisted; a snapshot recorded
 // under a different measure is refused, since replaying it would
 // silently change every score.
-func Open(dir, measure string, applySnap, applyWAL func(Record) error) (*Log, error) {
+func Open(dir, measure string, applySnap, applyWAL func(Record) error, opts ...Option) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -227,6 +292,10 @@ func Open(dir, measure string, applySnap, applyWAL func(Record) error) (*Log, er
 	}
 
 	l := &Log{dir: dir, measure: measure, gen: gen, payload: codec.NewBuffer(256)}
+	l.gcond = sync.NewCond(&l.gmu)
+	for _, opt := range opts {
+		opt(l)
+	}
 	if _, err := os.Stat(filepath.Join(dir, snapName(gen))); err == nil {
 		if err := l.loadSnapshot(filepath.Join(dir, snapName(gen)), applySnap); err != nil {
 			return nil, err
@@ -258,6 +327,12 @@ func Open(dir, measure string, applySnap, applyWAL func(Record) error) (*Log, er
 	}
 	for _, name := range stale {
 		os.Remove(filepath.Join(dir, name))
+	}
+	if l.syncMode {
+		l.wake = make(chan struct{}, 1)
+		l.quit = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.committer()
 	}
 	return l, nil
 }
@@ -388,8 +463,10 @@ func (l *Log) replayWAL(path string, apply func(Record) error) error {
 }
 
 // Append logs one record. The frame reaches the operating system before
-// Append returns (a process crash loses nothing) but is not fsynced (a
-// machine crash can lose it; Snapshot and Close fsync).
+// Append returns (a process crash loses nothing); without group commit
+// it is not fsynced (a machine crash can lose it; Snapshot and Close
+// fsync), with WithGroupCommit it does not return until an fsync
+// covers it.
 //
 // A failed write may leave a partial frame at the file tail; appending
 // past it would strand every later record behind bytes recovery treats
@@ -398,24 +475,104 @@ func (l *Log) replayWAL(path string, apply func(Record) error) error {
 // log: further appends are refused until a successful Snapshot rotates
 // to a fresh WAL file.
 func (l *Log) Append(rec Record) error {
+	wait, err := l.AppendDeferred(rec)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// AppendDeferred is Append split at the durability boundary: it writes
+// the frame (same failure and rewind discipline as Append) and returns
+// a wait function that blocks until the record's durability contract is
+// met — immediately satisfied without group commit, one group-committed
+// fsync with it. Callers holding locks over the append can drop them
+// before paying the commit wait; the wait function must be called
+// exactly once and is not safe for concurrent use.
+func (l *Log) AppendDeferred(rec Record) (func() error, error) {
+	recs := [1]Record{rec}
 	start := metrics.Now()
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	err := l.appendLocked(recs[:])
+	seq := l.seq
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	l.m.Append.ObserveSince(start)
+	return l.commitWaiter(seq), nil
+}
+
+// commitWaiter returns the deferred half of an append: a no-op without
+// group commit, otherwise a wait for the ledger to cover seq.
+func (l *Log) commitWaiter(seq uint64) func() error {
+	if !l.syncMode {
+		return noWait
+	}
+	return func() error { return l.waitCommit(seq) }
+}
+
+func noWait() error { return nil }
+
+// AppendBatch logs recs as one contiguous frame stream pushed to the
+// operating system with a single write(2): after a clean return every
+// record is in the log, after an error none is (the same tail-rewind
+// discipline as Append — a partially written batch is truncated away,
+// so recovery can never replay a prefix of a batch the caller was told
+// failed). Durability matches Append: group-commit mode blocks until
+// one fsync covers the whole batch, amortized with every concurrent
+// appender. An empty batch is a no-op.
+func (l *Log) AppendBatch(recs []Record) error {
+	wait, err := l.AppendBatchDeferred(recs)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// AppendBatchDeferred is AppendBatch with AppendDeferred's split
+// contract: the batch is written (all or nothing) and the returned wait
+// function settles its durability.
+func (l *Log) AppendBatchDeferred(recs []Record) (func() error, error) {
+	if len(recs) == 0 {
+		return noWait, nil
+	}
+	start := metrics.Now()
+	l.mu.Lock()
+	err := l.appendLocked(recs)
+	seq := l.seq
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	l.m.Append.ObserveSince(start)
+	l.m.Batch.Observe(uint64(len(recs)))
+	return l.commitWaiter(seq), nil
+}
+
+// appendLocked encodes and writes recs under l.mu: all frames into one
+// buffer, one write(2), rollback to the last intact frame on error.
+func (l *Log) appendLocked(recs []Record) error {
 	if l.f == nil {
 		return errors.New("wal: log is closed")
 	}
 	if l.werr != nil {
 		return l.werr
 	}
-	l.payload.Reset()
-	if err := encodeRecord(l.payload, rec); err != nil {
-		return err
+	buf := l.frame[:0]
+	for _, rec := range recs {
+		l.payload.Reset()
+		if err := encodeRecord(l.payload, rec); err != nil {
+			return err
+		}
+		var err error
+		buf, err = frame.Append(buf, l.payload.Bytes())
+		if err != nil {
+			l.frame = buf[:0]
+			return fmt.Errorf("wal: %w", err)
+		}
 	}
-	buf, err := frame.Append(l.frame[:0], l.payload.Bytes())
 	l.frame = buf[:0]
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
 	n, err := l.f.Write(buf)
 	if err != nil {
 		if n > 0 {
@@ -426,8 +583,128 @@ func (l *Log) Append(rec Record) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.off += int64(n)
-	l.m.Append.ObserveSince(start)
+	l.seq += uint64(len(recs))
+	l.m.Records.Add(int64(len(recs)))
 	return nil
+}
+
+// waitCommit blocks until the group-commit ledger covers seq: a wake is
+// sent to the committer (capacity-1 channel, so a pending wake already
+// promises a future fsync) and the caller waits on gcond outside every
+// lock the write path holds.
+func (l *Log) waitCommit(seq uint64) error {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	start := metrics.Now()
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	for l.synced < seq && l.syncErr == nil && !l.closing {
+		l.gcond.Wait()
+	}
+	l.m.CommitWait.ObserveSince(start)
+	if l.synced >= seq {
+		return nil
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	return errors.New("wal: log closed before commit")
+}
+
+// committer is the group-commit goroutine: woken by the first pending
+// append, it waits up to window for neighbors to join, then issues one
+// fsync covering every record written so far and releases their
+// waiters. Runs only in group-commit mode; exits when quit closes.
+func (l *Log) committer() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-l.wake:
+		}
+		if l.window > 0 {
+			timer := time.NewTimer(l.window)
+			select {
+			case <-l.quit:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+		l.groupCommit()
+	}
+}
+
+// groupCommit fsyncs the current WAL and advances the ledger to the
+// sequence number the fsync covers. The fsync runs under l.mu so it
+// cannot race a Snapshot rotation swapping the file out; appenders
+// that block on l.mu meanwhile are exactly the ones the next commit
+// will absorb.
+func (l *Log) groupCommit() {
+	l.mu.Lock()
+	if l.f == nil || l.werr != nil {
+		// Closed (Close's final fsync settles the ledger) or poisoned
+		// (nothing new reached the file); either way nothing to sync.
+		l.mu.Unlock()
+		return
+	}
+	seq := l.seq
+	l.gmu.Lock()
+	prev := l.synced
+	stale := l.syncErr
+	l.gmu.Unlock()
+	if seq <= prev || stale != nil {
+		l.mu.Unlock()
+		return
+	}
+	start := metrics.Now()
+	err := l.f.Sync()
+	l.m.Fsync.ObserveSince(start)
+	l.mu.Unlock()
+
+	l.gmu.Lock()
+	if err != nil {
+		l.syncErr = fmt.Errorf("wal: group commit: %w", err)
+	} else if seq > l.synced {
+		l.m.GroupCommit.Observe(seq - l.synced)
+		l.synced = seq
+	}
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
+}
+
+// stopCommitter shuts the committer goroutine down (idempotent; no-op
+// outside group-commit mode). Callers must not hold l.mu: the
+// committer may be blocked on it.
+func (l *Log) stopCommitter() {
+	if !l.syncMode {
+		return
+	}
+	l.stop.Do(func() {
+		close(l.quit)
+		<-l.done
+	})
+}
+
+// commitTo advances the group-commit ledger to seq and clears any
+// sticky fsync error — called after an operation that made every
+// record up to seq durable through its own fsync (Sync, Snapshot,
+// Close). Caller may hold l.mu (lock order mu → gmu).
+func (l *Log) commitTo(seq uint64) {
+	if !l.syncMode {
+		return
+	}
+	l.gmu.Lock()
+	if seq > l.synced {
+		l.m.GroupCommit.Observe(seq - l.synced)
+		l.synced = seq
+	}
+	l.syncErr = nil
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
 }
 
 // Sync fsyncs the current WAL file.
@@ -440,6 +717,9 @@ func (l *Log) Sync() error {
 	start := metrics.Now()
 	err := l.f.Sync()
 	l.m.Fsync.ObserveSince(start)
+	if err == nil {
+		l.commitTo(l.seq)
+	}
 	return err
 }
 
@@ -562,6 +842,10 @@ func (l *Log) Snapshot(iter func(emit func(Record) error) error) error {
 	l.f = nf
 	l.off = 0
 	l.werr = nil // a fresh WAL file clears any poisoned tail
+	// The fsynced snapshot durably captures every record appended so
+	// far, so the rotation is itself a commit: release group-commit
+	// waiters and clear any sticky fsync error along with the old file.
+	l.commitTo(l.seq)
 	os.Remove(filepath.Join(l.dir, snapName(old)))
 	os.Remove(filepath.Join(l.dir, walName(old)))
 	return nil
@@ -577,10 +861,14 @@ func syncDir(dir string) {
 }
 
 // Close fsyncs and closes the current WAL. The log is unusable after.
+// In group-commit mode the final fsync settles every pending waiter
+// (success releases them, failure surfaces as their commit error) and
+// the committer goroutine is stopped.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.f == nil {
+		l.mu.Unlock()
+		l.stopCommitter()
 		return nil
 	}
 	start := metrics.Now()
@@ -590,6 +878,19 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	l.f = nil
+	seq := l.seq
+	l.mu.Unlock()
+	if l.syncMode {
+		l.gmu.Lock()
+		if err == nil && seq > l.synced {
+			l.m.GroupCommit.Observe(seq - l.synced)
+			l.synced = seq
+		}
+		l.closing = true
+		l.gcond.Broadcast()
+		l.gmu.Unlock()
+	}
+	l.stopCommitter()
 	if err != nil {
 		return fmt.Errorf("wal: close: %w", err)
 	}

@@ -27,6 +27,28 @@ func summarize(s metrics.Snapshot) LatencySummary {
 	}
 }
 
+// SizeSummary is the JSON-friendly digest of a size distribution
+// (records per batch, records per group commit): count of
+// observations, mean, and p50/p99 with LatencySummary's bucket
+// accuracy caveat (power-of-two buckets, so within a factor of two).
+// A zero Count means empty.
+type SizeSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// summarizeSize digests a size-histogram snapshot into the public form.
+func summarizeSize(s metrics.SizeSnapshot) SizeSummary {
+	return SizeSummary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P99:   s.Quantile(0.99),
+	}
+}
+
 // IndexMetrics is the full-resolution capture of an Index's latency
 // histograms — what the /metrics endpoint (internal/httpd) renders as
 // Prometheus bucket series. IndexStats carries the same distributions
@@ -34,7 +56,9 @@ func summarize(s metrics.Snapshot) LatencySummary {
 // external aggregator can merge distributions across processes.
 type IndexMetrics struct {
 	// Query times uncached public queries (threshold, entity, top-k)
-	// end to end; cache hits are counted in IndexStats but not timed.
+	// end to end, sampled one query in eight per pooled query buffer so
+	// the timing itself stays off the hot path; cache hits are counted
+	// in IndexStats but not timed.
 	Query metrics.Snapshot
 	// Merge is the cross-shard merge step of multi-shard fan-outs.
 	Merge metrics.Snapshot
@@ -42,6 +66,22 @@ type IndexMetrics struct {
 	// per-shard logs; both are empty for a volatile index.
 	WALAppend metrics.Snapshot
 	WALFsync  metrics.Snapshot
+	// WALCommitWait is how long acknowledged mutations waited for the
+	// group commit covering them — the latency cost of DurabilitySync,
+	// paid outside every lock. Empty under DurabilityOS.
+	WALCommitWait metrics.Snapshot
+	// WALBatch is the records-per-AppendBatch distribution (how large
+	// the batches arriving at the logs are); WALGroupCommit is the
+	// records-per-fsync distribution of the group committer (the
+	// amortization it achieves). Both merged across shards.
+	WALBatch       metrics.SizeSnapshot
+	WALGroupCommit metrics.SizeSnapshot
+	// WALRecords counts every record appended across shards and
+	// WALFsyncs every fsync issued; their ratio inverted —
+	// WALFsyncs/WALRecords — is the fsyncs-per-mutation cost the
+	// group-commit layer is amortizing down.
+	WALRecords int64
+	WALFsyncs  int64
 }
 
 // ClusterMetrics is the full-resolution capture of a Cluster router's
@@ -72,7 +112,13 @@ func (ix *Index) Metrics() IndexMetrics {
 	for _, l := range logs {
 		lm := l.Metrics()
 		m.WALAppend.Merge(lm.Append.Snapshot())
-		m.WALFsync.Merge(lm.Fsync.Snapshot())
+		fs := lm.Fsync.Snapshot()
+		m.WALFsync.Merge(fs)
+		m.WALFsyncs += int64(fs.Count)
+		m.WALCommitWait.Merge(lm.CommitWait.Snapshot())
+		m.WALBatch.Merge(lm.Batch.Snapshot())
+		m.WALGroupCommit.Merge(lm.GroupCommit.Snapshot())
+		m.WALRecords += lm.Records.Load()
 	}
 	return m
 }
