@@ -4,11 +4,12 @@ GO ?= go
 # smoke run that only proves the benchmarks and the JSON pipeline work.
 BENCHTIME ?= 1s
 
-# The serving-path benchmarks recorded in BENCH_009.json: internal
+# The serving-path benchmarks recorded in BENCH_010.json: internal
 # index probe/verify, public API, sharded fan-out, zipf repeated-query
-# cache, WAL append cost, the group-commit write storm, and cluster
-# scatter-gather.
-BENCH_REGEX := ^(BenchmarkQueryThreshold|BenchmarkQueryTopK|BenchmarkIndexQuery|BenchmarkIndexTopK|BenchmarkShardedQuery|BenchmarkZipfRepeatedQuery|BenchmarkWALAppend|BenchmarkWriteStorm|BenchmarkClusterQuery)$$
+# cache, WAL append cost, the group-commit write storm, cluster
+# scatter-gather, and the kNN paths (online QueryKNN across shard
+# counts, batch AllKNN).
+BENCH_REGEX := ^(BenchmarkQueryThreshold|BenchmarkQueryTopK|BenchmarkQueryKNN|BenchmarkIndexQuery|BenchmarkIndexTopK|BenchmarkShardedQuery|BenchmarkZipfRepeatedQuery|BenchmarkWALAppend|BenchmarkWriteStorm|BenchmarkClusterQuery|BenchmarkAllKNN)$$
 
 .PHONY: all build test race lint fmt vet vsmartlint staticcheck govulncheck bench-json loadtest-smoke
 
@@ -47,15 +48,15 @@ govulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck -test ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-# Run the serving-path benchmarks and regenerate BENCH_009.json, diffed
-# against the committed pre-group-commit baseline. benchjson re-reads
-# the file after writing, so this target fails if the artifact is not
-# parseable JSON. The committed BENCH_009.json additionally folds in
-# vsmartbench write-storm runs via benchjson -loadtest (see
-# bench/loadtest_*.json); the smoke run here skips those.
+# Run the serving-path benchmarks and regenerate BENCH_010.json, diffed
+# against the committed pre-kNN baseline. benchjson re-reads the file
+# after writing, so this target fails if the artifact is not parseable
+# JSON. The committed BENCH_010.json additionally folds in vsmartbench
+# load runs via benchjson -loadtest (see bench/loadtest_*.json); the
+# smoke run here skips those.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem -benchtime $(BENCHTIME) ./... > bench/.last_bench.txt
-	$(GO) run ./cmd/benchjson -in bench/.last_bench.txt -baseline bench/BASELINE_009.txt -out BENCH_009.json
+	$(GO) run ./cmd/benchjson -in bench/.last_bench.txt -baseline bench/BASELINE_010.txt -out BENCH_010.json
 
 # End-to-end load-harness smoke: boot a throwaway volatile daemon,
 # drive it with vsmartbench for a couple of seconds, and fail unless
@@ -78,4 +79,26 @@ loadtest-smoke:
 		-entities 2000 -concurrency 8 -read-pct 0 -zipf 1.2 \
 		-write-burst 64 -warmup 500ms -duration 2s \
 		-out /tmp/vsmartbench.storm.json; \
-	$(GO) run ./cmd/vsmartbench -check /tmp/vsmartbench.storm.json
+	$(GO) run ./cmd/vsmartbench -check /tmp/vsmartbench.storm.json; \
+	$(GO) run ./cmd/vsmartbench -target 127.0.0.1:18321 -no-preload \
+		-entities 2000 -concurrency 8 -read-pct 100 -knn-k 10 \
+		-warmup 500ms -duration 2s \
+		-out /tmp/vsmartbench.knn.json; \
+	$(GO) run ./cmd/vsmartbench -check /tmp/vsmartbench.knn.json
+
+# Batch AllKNN smoke: run the three-job MapReduce kNN pipeline over a
+# tiny generated trace and demand one neighbor line per entity — a PR
+# cannot silently break the -knn CLI path. CI runs this alongside
+# loadtest-smoke.
+.PHONY: allknn-smoke
+allknn-smoke:
+	@set -e; \
+	for i in 1 2 3 4 5 6 7 8; do \
+		printf "e$$i\tw$$(( i % 3 ))\t2\ne$$i\tw$$(( i % 5 ))\t1\n"; \
+	done > /tmp/allknn.smoke.tsv; \
+	$(GO) run ./cmd/vsmartjoin -measure jaccard -knn 3 \
+		-in /tmp/allknn.smoke.tsv > /tmp/allknn.smoke.out; \
+	lines=$$(wc -l < /tmp/allknn.smoke.out); \
+	if [ "$$lines" -ne 24 ]; then \
+		echo "allknn smoke: got $$lines neighbor lines, want 24 (8 entities x k=3)" >&2; exit 1; fi; \
+	echo "allknn smoke: 8 entities x k=3 neighbors OK"

@@ -762,3 +762,58 @@ func BenchmarkIndexOpen(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkQueryKNN measures the online kNN read path across shard
+// widths: the same 10k-entity dataset as BenchmarkShardedQuery,
+// partitioned 1/4/8 ways, k=10 nearest per query. The inner fan-out
+// raises a per-shard distance floor exactly as QueryTopK raises a
+// similarity floor, so the shard trade reads the same way: a little
+// merge overhead for parallel probing.
+func BenchmarkQueryKNN(b *testing.B) {
+	entities := benchIndexEntities(10000)
+	for _, shards := range []int{1, 4, 8} {
+		ix, err := NewIndex(IndexOptions{Measure: "ruzicka", Shards: shards, CacheSize: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, counts := range entities {
+			if err := ix.Add(fmt.Sprintf("entity-%d", i), counts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ns := ix.QueryKNN(entities[i%len(entities)], 10); len(ns) != 10 {
+					b.Fatalf("got %d neighbors", len(ns))
+				}
+			}
+		})
+		ix.Close()
+	}
+}
+
+// BenchmarkAllKNN measures the batch MapReduce pipeline end to end:
+// grouping, bound computation, and refine over a 2000-entity dataset,
+// k=10 lists for every entity per iteration. The entities/s metric is
+// the per-run amortized rate the CLI path sustains.
+func BenchmarkAllKNN(b *testing.B) {
+	const n = 2000
+	entities := benchIndexEntities(n)
+	d := NewDataset()
+	for i, counts := range entities {
+		d.Add(fmt.Sprintf("entity-%d", i), counts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := AllKNN(d, 10, Options{Measure: "ruzicka"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Neighbors) != n {
+			b.Fatalf("lists for %d entities, want %d", len(res.Neighbors), n)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entities/s")
+}

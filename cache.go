@@ -41,11 +41,14 @@ type queryCache struct {
 }
 
 // cacheEntry is one cached answer, stamped with the index generation
-// current when its query began.
+// current when its query began. Exactly one of res/kres is set — the
+// key's kind byte decides which query family it answers, so a key can
+// never be read back as the wrong type.
 type cacheEntry struct {
-	key string
-	gen uint64
-	res []Match
+	key  string
+	gen  uint64
+	res  []Match
+	kres []Neighbor
 }
 
 func newQueryCache(capacity int) *queryCache {
@@ -108,6 +111,52 @@ func (c *queryCache) put(key []byte, gen uint64, res []Match) {
 	}
 }
 
+// getKNN and putKNN are get and put for kNN answers; the 'N'/'M' kind
+// bytes keep their keys disjoint from the Match-typed families, so an
+// entry is always read back as the type it was stored with.
+func (c *queryCache) getKNN(key []byte, gen uint64) ([]Neighbor, bool) {
+	c.mu.Lock()
+	el, ok := c.byKey[string(key)]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		c.lru.Remove(el)
+		delete(c.byKey, ent.key)
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	res := slices.Clone(ent.kres)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	//lint:vsmart-allow canonicalorder entries are stored already-canonical and cloned verbatim; order is preserved
+	return res, true
+}
+
+func (c *queryCache) putKNN(key []byte, gen uint64, res []Neighbor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[string(key)]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.gen = gen
+		ent.kres = slices.Clone(res)
+		c.lru.MoveToFront(el)
+		return
+	}
+	k := string(key)
+	c.byKey[k] = c.lru.PushFront(&cacheEntry{key: k, gen: gen, kres: slices.Clone(res)})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+	}
+}
+
 // len reports the number of live entries (stale ones included until
 // their next lookup evicts them).
 func (c *queryCache) len() int {
@@ -117,7 +166,8 @@ func (c *queryCache) len() int {
 }
 
 // Cache key layout: a kind byte ('T' threshold, 'K' top-k, 'E'
-// entity-relative), the measure name (NUL-terminated — measure names
+// entity-relative, 'N' kNN, 'M' entity-relative kNN), the measure name
+// (NUL-terminated — measure names
 // never contain NUL), the query parameter, then the canonicalized query.
 // Element names are length-prefixed so adjacent names cannot alias, and
 // sorted so the key is independent of map iteration order — two maps
@@ -174,5 +224,15 @@ func (ks *keyScratch) topKKey(measure string, counts map[string]uint32, k int) {
 
 func (ks *keyScratch) entityKey(measure, entity string, t float64) {
 	ks.header('E', measure, math.Float64bits(t))
+	ks.b = append(ks.b, entity...)
+}
+
+func (ks *keyScratch) knnKey(measure string, counts map[string]uint32, k int) {
+	ks.header('N', measure, uint64(k))
+	ks.appendCounts(counts)
+}
+
+func (ks *keyScratch) knnEntityKey(measure, entity string, k int) {
+	ks.header('M', measure, uint64(k))
 	ks.b = append(ks.b, entity...)
 }

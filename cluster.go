@@ -205,6 +205,33 @@ func (c *Cluster) QueryEntityContext(ctx context.Context, entity string, t float
 	return fromClusterMatches(c.inner.QueryEntity(ctx, entity, t))
 }
 
+// QueryKNN returns the k nearest entities across the whole cluster
+// under the distance 1 − similarity, nearest first under the canonical
+// order (distance ascending, entity name ascending on ties) — exactly
+// the answer a single Index over the same entities gives, including
+// the non-overlapping tail at distance exactly 1.
+func (c *Cluster) QueryKNN(counts map[string]uint32, k int) ([]Neighbor, error) {
+	return c.QueryKNNContext(context.Background(), counts, k)
+}
+
+// QueryKNNContext is QueryKNN carrying a context, with
+// QueryThresholdContext's cancellation and trace semantics.
+func (c *Cluster) QueryKNNContext(ctx context.Context, counts map[string]uint32, k int) ([]Neighbor, error) {
+	return fromClusterNeighbors(c.inner.QueryKNN(ctx, counts, k))
+}
+
+// QueryKNNEntity runs QueryKNN with an indexed entity as the query;
+// the entity itself is excluded from its own neighbor list.
+func (c *Cluster) QueryKNNEntity(entity string, k int) ([]Neighbor, error) {
+	return c.QueryKNNEntityContext(context.Background(), entity, k)
+}
+
+// QueryKNNEntityContext is QueryKNNEntity carrying a context, with
+// QueryThresholdContext's cancellation and trace semantics.
+func (c *Cluster) QueryKNNEntityContext(ctx context.Context, entity string, k int) ([]Neighbor, error) {
+	return fromClusterNeighbors(c.inner.QueryKNNEntity(ctx, entity, k))
+}
+
 // WithRequestID returns a context carrying a request ID that the
 // cluster client attaches to every node request as the
 // X-Vsmart-Request-Id header — how the HTTP router makes one logical
@@ -316,5 +343,18 @@ func fromClusterMatches(ms []cluster.Match, err error) ([]Match, error) {
 		out[i] = Match{Entity: m.Entity, Similarity: m.Similarity}
 	}
 	//lint:vsmart-allow canonicalorder element-wise conversion of wire matches the cluster router already canonicalized
+	return out, nil
+}
+
+// fromClusterNeighbors converts the wire neighbors to the public type.
+func fromClusterNeighbors(ns []cluster.Neighbor, err error) ([]Neighbor, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(ns))
+	for i, n := range ns {
+		out[i] = Neighbor{Entity: n.Entity, Distance: n.Distance}
+	}
+	//lint:vsmart-allow canonicalorder element-wise conversion of wire neighbors the cluster router already canonicalized
 	return out, nil
 }

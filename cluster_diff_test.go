@@ -141,9 +141,30 @@ func mustMatch(t *testing.T, tag string, got, want []vsmartjoin.Match, err error
 	}
 }
 
+// mustMatchNeighbors is mustMatch for kNN answers.
+func mustMatchNeighbors(t *testing.T, tag string, got, want []vsmartjoin.Neighbor, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	gj, jerr := json.Marshal(got)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	wj, jerr := json.Marshal(want)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("%s:\ncluster %s\noracle  %s", tag, gj, wj)
+	}
+}
+
 // compare runs the full probe battery: element-map threshold queries
 // (several thresholds including 0 and 1), top-k at and around tie
-// boundaries, and entity-relative queries.
+// boundaries, kNN (including the empty query, legal only on the kNN
+// path, where every entity is a distance-1 neighbor), and
+// entity-relative queries in both similarity and distance form.
 func (cut *clusterUnderTest) compare(t *testing.T, tag string, probes []map[string]uint32, entityProbes []string) {
 	t.Helper()
 	for pi, probe := range probes {
@@ -161,6 +182,14 @@ func (cut *clusterUnderTest) compare(t *testing.T, tag string, probes []map[stri
 			mustMatch(t, fmt.Sprintf("%s probe %d topk %d", tag, pi, k), got, want, err)
 		}
 	}
+	knnProbes := append([]map[string]uint32{{}}, probes...)
+	for pi, probe := range knnProbes {
+		for _, k := range []int{1, 5, 50} {
+			got, err := cut.cluster.QueryKNN(probe, k)
+			want := cut.oracle.QueryKNN(probe, k)
+			mustMatchNeighbors(t, fmt.Sprintf("%s probe %d knn %d", tag, pi, k), got, want, err)
+		}
+	}
 	for _, entity := range entityProbes {
 		for _, thr := range []float64{0, 0.5} {
 			got, err := cut.cluster.QueryEntity(entity, thr)
@@ -169,6 +198,14 @@ func (cut *clusterUnderTest) compare(t *testing.T, tag string, probes []map[stri
 				t.Fatal(werr)
 			}
 			mustMatch(t, fmt.Sprintf("%s entity %q threshold %v", tag, entity, thr), got, want, err)
+		}
+		for _, k := range []int{1, 5, 50} {
+			got, err := cut.cluster.QueryKNNEntity(entity, k)
+			want, werr := cut.oracle.QueryKNNEntity(entity, k)
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			mustMatchNeighbors(t, fmt.Sprintf("%s entity %q knn %d", tag, entity, k), got, want, err)
 		}
 	}
 }

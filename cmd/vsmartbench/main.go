@@ -72,9 +72,12 @@ type Config struct {
 	Zipf        float64       `json:"zipf_s"`
 	Threshold   float64       `json:"threshold"`
 	TopK        int           `json:"topk"`
-	Seed        int64         `json:"seed"`
-	Preload     bool          `json:"preload"`
-	Timeout     time.Duration `json:"timeout_ns"`
+	// KNNK > 0 turns the read class into kNN queries against /knn with
+	// this k (Threshold and TopK then don't apply).
+	KNNK    int           `json:"knn_k"`
+	Seed    int64         `json:"seed"`
+	Preload bool          `json:"preload"`
+	Timeout time.Duration `json:"timeout_ns"`
 	// WriteBurst > 1 batches each worker's writes: mutations accumulate
 	// until the burst size is reached and ship as one POST /bulk. The
 	// write counters stay per mutation (a shed or failed batch counts
@@ -125,6 +128,7 @@ func main() {
 		zipfS       = flag.Float64("zipf", 1.1, "zipf skew of entity popularity (s>1; 0 = uniform)")
 		threshold   = flag.Float64("threshold", 0.5, "similarity threshold queries use (ignored with -topk)")
 		topK        = flag.Int("topk", 0, "use top-k queries with this k instead of threshold queries")
+		knnK        = flag.Int("knn-k", 0, "use kNN queries against /knn with this k instead of threshold queries")
 		writeBurst  = flag.Int("write-burst", 0, "batch each worker's writes and ship them as one POST /bulk per this many mutations (0 or 1 = one request per write)")
 		seed        = flag.Int64("seed", 1, "workload RNG seed")
 		noPreload   = flag.Bool("no-preload", false, "skip populating the keyspace before the run")
@@ -154,6 +158,7 @@ func main() {
 		Zipf:        *zipfS,
 		Threshold:   *threshold,
 		TopK:        *topK,
+		KNNK:        *knnK,
 		Seed:        *seed,
 		Preload:     !*noPreload,
 		Timeout:     *timeout,
@@ -240,6 +245,10 @@ func (cfg *Config) Validate() error {
 		return fmt.Errorf("zipf %v must be > 1 (or 0 for uniform)", cfg.Zipf)
 	case cfg.WriteBurst < 0:
 		return fmt.Errorf("write-burst %d < 0", cfg.WriteBurst)
+	case cfg.KNNK < 0:
+		return fmt.Errorf("knn-k %d < 0", cfg.KNNK)
+	case cfg.KNNK > 0 && cfg.TopK > 0:
+		return fmt.Errorf("knn-k and topk are mutually exclusive")
 	}
 	return nil
 }
@@ -417,7 +426,8 @@ func (d *driver) worker(id int, deadline time.Time, reads, writes *recorder) {
 		}
 		i := sample()
 		if rng.Intn(100) < d.cfg.ReadPct {
-			d.one(reads, target, "/query", d.queryBody(i))
+			path, body := d.queryBody(i)
+			d.one(reads, target, path, body)
 			continue
 		}
 		churn := rng.Intn(100) < d.cfg.ChurnPct
@@ -445,15 +455,21 @@ func (d *driver) worker(id int, deadline time.Time, reads, writes *recorder) {
 	}
 }
 
-func (d *driver) queryBody(i int) []byte {
+func (d *driver) queryBody(i int) (path string, body []byte) {
 	req := map[string]any{"elements": d.elements(i)}
-	if d.cfg.TopK > 0 {
+	switch {
+	case d.cfg.KNNK > 0:
+		req["k"] = d.cfg.KNNK
+		path = "/knn"
+	case d.cfg.TopK > 0:
 		req["topk"] = d.cfg.TopK
-	} else {
+		path = "/query"
+	default:
 		req["threshold"] = d.cfg.Threshold
+		path = "/query"
 	}
-	body, _ := json.Marshal(req)
-	return body
+	body, _ = json.Marshal(req)
+	return path, body
 }
 
 // oneBulk ships one batched write and records it per mutation: the

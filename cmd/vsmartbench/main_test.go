@@ -80,6 +80,35 @@ func TestRunAgainstNode(t *testing.T) {
 	}
 }
 
+// TestRunKNNReads points the read class at /knn and demands real
+// traffic with no errors — the op class the BENCH_010.json kNN load
+// legs are recorded with.
+func TestRunKNNReads(t *testing.T) {
+	ix, err := vsmartjoin.NewIndex(vsmartjoin.IndexOptions{Measure: "ruzicka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ts := httptest.NewServer(httpd.NewNode(ix, httpd.Options{}))
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.KNNK = 5
+	rep, err := Run(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads.Count == 0 {
+		t.Fatal("no kNN reads recorded")
+	}
+	if rep.Reads.Errors != 0 {
+		t.Fatalf("%d kNN read errors against a healthy node", rep.Reads.Errors)
+	}
+	if rep.Config.KNNK != 5 {
+		t.Fatalf("knn_k not echoed into the report config: %+v", rep.Config)
+	}
+}
+
 // TestRunCountsShedResponses confirms the driver's admission-control
 // accounting: 429s land in the shed column (excluded from the latency
 // digest), never the error column. The overload itself is simulated —
@@ -129,6 +158,8 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Entities = 0 },
 		func(c *Config) { c.ElementsPer = 0 },
 		func(c *Config) { c.Zipf = 0.5 },
+		func(c *Config) { c.KNNK = -1 },
+		func(c *Config) { c.KNNK = 5; c.TopK = 5 },
 	}
 	for i, mutate := range bad {
 		c := base

@@ -16,9 +16,16 @@
 // with no write-ahead log to replay. This is the cold-start path for
 // large corpora: one batch job instead of one logged Add per entity.
 //
+// With -knn k the trace is not threshold-joined either: the batch
+// all-k-nearest-neighbors pipeline computes every entity's exact k
+// nearest entities under the distance 1 − similarity, printed one
+// neighbor per line as "entity<TAB>neighbor<TAB>distance", entities
+// sorted, neighbors nearest first.
+//
 // Examples:
 //
 //	vsmartjoin -measure ruzicka -t 0.5 -algorithm sharding -in trace.tsv
+//	vsmartjoin -measure jaccard -knn 10 -in trace.tsv
 //	vsmartjoin -measure ruzicka -shards 8 -build-index /var/lib/vsmartjoin -in trace.tsv.gz
 //	vsmartjoind -measure ruzicka -data-dir /var/lib/vsmartjoin
 package main
@@ -29,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"vsmartjoin"
@@ -50,6 +58,7 @@ func main() {
 		shardc     = flag.Int("shardc", 0, "Sharding split parameter C (0 = default)")
 		comms      = flag.Bool("communities", false, "print connected components instead of pairs")
 		showStats  = flag.Bool("stats", false, "print simulated cluster stats to stderr")
+		knnK       = flag.Int("knn", 0, "compute each entity's k nearest neighbors (distance 1-similarity) instead of a threshold join")
 		buildIndex = flag.String("build-index", "", "bulk-build a durable serving index into this directory instead of joining")
 		shards     = flag.Int("shards", 1, "shard count of the built index (with -build-index)")
 		partitions = flag.Int("build-cluster", 0, "with -build-index: carve the corpus into this many per-node index directories (node-000, ...) for a vsmartjoind cluster")
@@ -100,6 +109,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "built %s: %d entities in %d shards (simulated %.1fs, spilled %dB)\n",
 			*buildIndex, bs.Entities, bs.Shards, bs.SimulatedSeconds, bs.SpilledBytes)
+		return
+	}
+
+	if *knnK > 0 {
+		res, err := vsmartjoin.AllKNN(d, *knnK, vsmartjoin.Options{
+			Measure:            *measure,
+			Machines:           *machines,
+			MemPerMachine:      *memory,
+			ShuffleBufferBytes: *shufbuf,
+			HadoopCompat:       *hadoop,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		entities := make([]string, 0, len(res.Neighbors))
+		for name := range res.Neighbors {
+			entities = append(entities, name)
+		}
+		sort.Strings(entities)
+		w := bufio.NewWriter(os.Stdout)
+		for _, name := range entities {
+			for _, n := range res.Neighbors[name] {
+				fmt.Fprintf(w, "%s\t%s\t%.6f\n", name, n.Entity, n.Distance)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if *showStats {
+			fmt.Fprintf(os.Stderr, "%d entities; %d MapReduce jobs; simulated %.1fs; groups probed %d, pruned %d; spilled %dB\n",
+				len(res.Neighbors), res.Stats.Jobs, res.Stats.TotalSeconds,
+				res.Stats.GroupsProbed, res.Stats.GroupsPruned, res.Stats.SpilledBytes)
+		}
 		return
 	}
 

@@ -174,6 +174,42 @@
 // its /stats endpoint, and its -debug-addr flag serves net/http/pprof
 // on a private listener for live profiling.
 //
+// # kNN queries and adaptive planning
+//
+// The third query shape is k-nearest-neighbor under the distance
+// 1 − similarity. QueryKNN returns the k nearest indexed entities to a
+// query multiset, nearest first with entity names ascending on
+// distance ties; QueryKNNEntity asks the same of an indexed entity's
+// own elements, excluding the entity from its list. kNN has no
+// similarity cut-off: entities sharing nothing with the query sit at
+// distance exactly 1 and legitimately fill a list when fewer than k
+// entities overlap.
+//
+//	ns := ix.QueryKNN(map[string]uint32{"cookie-a": 3}, 10)
+//	for _, n := range ns {
+//		fmt.Printf("%s at distance %.3f\n", n.Entity, n.Distance)
+//	}
+//
+// AllKNN is the batch counterpart — every entity's exact k nearest
+// lists in one simulated-cluster MapReduce run (cmd/vsmartjoin -knn on
+// the command line), computed by partition-and-refine: entities group
+// by cardinality, and a group is probed only when a similarity upper
+// bound says it could still improve the query's k-th distance. Batch
+// and online lists are byte-identical; knn_diff_test.go gates both
+// against a brute-force oracle.
+//
+// Candidate generation is planned per partition (internal/planner):
+// each shard's ingest-time statistics — entity count, token-frequency
+// skew, cardinality distribution — deterministically select brute
+// force (tiny partitions), the prefix-filter inverted index (the
+// general case), or MinHash LSH bucket seeding (stop-word-dominated
+// partitions) on every mutation. All three strategies are exact, so
+// the choice is purely a cost decision. IndexOptions.Strategy pins
+// every shard to one strategy ("auto", the default, defers to the
+// planner; "prefix", "lsh", and "brute" override it), and
+// IndexStats.Plans — mirrored by the daemon's /stats and /metrics —
+// reports each shard's current decision.
+//
 // # Cluster serving
 //
 // Cluster scales the same serving surface across machines: it is a

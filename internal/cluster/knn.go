@@ -1,0 +1,114 @@
+package cluster
+
+// Scatter-gather k-nearest-neighbor queries. Each node answers /knn
+// with its partition's exact local k best under the canonical
+// (distance ascending, entity name ascending) order — non-overlap
+// padding included, so a node list is its partition's true top k, not
+// just the overlapping ones. Entity names are unique across the
+// cluster (one owner partition per name), so that order is total
+// globally and the merge is the classic argument: any entity of the
+// global top k is necessarily inside its own partition's top k, hence
+// concatenate, sort, truncate is exact.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Neighbor is one kNN result as the node daemons report it; the JSON
+// field names are the daemon's wire names, so per-node responses
+// decode straight into the merge.
+type Neighbor struct {
+	Entity   string  `json:"entity"`
+	Distance float64 `json:"distance"`
+}
+
+// worseNeighbor is the canonical public kNN ordering (distance
+// ascending, entity name ascending on ties), restated from the root
+// package because the internal package cannot import it.
+func worseNeighbor(a, b Neighbor) bool {
+	if a.Distance != b.Distance {
+		return a.Distance > b.Distance
+	}
+	return a.Entity > b.Entity
+}
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool { return worseNeighbor(ns[j], ns[i]) })
+}
+
+// nodeKNNRequest is the daemon's /knn body. Elements has no omitempty:
+// an explicitly empty map is a legal query (every entity is then a
+// distance-1 neighbor) and must survive the round trip.
+type nodeKNNRequest struct {
+	Elements map[string]uint32 `json:"elements"`
+	K        int               `json:"k"`
+}
+
+type nodeKNNResponse struct {
+	Neighbors []Neighbor `json:"neighbors"`
+}
+
+// QueryKNN returns the k nearest entities across the whole cluster
+// under distance 1 − similarity, nearest first — exactly the answer a
+// single Index over the same entities gives, including the
+// non-overlapping tail at distance 1.
+func (c *Cluster) QueryKNN(ctx context.Context, elements map[string]uint32, k int) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: knn k %d must be positive", k)
+	}
+	return c.scatterKNN(ctx, elements, k, "")
+}
+
+// QueryKNNEntity runs QueryKNN with an indexed entity as the query;
+// the entity itself is excluded from its own neighbor list. The
+// entity's multiset is fetched from its owner partition and scattered
+// as an ordinary element query asking for k+1 per node — the one extra
+// covers the slot the entity itself occupies in its owner's list.
+func (c *Cluster) QueryKNNEntity(ctx context.Context, entity string, k int) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: knn k %d must be positive", k)
+	}
+	elements, err := c.fetchEntity(ctx, entity)
+	if err != nil {
+		return nil, err
+	}
+	return c.scatterKNN(ctx, elements, k, entity)
+}
+
+// scatterKNN fans the element query out and merges. self, when
+// non-empty, is dropped from the merge; every node is asked for one
+// extra neighbor to cover the dropped slot.
+func (c *Cluster) scatterKNN(ctx context.Context, elements map[string]uint32, k int, self string) ([]Neighbor, error) {
+	ask := k
+	if self != "" {
+		ask++
+	}
+	if elements == nil {
+		elements = map[string]uint32{}
+	}
+	req := nodeKNNRequest{Elements: elements, K: ask}
+	per, err := scatterAll(c, ctx, func(ctx context.Context, n *node) ([]Neighbor, error) {
+		var kr nodeKNNResponse
+		err := c.postJSON(ctx, n, "/knn", req, &kr)
+		//lint:vsmart-allow canonicalorder one partition's node-local reply; scatterKNN canonicalizes after merging partitions
+		return kr.Neighbors, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Neighbor
+	for _, ns := range per {
+		for _, n := range ns {
+			if n.Entity != self || self == "" {
+				out = append(out, n)
+			}
+		}
+	}
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

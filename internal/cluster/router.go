@@ -311,17 +311,30 @@ func strings404(err error) bool {
 // silently wrong, the one thing the differential harness exists to
 // prevent.
 func (c *Cluster) scatter(ctx context.Context, req nodeQueryRequest) ([][]Match, error) {
+	return scatterAll(c, ctx, func(ctx context.Context, n *node) ([]Match, error) {
+		var qr nodeQueryResponse
+		err := c.postJSON(ctx, n, "/query", req, &qr)
+		// Matches may legitimately be empty; nil keeps merges allocation-free.
+		return qr.Matches, err
+	})
+}
+
+// scatterAll runs one request against every partition in parallel —
+// each through raceReplicas' failover and hedging — and returns the
+// per-partition answers. The query kinds (/query, /knn) differ only in
+// the do callback.
+func scatterAll[T any](c *Cluster, ctx context.Context, do func(context.Context, *node) (T, error)) ([]T, error) {
 	c.queries.Add(1)
 	start := metrics.Now()
 	defer c.queryLatency.ObserveSince(start)
-	per := make([][]Match, len(c.parts))
+	per := make([]T, len(c.parts))
 	errs := make([]error, len(c.parts))
 	var wg sync.WaitGroup
 	for p := range c.parts {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			per[p], errs[p] = c.queryPartition(ctx, p, req)
+			per[p], errs[p] = raceReplicas(c, ctx, p, do)
 		}(p)
 	}
 	wg.Wait()
@@ -357,17 +370,17 @@ func (c *Cluster) prefer(replicas []*node) []*node {
 	return append(out, sick...)
 }
 
-// queryPartition runs one partition's query: first attempt on the
+// raceReplicas runs one partition's request: first attempt on the
 // preferred replica, immediate failover on error, and a hedged second
 // attempt if the current one is slow. The first successful answer
 // wins; cancelling the partition context reels the losers back in.
-func (c *Cluster) queryPartition(callerCtx context.Context, p int, req nodeQueryRequest) ([]Match, error) {
+func raceReplicas[T any](c *Cluster, callerCtx context.Context, p int, do func(context.Context, *node) (T, error)) (T, error) {
 	order := c.prefer(c.parts[p])
 	ctx, cancel := context.WithTimeout(callerCtx, c.timeout)
 	defer cancel()
 
 	type result struct {
-		ms     []Match
+		v      T
 		err    error
 		hedged bool // this attempt was a hedge, not the primary or a failover
 	}
@@ -377,10 +390,8 @@ func (c *Cluster) queryPartition(callerCtx context.Context, p int, req nodeQuery
 		n := order[launched]
 		launched++
 		go func() {
-			var qr nodeQueryResponse
-			err := c.postJSON(ctx, n, "/query", req, &qr)
-			// Matches may legitimately be empty; nil keeps merges allocation-free.
-			results <- result{qr.Matches, err, hedged}
+			v, err := do(ctx, n)
+			results <- result{v, err, hedged}
 		}()
 	}
 
@@ -401,8 +412,7 @@ func (c *Cluster) queryPartition(callerCtx context.Context, p int, req nodeQuery
 				if r.hedged {
 					c.hedgeWins.Add(1)
 				}
-				//lint:vsmart-allow canonicalorder one partition's node-local reply; QueryThreshold/QueryTopK canonicalize after merging partitions
-				return r.ms, nil
+				return r.v, nil
 			}
 			errs = append(errs, r.err)
 			if launched < len(order) {
@@ -419,7 +429,8 @@ func (c *Cluster) queryPartition(callerCtx context.Context, p int, req nodeQuery
 			}
 		}
 	}
-	return nil, fmt.Errorf("no replica answered: %w", errors.Join(errs...))
+	var zero T
+	return zero, fmt.Errorf("no replica answered: %w", errors.Join(errs...))
 }
 
 // Snapshot asks every node to cut a durable snapshot, failing on the

@@ -47,6 +47,9 @@ func NewNode(ix *vsmartjoin.Index, opts Options) http.Handler {
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(w, r, indexQuerier{s.ix})
 	})
+	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
+		handleKNN(w, r, indexKNNQuerier{s.ix})
+	})
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /bulk", s.handleBulk)
 	mux.HandleFunc("GET /entity", s.handleEntity)
@@ -70,6 +73,9 @@ func NewRouter(c *vsmartjoin.Cluster, opts Options) http.Handler {
 	mux.HandleFunc("POST /bulk", s.handleBulk)
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(w, r, clusterQuerier{s.c})
+	})
+	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
+		handleKNN(w, r, clusterKNNQuerier{s.c})
 	})
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", handleHealthz)
@@ -241,6 +247,60 @@ func handleQuery(w http.ResponseWriter, r *http.Request, q querier) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// knnQuerier is the kNN surface both backends share, mirroring querier.
+type knnQuerier interface {
+	QueryKNN(ctx context.Context, counts map[string]uint32, k int) ([]vsmartjoin.Neighbor, error)
+	QueryKNNEntity(ctx context.Context, entity string, k int) ([]vsmartjoin.Neighbor, error)
+}
+
+type knnRequest struct {
+	// At most one of Entity (an indexed entity name) or Elements (an
+	// ad-hoc multiset) names the query. Unlike /query, both may be absent:
+	// an empty multiset is a legal kNN query — every entity is then a
+	// distance-1 neighbor and the answer is the k smallest names.
+	Entity   string            `json:"entity"`
+	Elements map[string]uint32 `json:"elements"`
+	K        int               `json:"k"`
+}
+
+// handleKNN validates and dispatches a /knn body against either
+// backend, with handleQuery's error mapping (400 for bad requests and
+// unknown entities, 503 when the cluster cannot answer).
+func handleKNN(w http.ResponseWriter, r *http.Request, q knnQuerier) {
+	var req knnRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Entity != "" && len(req.Elements) > 0 {
+		writeError(w, http.StatusBadRequest, "name the query with at most one of entity or elements")
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	ctx := cluster.WithRequestID(r.Context(), r.Header.Get(cluster.HeaderRequestID))
+	var neighbors []vsmartjoin.Neighbor
+	var err error
+	if req.Entity != "" {
+		neighbors, err = q.QueryKNNEntity(ctx, req.Entity, req.K)
+	} else {
+		neighbors, err = q.QueryKNN(ctx, req.Elements, req.K)
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, vsmartjoin.ErrClusterUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	if neighbors == nil {
+		neighbors = []vsmartjoin.Neighbor{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"neighbors": neighbors})
+}
+
 // snapshotBody enforces "optional, but well-formed if present" for the
 // /snapshot endpoints.
 func snapshotBody(w http.ResponseWriter, r *http.Request) bool {
@@ -273,6 +333,18 @@ func (q indexQuerier) QueryEntity(ctx context.Context, entity string, t float64)
 	return q.ix.QueryEntity(entity, t)
 }
 
+// indexKNNQuerier adapts Index to the shared kNN surface, like
+// indexQuerier (Index.QueryKNN cannot fail, the interface's can).
+type indexKNNQuerier struct{ ix *vsmartjoin.Index }
+
+func (q indexKNNQuerier) QueryKNN(ctx context.Context, counts map[string]uint32, k int) ([]vsmartjoin.Neighbor, error) {
+	return q.ix.QueryKNN(counts, k), nil
+}
+
+func (q indexKNNQuerier) QueryKNNEntity(ctx context.Context, entity string, k int) ([]vsmartjoin.Neighbor, error) {
+	return q.ix.QueryKNNEntity(entity, k)
+}
+
 // handleMetrics serves the node's Prometheus scrape: index size and
 // funnel counters, cache traffic, and the latency histograms of every
 // layer under this process (query, shard merge, WAL append/fsync).
@@ -303,6 +375,19 @@ func (s *nodeServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("vsmart_wal_records_total", "Write-ahead log records appended across shards.", float64(m.WALRecords))
 	p.counter("vsmart_wal_fsyncs_total", "Write-ahead log fsyncs issued across shards; the ratio to records is the amortized durability cost.", float64(m.WALFsyncs))
 	p.gauge("vsmart_mutation_queue_depth", "AddAsync mutations queued behind the async appliers.", float64(st.MutationQueueDepth))
+	// Planner decisions: shards per chosen strategy, all strategies
+	// emitted (zeros included) so dashboards see transitions, plus the
+	// configured override as an info-style gauge.
+	planned := map[string]int{}
+	for _, pl := range st.Plans {
+		planned[pl]++
+	}
+	p.header("vsmart_plan_shards", "gauge", "Shards currently planned onto each query strategy.")
+	for _, name := range []string{"prefix", "lsh", "brute"} {
+		p.labeled("vsmart_plan_shards", [][2]string{{"strategy", name}}, float64(planned[name]))
+	}
+	p.header("vsmart_plan_strategy", "gauge", "Configured strategy override (1 on the active row; auto means planner-driven).")
+	p.labeled("vsmart_plan_strategy", [][2]string{{"strategy", st.Strategy}}, 1)
 	p.admission(s.lim)
 }
 
@@ -492,6 +577,18 @@ func (q clusterQuerier) QueryTopK(ctx context.Context, counts map[string]uint32,
 
 func (q clusterQuerier) QueryEntity(ctx context.Context, entity string, t float64) ([]vsmartjoin.Match, error) {
 	return q.c.QueryEntityContext(ctx, entity, t)
+}
+
+// clusterKNNQuerier adapts the cluster client's context-taking kNN
+// variants to the shared surface.
+type clusterKNNQuerier struct{ c *vsmartjoin.Cluster }
+
+func (q clusterKNNQuerier) QueryKNN(ctx context.Context, counts map[string]uint32, k int) ([]vsmartjoin.Neighbor, error) {
+	return q.c.QueryKNNContext(ctx, counts, k)
+}
+
+func (q clusterKNNQuerier) QueryKNNEntity(ctx context.Context, entity string, k int) ([]vsmartjoin.Neighbor, error) {
+	return q.c.QueryKNNEntityContext(ctx, entity, k)
 }
 
 // traceCtx is the write-path counterpart of handleQuery's context

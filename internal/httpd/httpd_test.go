@@ -213,6 +213,85 @@ func TestNodeMetricsEndpoint(t *testing.T) {
 	if _, ok := samples["vsmart_http_rejected_total"]; !ok {
 		t.Fatal("admission series missing from scrape")
 	}
+	// Planner decisions are on the scrape: one shard here, and a corpus
+	// this small always plans brute.
+	if v := samples[`vsmart_plan_shards{strategy="brute"}`]; v != 1 {
+		t.Fatalf(`vsmart_plan_shards{strategy="brute"} = %v, want 1`, v)
+	}
+	if v := samples[`vsmart_plan_shards{strategy="prefix"}`]; v != 0 {
+		t.Fatalf(`vsmart_plan_shards{strategy="prefix"} = %v, want 0`, v)
+	}
+	if v := samples[`vsmart_plan_strategy{strategy="auto"}`]; v != 1 {
+		t.Fatalf(`vsmart_plan_strategy{strategy="auto"} = %v, want 1`, v)
+	}
+}
+
+// TestKNNEndpoint covers /knn on a node and on a router over that node:
+// elements mode, entity mode (self excluded), the empty query (legal on
+// the kNN path only — every entity is then a distance-1 neighbor), and
+// the request validation.
+func TestKNNEndpoint(t *testing.T) {
+	_, router, nodes := startCluster(t, 1)
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"entity": "e%d", "elements": {"a": %d, "b": 1}}`, i, i+1)
+		if resp, out := post(t, router.Client(), router.URL+"/add", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("add: %d %v", resp.StatusCode, out)
+		}
+	}
+	type knnResp struct {
+		Neighbors []vsmartjoin.Neighbor `json:"neighbors"`
+	}
+	hc := router.Client()
+	ask := func(base, body string) (int, knnResp) {
+		t.Helper()
+		resp, err := hc.Post(base+"/knn", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out knnResp
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, out
+	}
+	for _, base := range []string{nodes[0].URL, router.URL} {
+		// Elements mode: e0 holds exactly {a:1, b:1}, so it is the nearest.
+		code, out := ask(base, `{"elements": {"a": 1, "b": 1}, "k": 2}`)
+		if code != http.StatusOK || len(out.Neighbors) != 2 || out.Neighbors[0].Entity != "e0" || out.Neighbors[0].Distance != 0 {
+			t.Fatalf("%s elements knn: %d %+v", base, code, out.Neighbors)
+		}
+		// Entity mode: the entity itself never appears in its own list.
+		code, out = ask(base, `{"entity": "e0", "k": 10}`)
+		if code != http.StatusOK || len(out.Neighbors) != 3 {
+			t.Fatalf("%s entity knn: %d %+v", base, code, out.Neighbors)
+		}
+		for _, n := range out.Neighbors {
+			if n.Entity == "e0" {
+				t.Fatalf("%s entity knn returned the query entity: %+v", base, out.Neighbors)
+			}
+		}
+		// Empty query: everything is a distance-1 neighbor, names ascending.
+		code, out = ask(base, `{"k": 3}`)
+		if code != http.StatusOK || len(out.Neighbors) != 3 || out.Neighbors[0] != (vsmartjoin.Neighbor{Entity: "e0", Distance: 1}) {
+			t.Fatalf("%s empty knn: %d %+v", base, code, out.Neighbors)
+		}
+		// Validation: k is mandatory and positive; entity and elements are
+		// mutually exclusive; unknown entities are the caller's error.
+		for tag, body := range map[string]string{
+			"no k":     `{"elements": {"a": 1}}`,
+			"zero k":   `{"elements": {"a": 1}, "k": 0}`,
+			"both":     `{"entity": "e0", "elements": {"a": 1}, "k": 2}`,
+			"unknown":  `{"entity": "ghost", "k": 2}`,
+			"bad json": `{"k": `,
+		} {
+			if code, _ := ask(base, body); code != http.StatusBadRequest {
+				t.Fatalf("%s %s: %d, want 400", base, tag, code)
+			}
+		}
+	}
 }
 
 // startCluster brings up n single-replica partitions plus a router.

@@ -33,8 +33,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"vsmartjoin/internal/lsh"
 	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/planner"
 	"vsmartjoin/internal/similarity"
+	"vsmartjoin/internal/stats"
 )
 
 // boundEps is the slack applied when comparing pruning bounds against the
@@ -135,6 +138,23 @@ type Index struct {
 	// scratch is owned by exactly one query between Get and Put.
 	scratch sync.Pool
 
+	// Adaptive planning (internal/planner). plan is the strategy queries
+	// currently run through; override pins it when not Auto; pl, when
+	// non-nil, re-decides it from the partition statistics on every
+	// mutation (nil — the New default — pins the Prefix path, so the
+	// bare data structure behaves exactly as before SetPlanner existed).
+	// cardDist tracks the live entities' cardinality distribution and
+	// maxPosting the longest posting list (stale entries included);
+	// lshTab is the MinHash band table maintained only while the plan is
+	// LSH. All are guarded by mu: mutated under the write lock, read by
+	// queries under the read lock.
+	pl         planner.Planner
+	override   planner.Strategy
+	plan       planner.Strategy
+	cardDist   stats.Dist
+	maxPosting int
+	lshTab     *lsh.Table
+
 	adds        atomic.Int64
 	removes     atomic.Int64
 	compactions atomic.Int64
@@ -146,12 +166,15 @@ type Index struct {
 	results     atomic.Int64
 }
 
-// New returns an empty index verifying with the given measure.
+// New returns an empty index verifying with the given measure. The
+// query plan starts (and without SetPlanner/SetStrategy stays) Prefix —
+// the inverted-index probe.
 func New(m similarity.Measure) *Index {
 	return &Index{
 		measure:  m,
 		entities: make(map[multiset.ID]*entry),
 		postings: make(map[multiset.Elem][]*entry),
+		plan:     planner.Prefix,
 	}
 }
 
@@ -198,15 +221,33 @@ func (ix *Index) Add(m multiset.Multiset) {
 		// at the new one; count them for compaction.
 		ix.deadPostings += len(old.set.Entries)
 		ix.freeSlotLocked(old)
+		ix.cardDist.Remove(old.uni.Card)
 	}
 	ix.entities[m.ID] = e
-	for _, ent := range e.set.Entries {
-		ix.postings[ent.Elem] = append(ix.postings[ent.Elem], e)
+	ix.addPostingsLocked(e)
+	ix.cardDist.Add(e.uni.Card)
+	if ix.lshTab != nil {
+		ix.lshTab.Add(uint64(m.ID), m)
 	}
-	ix.postingCount += len(e.set.Entries)
 	ix.maybeCompactLocked()
+	ix.replanLocked()
 	ix.mu.Unlock()
 	ix.adds.Add(1)
+}
+
+// addPostingsLocked appends a fresh entry to its element posting lists,
+// maintaining the posting count and the longest-list high-water mark
+// the planner's token-skew statistic reads. Caller holds the write
+// lock.
+func (ix *Index) addPostingsLocked(e *entry) {
+	for _, ent := range e.set.Entries {
+		list := append(ix.postings[ent.Elem], e)
+		ix.postings[ent.Elem] = list
+		if len(list) > ix.maxPosting {
+			ix.maxPosting = len(list)
+		}
+	}
+	ix.postingCount += len(e.set.Entries)
 }
 
 // BatchOp is one mutation of an ApplyBatch: an upsert of Set when
@@ -235,6 +276,10 @@ func (ix *Index) ApplyBatch(ops []BatchOp) {
 				delete(ix.entities, op.ID)
 				ix.deadPostings += len(e.set.Entries)
 				ix.freeSlotLocked(e)
+				ix.cardDist.Remove(e.uni.Card)
+				if ix.lshTab != nil {
+					ix.lshTab.Remove(uint64(op.ID))
+				}
 				removes++
 			}
 			continue
@@ -244,15 +289,18 @@ func (ix *Index) ApplyBatch(ops []BatchOp) {
 		if old, ok := ix.entities[m.ID]; ok {
 			ix.deadPostings += len(old.set.Entries)
 			ix.freeSlotLocked(old)
+			ix.cardDist.Remove(old.uni.Card)
 		}
 		ix.entities[m.ID] = e
-		for _, ent := range e.set.Entries {
-			ix.postings[ent.Elem] = append(ix.postings[ent.Elem], e)
+		ix.addPostingsLocked(e)
+		ix.cardDist.Add(e.uni.Card)
+		if ix.lshTab != nil {
+			ix.lshTab.Add(uint64(m.ID), m)
 		}
-		ix.postingCount += len(e.set.Entries)
 		adds++
 	}
 	ix.maybeCompactLocked()
+	ix.replanLocked()
 	ix.mu.Unlock()
 	ix.adds.Add(adds)
 	ix.removes.Add(removes)
@@ -287,11 +335,13 @@ func (ix *Index) BulkLoad(sets []multiset.Multiset) error {
 	for _, m := range sets {
 		e := &entry{set: m, uni: similarity.UniOf(m), slot: ix.allocSlotLocked()}
 		ix.entities[m.ID] = e
-		for _, ent := range e.set.Entries {
-			ix.postings[ent.Elem] = append(ix.postings[ent.Elem], e)
+		ix.addPostingsLocked(e)
+		ix.cardDist.Add(e.uni.Card)
+		if ix.lshTab != nil {
+			ix.lshTab.Add(uint64(m.ID), m)
 		}
-		ix.postingCount += len(e.set.Entries)
 	}
+	ix.replanLocked()
 	// Bulk-loaded entities are mutations like any other: a daemon
 	// bootstrapped from snapshot files must report the entities it
 	// serves in Stats.Adds (and /readyz's mutation counter), not 0.
@@ -308,7 +358,12 @@ func (ix *Index) Remove(id multiset.ID) bool {
 		delete(ix.entities, id)
 		ix.deadPostings += len(e.set.Entries)
 		ix.freeSlotLocked(e)
+		ix.cardDist.Remove(e.uni.Card)
+		if ix.lshTab != nil {
+			ix.lshTab.Remove(uint64(id))
+		}
 		ix.maybeCompactLocked()
+		ix.replanLocked()
 	}
 	ix.mu.Unlock()
 	if ok {
@@ -323,6 +378,7 @@ func (ix *Index) maybeCompactLocked() {
 	if ix.deadPostings <= ix.postingCount-ix.deadPostings {
 		return
 	}
+	ix.maxPosting = 0
 	for elem, list := range ix.postings {
 		w := 0
 		for _, e := range list {
@@ -336,6 +392,9 @@ func (ix *Index) maybeCompactLocked() {
 			continue
 		}
 		ix.postings[elem] = list[:w]
+		if w > ix.maxPosting {
+			ix.maxPosting = w
+		}
 	}
 	ix.postingCount -= ix.deadPostings
 	ix.deadPostings = 0
@@ -418,6 +477,16 @@ type queryScratch struct {
 	marks []uint32
 	epoch uint32
 	heap  topkHeap
+	// sig holds the query's MinHash signature when the LSH strategy is
+	// active.
+	sig []uint64
+	// cnt accumulates the funnel counters while the read lock is held;
+	// they flush to the atomics afterwards. Living inside the pooled
+	// scratch (rather than being locals passed by pointer into the
+	// per-strategy helpers) keeps them off the heap.
+	cnt struct {
+		probes, cands, lenPruned, verified int64
+	}
 }
 
 // begin readies the dedup table for one probe pass over an index whose
@@ -474,21 +543,30 @@ func sortProbeOrder(ord []multiset.Entry) {
 	})
 }
 
-// gather probes the query's posting lists under the read lock and returns
-// the deduplicated live candidates (in s.cands) that survive both
-// filters. stop is the residual-bound cut-off: probing ends once the
-// unprobed tail of the query cannot reach it. An entity whose ID equals
-// the query's own ID is never a candidate (self-pairs are meaningless;
-// use ID 0 for ad-hoc queries).
+// gather collects the deduplicated live candidates (in s.cands) that
+// survive the active strategy's filters, under the read lock. stop is
+// the verification cut-off the bounds prune against. An entity whose ID
+// equals the query's own ID is never a candidate (self-pairs are
+// meaningless; use ID 0 for ad-hoc queries).
+//
+// Under the Prefix plan the query's posting lists are probed in
+// decreasing-multiplicity order and probing ends once the residual
+// bound shows the unprobed tail cannot reach stop. Under Brute the
+// entity table is scanned outright, length-filtered only. The LSH plan
+// has nothing to offer a fixed threshold — its bucket collisions seed a
+// *rising* floor, and stop never rises — so it gathers like Prefix.
 func (ix *Index) gather(s *queryScratch, q Query, qUni similarity.UniStats, stop float64) []*entry {
+	s.cands = s.cands[:0]
+	var probes, lenPruned int64
+
+	if ix.Plan() == planner.Brute {
+		return ix.gatherBrute(s, q, qUni, stop)
+	}
+	ix.mu.RLock()
 	s.order = append(s.order[:0], q.Set.Entries...)
 	sortProbeOrder(s.order)
 	residual := qUni
 	residual.Sub(q.Extra) // extras match nothing; they never feed postings
-	s.cands = s.cands[:0]
-	var probes, lenPruned int64
-
-	ix.mu.RLock()
 	s.begin(int(ix.nextSlot))
 	for _, ent := range s.order {
 		if similarity.ResidualUpperBound(ix.measure, qUni, residual)+boundEps < stop {
@@ -524,6 +602,31 @@ func (ix *Index) gather(s *queryScratch, q Query, qUni similarity.UniStats, stop
 	return s.cands
 }
 
+// gatherBrute is gather's Brute plan: a straight scan of the entity
+// table, length-filtered only. The plan may have flipped to Brute
+// between gather's dispatch read and this lock — harmless, the scan is
+// valid under any plan.
+func (ix *Index) gatherBrute(s *queryScratch, q Query, qUni similarity.UniStats, stop float64) []*entry {
+	var probes, lenPruned int64
+	ix.mu.RLock()
+	for _, e := range ix.entities {
+		probes++
+		if e.set.ID == q.Set.ID {
+			continue
+		}
+		if similarity.SimUpperBound(ix.measure, qUni, e.uni)+boundEps < stop {
+			lenPruned++
+			continue
+		}
+		s.cands = append(s.cands, e)
+	}
+	ix.mu.RUnlock()
+	ix.probes.Add(probes)
+	ix.candidates.Add(int64(len(s.cands)) + lenPruned)
+	ix.lenPruned.Add(lenPruned)
+	return s.cands
+}
+
 // QueryThreshold returns every indexed entity whose similarity to q is at
 // least t, sorted by decreasing similarity (ID ascending on ties). The
 // exact-verification loop runs after the read lock is released: entries
@@ -549,7 +652,15 @@ func (ix *Index) QueryThresholdInto(q Query, t float64, buf []Match) []Match {
 
 	base := len(buf)
 	for _, e := range cands {
-		sim := ix.measure.Sim(qUni, e.uni, similarity.ConjOf(q.Set, e.set))
+		conj := similarity.ConjOf(q.Set, e.set)
+		if conj.Common == 0 {
+			// Only entities sharing an element qualify, even at t = 0 —
+			// the threshold convention every strategy must agree on. A
+			// no-op for prefix candidates (posting lists only yield
+			// overlaps) but load-bearing for the brute scan.
+			continue
+		}
+		sim := ix.measure.Sim(qUni, e.uni, conj)
 		if sim+verifyEps >= t {
 			buf = append(buf, Match{ID: e.set.ID, Sim: sim})
 		}
@@ -573,6 +684,12 @@ func (ix *Index) QueryTopK(q Query, k int) []Match {
 // QueryTopKInto is QueryTopK appending into buf (typically a reused
 // buffer truncated to buf[:0]) instead of allocating the result. Only
 // the appended region is sorted; buf's existing contents are preserved.
+//
+// The pass runs through the partition's planned strategy (see
+// internal/planner): the prefix-filter probe, a MinHash-bucket-seeded
+// sweep, or a straight scan. Every strategy yields the same k matches —
+// they differ only in how fast the rising k-th-best floor is
+// established.
 func (ix *Index) QueryTopKInto(q Query, k int, buf []Match) []Match {
 	ix.queries.Add(1)
 	if k <= 0 || len(q.Set.Entries) == 0 {
@@ -580,14 +697,41 @@ func (ix *Index) QueryTopKInto(q Query, k int, buf []Match) []Match {
 	}
 	qUni := queryStats(q)
 	s := ix.getScratch()
+	s.heap = s.heap[:0]
+	s.cnt.probes, s.cnt.cands, s.cnt.lenPruned, s.cnt.verified = 0, 0, 0, 0
+
+	ix.mu.RLock()
+	switch ix.plan {
+	case planner.Brute:
+		ix.topkBruteLocked(s, q, qUni, k)
+	case planner.LSH:
+		ix.topkLSHLocked(s, q, qUni, k)
+	default:
+		ix.topkPrefixLocked(s, q, qUni, k)
+	}
+	ix.mu.RUnlock()
+
+	ix.probes.Add(s.cnt.probes)
+	ix.candidates.Add(s.cnt.cands)
+	ix.lenPruned.Add(s.cnt.lenPruned)
+	ix.verified.Add(s.cnt.verified)
+	base := len(buf)
+	buf = append(buf, s.heap...)
+	ix.putScratch(s)
+	SortMatches(buf[base:])
+	ix.results.Add(int64(len(buf) - base))
+	return buf
+}
+
+// topkPrefixLocked is the inverted-index top-k pass: posting lists in
+// decreasing-multiplicity order with the current k-th best similarity
+// as a rising residual-bound floor. Caller holds the read lock for the
+// whole pass so the floor stays consistent with the probed snapshot.
+func (ix *Index) topkPrefixLocked(s *queryScratch, q Query, qUni similarity.UniStats, k int) {
 	s.order = append(s.order[:0], q.Set.Entries...)
 	sortProbeOrder(s.order)
 	residual := qUni
 	residual.Sub(q.Extra)
-	s.heap = s.heap[:0]
-	var probes, cands, lenPruned, verified int64
-
-	ix.mu.RLock()
 	s.begin(int(ix.nextSlot))
 	for _, ent := range s.order {
 		// Below k results every candidate is wanted, so the floor is 0
@@ -600,7 +744,7 @@ func (ix *Index) QueryTopKInto(q Query, k int, buf []Match) []Match {
 			}
 		}
 		for _, e := range ix.postings[ent.Elem] {
-			probes++
+			s.cnt.probes++
 			if e.set.ID == q.Set.ID {
 				continue
 			}
@@ -611,12 +755,12 @@ func (ix *Index) QueryTopKInto(q Query, k int, buf []Match) []Match {
 				continue
 			}
 			s.marks[e.slot] = s.epoch
-			cands++
+			s.cnt.cands++
 			if len(s.heap) == k && similarity.SimUpperBound(ix.measure, qUni, e.uni) < floor-boundEps {
-				lenPruned++
+				s.cnt.lenPruned++
 				continue
 			}
-			verified++
+			s.cnt.verified++
 			//lint:vsmart-allow lockscope top-k must verify under the RLock so the rising floor keeps pruning; threshold queries verify outside it
 			sim := ix.measure.Sim(qUni, e.uni, similarity.ConjOf(q.Set, e.set))
 			s.heap.offer(Match{ID: e.set.ID, Sim: sim}, k)
@@ -628,18 +772,6 @@ func (ix *Index) QueryTopKInto(q Query, k int, buf []Match) []Match {
 		probed.AccumulateUni(ent.Count)
 		residual.Sub(probed)
 	}
-	ix.mu.RUnlock()
-
-	ix.probes.Add(probes)
-	ix.candidates.Add(cands)
-	ix.lenPruned.Add(lenPruned)
-	ix.verified.Add(verified)
-	base := len(buf)
-	buf = append(buf, s.heap...)
-	ix.putScratch(s)
-	SortMatches(buf[base:])
-	ix.results.Add(int64(len(buf) - base))
-	return buf
 }
 
 // worseMatch is the single result-ordering comparator: a ranks below b on

@@ -1,0 +1,194 @@
+package index
+
+import (
+	"vsmartjoin/internal/lsh"
+	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/planner"
+	"vsmartjoin/internal/similarity"
+)
+
+// This file wires internal/planner into the index: the partition
+// statistics the planner decides from, the replan step every mutation
+// runs, and the two alternative top-k passes (brute scan, LSH-seeded
+// sweep) the plan can route queries through. Every strategy answers
+// byte-identically — they are candidate-generation plans, not
+// approximations — so a replan can never change what a query returns,
+// only what it costs.
+
+// LSH banding for the strategy's MinHash table. 8 bands × 2 rows = 16
+// hash functions; the banding S-curve crosses ~(1/8)^(1/2) ≈ 0.35, so
+// moderately similar entities collide in some band with high
+// probability — good floor seeds. The seed is a fixed constant: every
+// partition of every deployment shape builds the identical hash family,
+// part of the determinism guarantee.
+const (
+	lshBands = 8
+	lshRows  = 2
+	lshSeed  = 0x5ee0a11d00c7ab1e
+)
+
+// SetPlanner installs a statistics-driven planner and re-decides the
+// partition's strategy immediately (and then again after every
+// mutation). A nil planner restores the construction default: the
+// Prefix path, pinned.
+func (ix *Index) SetPlanner(p planner.Planner) {
+	ix.mu.Lock()
+	ix.pl = p
+	ix.replanLocked()
+	ix.mu.Unlock()
+}
+
+// SetStrategy pins the partition to one strategy regardless of its
+// statistics — the IndexOptions.Strategy override. Auto clears the pin,
+// handing the decision back to the installed planner (or to the Prefix
+// default when none is installed).
+func (ix *Index) SetStrategy(s planner.Strategy) {
+	ix.mu.Lock()
+	ix.override = s
+	ix.replanLocked()
+	ix.mu.Unlock()
+}
+
+// Plan reports the strategy queries currently run through.
+func (ix *Index) Plan() planner.Strategy {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.plan
+}
+
+// PartitionStats summarizes the partition for the planner: a snapshot
+// of the statistics the index maintains incrementally on every
+// mutation.
+func (ix *Index) PartitionStats() planner.PartitionStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.partitionStatsLocked()
+}
+
+func (ix *Index) partitionStatsLocked() planner.PartitionStats {
+	return planner.PartitionStats{
+		Entities:      len(ix.entities),
+		Elements:      len(ix.postings),
+		Postings:      ix.postingCount - ix.deadPostings,
+		MaxPostingLen: ix.maxPosting,
+		CardMean:      ix.cardDist.Mean(),
+		CardP90:       ix.cardDist.Quantile(0.9),
+		CardMax:       ix.cardDist.Max(),
+	}
+}
+
+// replanLocked re-decides the partition's strategy after a mutation or
+// a SetPlanner/SetStrategy call, building the LSH table on a
+// transition into LSH and dropping it on a transition away. Caller
+// holds the write lock. The decision chain: a non-Auto override wins;
+// otherwise an installed planner decides from the current statistics;
+// otherwise Prefix (so a bare New index behaves exactly as it did
+// before planning existed).
+func (ix *Index) replanLocked() {
+	next := planner.Prefix
+	switch {
+	case ix.override != planner.Auto:
+		next = ix.override
+	case ix.pl != nil:
+		next = ix.pl.Decide(ix.partitionStatsLocked())
+		if next == planner.Auto {
+			next = planner.Prefix
+		}
+	}
+	if next == ix.plan {
+		return
+	}
+	ix.plan = next
+	if next == planner.LSH {
+		ix.buildLSHLocked()
+	} else {
+		ix.lshTab = nil
+	}
+}
+
+// buildLSHLocked (re)builds the MinHash band table over the live
+// entities. Runs only on a plan transition into LSH; while the plan
+// stays LSH the mutation paths maintain the table incrementally.
+func (ix *Index) buildLSHLocked() {
+	t := lsh.NewTable(lshBands, lshRows, lshSeed)
+	for id, e := range ix.entities {
+		t.Add(uint64(id), e.set)
+	}
+	ix.lshTab = t
+}
+
+// offerTopKLocked folds one live entity into the top-k pass: dedup by
+// slot mark, length-filter against the current floor, verify, offer to
+// the heap. Shared by the brute and LSH passes (their candidates come
+// from the entity table, so no staleness check is needed — unlike
+// posting lists, it holds no tombstones). Caller holds the read lock.
+func (ix *Index) offerTopKLocked(s *queryScratch, q Query, qUni similarity.UniStats, e *entry, k int) {
+	s.cnt.probes++
+	if e.set.ID == q.Set.ID {
+		return
+	}
+	if s.marks[e.slot] == s.epoch {
+		return
+	}
+	s.marks[e.slot] = s.epoch
+	s.cnt.cands++
+	if len(s.heap) == k {
+		if similarity.SimUpperBound(ix.measure, qUni, e.uni) < s.heap[0].Sim-boundEps {
+			s.cnt.lenPruned++
+			return
+		}
+	}
+	// Verified counts from here: computing the intersection IS the
+	// expensive verification step, and counting it before the overlap
+	// check keeps the funnel invariant (Verified == Candidates −
+	// LengthPruned) identical across strategies.
+	s.cnt.verified++
+	conj := similarity.ConjOf(q.Set, e.set)
+	if conj.Common == 0 {
+		// Only entities sharing an element qualify (t=0 semantics) —
+		// posting-probe candidates always do, scan candidates may not.
+		return
+	}
+	//lint:vsmart-allow lockscope the scan passes verify under the RLock so the rising floor keeps pruning, exactly like the prefix top-k pass
+	sim := ix.measure.Sim(qUni, e.uni, conj)
+	s.heap.offer(Match{ID: e.set.ID, Sim: sim}, k)
+}
+
+// topkBruteLocked scans the whole entity table — the plan for
+// partitions small enough that probe setup dominates. The bounded heap
+// keeps the best k under the total (Sim, ID) order, so the visit order
+// of the map cannot change the answer.
+func (ix *Index) topkBruteLocked(s *queryScratch, q Query, qUni similarity.UniStats, k int) {
+	s.begin(int(ix.nextSlot))
+	for _, e := range ix.entities {
+		ix.offerTopKLocked(s, q, qUni, e, k)
+	}
+}
+
+// topkLSHLocked is the stop-word-resistant plan: verify the MinHash
+// band-bucket collisions first — the entities most likely to be highly
+// similar — so the k-th-best floor is established after O(bands)
+// bucket lookups, then sweep every remaining entity under that floor.
+// The sweep is what keeps the strategy exact: bucket misses are not
+// losses, they just verify later (or length-prune against the floor
+// the buckets seeded).
+func (ix *Index) topkLSHLocked(s *queryScratch, q Query, qUni similarity.UniStats, k int) {
+	if ix.lshTab == nil {
+		// Unreachable in practice (replanLocked builds the table when it
+		// sets the plan), but a missing table must not cost correctness.
+		ix.topkPrefixLocked(s, q, qUni, k)
+		return
+	}
+	s.begin(int(ix.nextSlot))
+	s.sig = ix.lshTab.Hasher().SignatureInto(q.Set, s.sig)
+	for band := 0; band < ix.lshTab.Bands(); band++ {
+		for _, id := range ix.lshTab.Bucket(band, s.sig) {
+			if e, ok := ix.entities[multiset.ID(id)]; ok {
+				ix.offerTopKLocked(s, q, qUni, e, k)
+			}
+		}
+	}
+	for _, e := range ix.entities {
+		ix.offerTopKLocked(s, q, qUni, e, k)
+	}
+}

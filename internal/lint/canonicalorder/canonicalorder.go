@@ -6,14 +6,19 @@
 // In the result-bearing packages (the vsmartjoin root, internal/index,
 // internal/shard, internal/cluster, internal/httpd) every function
 // returning a []Match — any of the three Match types: index.Match,
-// cluster.Match, vsmartjoin.Match — must return either
+// cluster.Match, vsmartjoin.Match — or a []Neighbor (the kNN result
+// types: index.Neighbor, cluster.Neighbor, vsmartjoin.Neighbor; their
+// canonical order is distance ascending, tie-break ascending) must
+// return either
 //
 //   - nil or an empty literal,
-//   - the direct result of another []Match-returning call (delegation:
-//     the callee is held to the same rule), or
+//   - the direct result of another result-slice-returning call
+//     (delegation: the callee is held to the same rule), or
 //   - a local slice that provably passed through a canonicalizer:
 //     index.SortMatches, index.MergeTopK, vsmartjoin.SortMatchesByName,
-//     or cluster's sortMatches.
+//     cluster's sortMatches — or, for neighbors, index.SortNeighbors,
+//     index.MergeKNN, vsmartjoin.SortNeighborsByName, cluster's
+//     sortNeighbors.
 //
 // The tracking is a source-order scan, not a full dataflow analysis:
 // assigning a fresh literal/make/append/conversion to a variable clears
@@ -35,7 +40,7 @@ import (
 // Analyzer is the canonicalorder checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "canonicalorder",
-	Doc:  "functions returning []Match must canonicalize (SortMatches/SortMatchesByName/MergeTopK) before returning",
+	Doc:  "functions returning []Match or []Neighbor must canonicalize (SortMatches/SortNeighbors/Merge*) before returning",
 	Run:  run,
 }
 
@@ -48,24 +53,34 @@ var scopePkgs = map[string]bool{
 	"vsmartjoin/internal/httpd":   true,
 }
 
-// matchTypes are the (package, type name) pairs that count as a Match.
+// matchTypes are the (package, type name) pairs that count as a
+// canonically-ordered result element — the Match family and the kNN
+// Neighbor family alike.
 var matchTypes = [][2]string{
 	{"vsmartjoin", "Match"},
 	{"vsmartjoin/internal/index", "Match"},
 	{"vsmartjoin/internal/cluster", "Match"},
+	{"vsmartjoin", "Neighbor"},
+	{"vsmartjoin/internal/index", "Neighbor"},
+	{"vsmartjoin/internal/cluster", "Neighbor"},
 }
 
-// canonicalizers sort a []Match argument in place ([2]: pkg, name).
+// canonicalizers sort a result-slice argument in place ([2]: pkg, name).
 var canonicalizers = [][2]string{
 	{"vsmartjoin", "SortMatchesByName"},
 	{"vsmartjoin/internal/index", "SortMatches"},
 	{"vsmartjoin/internal/cluster", "sortMatches"},
+	{"vsmartjoin", "SortNeighborsByName"},
+	{"vsmartjoin/internal/index", "SortNeighbors"},
+	{"vsmartjoin/internal/cluster", "sortNeighbors"},
 }
 
-// canonicalProducers return an already-canonical []Match.
+// canonicalProducers return an already-canonical result slice.
 var canonicalProducers = [][2]string{
 	{"vsmartjoin/internal/index", "MergeTopK"},
 	{"vsmartjoin/internal/index", "MergeTopKInto"},
+	{"vsmartjoin/internal/index", "MergeKNN"},
+	{"vsmartjoin/internal/index", "MergeKNNInto"},
 }
 
 func run(pass *analysis.Pass) error {
@@ -239,8 +254,14 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 					continue
 				}
 				if !exprCanonical(res) {
+					kind, sorters := "Match", "SortMatches/SortMatchesByName/MergeTopK"
+					if sl, ok := types.Unalias(tv.Type).(*types.Slice); ok {
+						if named, ok := types.Unalias(sl.Elem()).(*types.Named); ok && named.Obj().Name() == "Neighbor" {
+							kind, sorters = "Neighbor", "SortNeighbors/SortNeighborsByName/MergeKNN"
+						}
+					}
 					pass.Reportf(res.Pos(),
-						"returning a []Match that did not pass through a canonicalizer (SortMatches/SortMatchesByName/MergeTopK): public results must be in the canonical order")
+						"returning a []%s that did not pass through a canonicalizer (%s): public results must be in the canonical order", kind, sorters)
 				}
 			}
 		}

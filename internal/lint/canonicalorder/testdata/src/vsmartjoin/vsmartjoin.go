@@ -74,3 +74,48 @@ func stale() []Match {
 	//lint:vsmart-allow canonicalorder nothing below returns out of order // want `unused //lint:vsmart-allow canonicalorder suppression`
 	return nil
 }
+
+// Neighbor is the kNN result type; []Neighbor returns are held to the
+// same canonical-order rule as []Match, with their own sorter set.
+type Neighbor struct {
+	Entity   string
+	Distance float64
+}
+
+// SortNeighborsByName is the root package's kNN canonicalizer.
+func SortNeighborsByName(ns []Neighbor) {}
+
+func badNeighbors(in []Neighbor) []Neighbor {
+	out := append([]Neighbor{}, in...)
+	return out // want `returning a \[\]Neighbor that did not pass through a canonicalizer \(SortNeighbors/SortNeighborsByName/MergeKNN\)`
+}
+
+func goodNeighbors(in []Neighbor) []Neighbor {
+	out := append([]Neighbor{}, in...)
+	SortNeighborsByName(out)
+	return out
+}
+
+func neighborDelegation(in []Neighbor) []Neighbor {
+	return goodNeighbors(in) // the callee is held to the same rule
+}
+
+func neighborSliced(in []Neighbor, k int) []Neighbor {
+	out := append([]Neighbor{}, in...)
+	SortNeighborsByName(out)
+	if len(out) > k {
+		out = out[:k] // re-slicing preserves canonical order
+	}
+	return out
+}
+
+func neighborPadAppend(out []Neighbor, name string) []Neighbor {
+	out = append(out, Neighbor{Entity: name, Distance: 1}) // appending clears the mark
+	return out                                             // want `returning a \[\]Neighbor that did not pass through a canonicalizer`
+}
+
+func matchSorterDoesNotCoverNeighbors(in []Neighbor, ms []Match) []Neighbor {
+	out := append([]Neighbor{}, in...)
+	SortMatchesByName(ms) // sorting a different slice proves nothing about out
+	return out            // want `returning a \[\]Neighbor that did not pass through a canonicalizer`
+}

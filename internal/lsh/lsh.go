@@ -138,10 +138,7 @@ func Join(sets []multiset.Multiset, cfg Config) ([]records.Pair, Stats, error) {
 			if sets[i].Cardinality() == 0 {
 				continue
 			}
-			h := uint64(band) + 0x9e3779b97f4a7c15
-			for r := 0; r < cfg.Rows; r++ {
-				h = splitmix(h ^ sig[band*cfg.Rows+r])
-			}
+			h := bandKey(band, cfg.Rows, sig)
 			buckets[h] = append(buckets[h], i)
 		}
 		for _, members := range buckets {

@@ -1,0 +1,141 @@
+package lsh
+
+import "vsmartjoin/internal/multiset"
+
+// This file is the narrow interface the adaptive planner calls: an
+// incremental banded MinHash table the online index (internal/index)
+// maintains for partitions whose statistics favor the LSH strategy.
+// Where Join is the batch, whole-dataset baseline, a Table indexes live
+// entities one at a time and answers per-query bucket lookups — the
+// candidate-generation half only. Verification stays with the caller,
+// which is what keeps the strategy exact: bucket collisions merely seed
+// a top-k/kNN floor early, and the caller sweeps every remaining entity
+// under that floor.
+
+// SignatureInto computes the MinHash signature of a multiset into sig
+// (reused when its capacity suffices) — the allocation-free form the
+// index's pooled query scratch calls; Signature remains the allocating
+// convenience.
+func (m *MinHasher) SignatureInto(ms multiset.Multiset, sig []uint64) []uint64 {
+	if cap(sig) < len(m.seeds) {
+		sig = make([]uint64, len(m.seeds))
+	}
+	sig = sig[:len(m.seeds)]
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, e := range ms.Entries {
+		for c := uint32(1); c <= e.Count; c++ {
+			for i, seed := range m.seeds {
+				if h := hashItem(seed, e.Elem, c); h < sig[i] {
+					sig[i] = h
+				}
+			}
+		}
+	}
+	return sig
+}
+
+// bandKey folds one band of a signature into its bucket key. Join and
+// Table share it, so the batch baseline and the incremental table
+// always agree on which signatures collide.
+func bandKey(band, rows int, sig []uint64) uint64 {
+	h := uint64(band) + 0x9e3779b97f4a7c15
+	for r := 0; r < rows; r++ {
+		h = splitmix(h ^ sig[band*rows+r])
+	}
+	return h
+}
+
+// Table is an incremental banded MinHash index over live entities,
+// keyed by entity ID. It is not concurrency-safe; the owning index
+// serializes mutations and lookups under its own lock (lookups are
+// read-only and may share a read lock).
+type Table struct {
+	hasher  *MinHasher
+	bands   int
+	rows    int
+	buckets []map[uint64][]uint64 // per band: bucket key → entity IDs
+	sigs    map[uint64][]uint64   // entity ID → stored signature
+}
+
+// NewTable returns an empty table with the given banding (bands·rows
+// hash functions derived from seed; both clamped to at least 1).
+func NewTable(bands, rows int, seed uint64) *Table {
+	if bands < 1 {
+		bands = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	t := &Table{
+		hasher:  NewMinHasher(bands*rows, seed),
+		bands:   bands,
+		rows:    rows,
+		buckets: make([]map[uint64][]uint64, bands),
+		sigs:    make(map[uint64][]uint64),
+	}
+	for i := range t.buckets {
+		t.buckets[i] = make(map[uint64][]uint64)
+	}
+	return t
+}
+
+// Hasher exposes the table's hash family so callers can compute query
+// signatures with SignatureInto.
+func (t *Table) Hasher() *MinHasher { return t.hasher }
+
+// Bands reports the band count.
+func (t *Table) Bands() int { return t.bands }
+
+// Len reports the number of indexed entities.
+func (t *Table) Len() int { return len(t.sigs) }
+
+// Add indexes an entity, replacing any previous signature under the
+// same ID. Empty multisets are dropped (they can collide with anything
+// but overlap with nothing, exactly as Join skips them).
+func (t *Table) Add(id uint64, ms multiset.Multiset) {
+	t.Remove(id)
+	if len(ms.Entries) == 0 {
+		return
+	}
+	sig := t.hasher.Signature(ms)
+	t.sigs[id] = sig
+	for band := 0; band < t.bands; band++ {
+		k := bandKey(band, t.rows, sig)
+		t.buckets[band][k] = append(t.buckets[band][k], id)
+	}
+}
+
+// Remove drops an entity from every band bucket.
+func (t *Table) Remove(id uint64) {
+	sig, ok := t.sigs[id]
+	if !ok {
+		return
+	}
+	delete(t.sigs, id)
+	for band := 0; band < t.bands; band++ {
+		k := bandKey(band, t.rows, sig)
+		members := t.buckets[band][k]
+		for i, m := range members {
+			if m == id {
+				members[i] = members[len(members)-1]
+				members = members[:len(members)-1]
+				break
+			}
+		}
+		if len(members) == 0 {
+			delete(t.buckets[band], k)
+		} else {
+			t.buckets[band][k] = members
+		}
+	}
+}
+
+// Bucket returns the entity IDs colliding with the query signature in
+// one band. The slice is the table's own storage — callers must not
+// mutate or retain it past the next mutation (the index reads it under
+// its lock and copies nothing).
+func (t *Table) Bucket(band int, sig []uint64) []uint64 {
+	return t.buckets[band][bandKey(band, t.rows, sig)]
+}

@@ -1,0 +1,151 @@
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vsmartjoin/internal/multiset"
+)
+
+func tableSet(id uint64, elems ...uint64) multiset.Multiset {
+	entries := make([]multiset.Entry, len(elems))
+	for i, e := range elems {
+		entries[i] = multiset.Entry{Elem: multiset.Elem(e), Count: 1}
+	}
+	return multiset.Multiset{ID: multiset.ID(id), Entries: entries}
+}
+
+// TestTableSelfCollision pins the property the index's LSH strategy
+// rests on: an indexed entity collides with its own query signature in
+// every band, so the entity seeding a floor is always found.
+func TestTableSelfCollision(t *testing.T) {
+	tab := NewTable(8, 2, 42)
+	ms := tableSet(7, 1, 2, 3, 4, 5)
+	tab.Add(7, ms)
+	sig := tab.Hasher().SignatureInto(ms, nil)
+	for band := 0; band < tab.Bands(); band++ {
+		found := false
+		for _, id := range tab.Bucket(band, sig) {
+			if id == 7 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("band %d bucket misses the entity's own ID", band)
+		}
+	}
+}
+
+// TestTableMatchesJoinCollisions gates the incremental table against
+// the batch Join baseline: both are built from bandKey over the same
+// hash family, so for identical (bands, rows, seed) the set of IDs
+// colliding with a query in any band must equal the brute-force "same
+// band key" computation over all stored signatures.
+func TestTableMatchesJoinCollisions(t *testing.T) {
+	const bands, rows, seed = 6, 3, 99
+	rng := rand.New(rand.NewSource(5))
+	tab := NewTable(bands, rows, seed)
+	sets := make(map[uint64]multiset.Multiset)
+	for id := uint64(1); id <= 40; id++ {
+		elems := make([]uint64, 0, 6)
+		base := uint64(rng.Intn(20))
+		for j := 0; j < 6; j++ {
+			elems = append(elems, (base+uint64(rng.Intn(8)))%40)
+		}
+		sets[id] = tableSet(id, elems...)
+		tab.Add(id, sets[id])
+	}
+	hasher := NewMinHasher(bands*rows, seed)
+	for qid, qms := range sets {
+		sig := hasher.SignatureInto(qms, nil)
+		for band := 0; band < bands; band++ {
+			want := map[uint64]bool{}
+			qk := bandKey(band, rows, sig)
+			for id, ms := range sets {
+				if bandKey(band, rows, hasher.Signature(ms)) == qk {
+					want[id] = true
+				}
+			}
+			got := map[uint64]bool{}
+			for _, id := range tab.Bucket(band, sig) {
+				got[id] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query %d band %d: table bucket %v, brute force %v", qid, band, got, want)
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("query %d band %d: table bucket misses %d", qid, band, id)
+				}
+			}
+		}
+	}
+}
+
+// TestTableChurn pins the mutation contract: Remove drops an entity
+// from every band, Add replaces a previous signature (no stale bucket
+// entries), and empty multisets are never indexed.
+func TestTableChurn(t *testing.T) {
+	tab := NewTable(4, 2, 7)
+	a := tableSet(1, 10, 11, 12)
+	b := tableSet(1, 90, 91, 92)
+	tab.Add(1, a)
+	tab.Add(1, b) // upsert: the signature of a must be gone
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after upsert, want 1", tab.Len())
+	}
+	oldSig := tab.Hasher().SignatureInto(a, nil)
+	for band := 0; band < tab.Bands(); band++ {
+		for _, id := range tab.Bucket(band, oldSig) {
+			if id == 1 && bandKey(band, 2, oldSig) != bandKey(band, 2, tab.Hasher().Signature(b)) {
+				t.Fatalf("band %d still holds the pre-upsert signature", band)
+			}
+		}
+	}
+	tab.Remove(1)
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after remove, want 0", tab.Len())
+	}
+	newSig := tab.Hasher().SignatureInto(b, nil)
+	for band := 0; band < tab.Bands(); band++ {
+		if ids := tab.Bucket(band, newSig); len(ids) != 0 {
+			t.Fatalf("band %d bucket %v after remove", band, ids)
+		}
+	}
+	tab.Remove(1) // removing a missing ID is a no-op, not a panic
+	tab.Add(2, multiset.Multiset{ID: 2})
+	if tab.Len() != 0 {
+		t.Fatal("empty multiset was indexed")
+	}
+}
+
+// TestTableClampsDegenerateBanding mirrors NewTable's documented
+// clamping: non-positive bands/rows become 1, not a panic.
+func TestTableClampsDegenerateBanding(t *testing.T) {
+	tab := NewTable(0, -3, 1)
+	if tab.Bands() != 1 {
+		t.Fatalf("Bands = %d, want 1", tab.Bands())
+	}
+	tab.Add(1, tableSet(1, 5))
+	sig := tab.Hasher().SignatureInto(tableSet(1, 5), nil)
+	if ids := tab.Bucket(0, sig); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("Bucket = %v, want [1]", ids)
+	}
+}
+
+// TestSignatureIntoReuse pins the allocation-free form: a buffer of
+// sufficient capacity is reused in place and agrees with Signature.
+func TestSignatureIntoReuse(t *testing.T) {
+	h := NewMinHasher(16, 3)
+	ms := tableSet(1, 2, 4, 6)
+	buf := make([]uint64, 0, 16)
+	got := h.SignatureInto(ms, buf)
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("SignatureInto reallocated despite sufficient capacity")
+	}
+	want := h.Signature(ms)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("SignatureInto = %v, Signature = %v", got, want)
+	}
+}

@@ -1,0 +1,121 @@
+package planner
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStrategyStringParse pins the wire names round-tripping: the
+// strings here are API surface (IndexOptions.Strategy, /stats JSON,
+// /metrics labels) and must never drift.
+func TestStrategyStringParse(t *testing.T) {
+	names := map[Strategy]string{
+		Auto:   "auto",
+		Prefix: "prefix",
+		LSH:    "lsh",
+		Brute:  "brute",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+		back, err := Parse(want)
+		if err != nil || back != s {
+			t.Errorf("Parse(%q) = %v, %v; want %v", want, back, err, s)
+		}
+	}
+	if s, err := Parse(""); err != nil || s != Auto {
+		t.Errorf("Parse(\"\") = %v, %v; want Auto", s, err)
+	}
+	if _, err := Parse("fastest"); err == nil {
+		t.Error("Parse accepted an unknown strategy name")
+	}
+	if got := Strategy(99).String(); got != "strategy(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestFixedIgnoresStats(t *testing.T) {
+	huge := PartitionStats{Entities: 1 << 20, Elements: 2, Postings: 1 << 21, MaxPostingLen: 1 << 20}
+	for _, s := range []Strategy{Prefix, LSH, Brute} {
+		if got := Fixed(s).Decide(huge); got != s {
+			t.Errorf("Fixed(%v).Decide = %v", s, got)
+		}
+		if got := Fixed(s).Decide(PartitionStats{}); got != s {
+			t.Errorf("Fixed(%v).Decide(zero) = %v", s, got)
+		}
+	}
+}
+
+func TestTokenSkew(t *testing.T) {
+	cases := []struct {
+		name string
+		ps   PartitionStats
+		want float64
+	}{
+		{"empty", PartitionStats{}, 0},
+		{"no postings", PartitionStats{Elements: 5}, 0},
+		{"uniform", PartitionStats{Elements: 10, Postings: 100, MaxPostingLen: 10}, 1},
+		{"stopword", PartitionStats{Entities: 100, Elements: 50, Postings: 200, MaxPostingLen: 100}, 25},
+	}
+	for _, tc := range cases {
+		if got := tc.ps.TokenSkew(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: TokenSkew = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHeuristicDecide walks the decision surface: the cutoffs, their
+// exact boundaries (≤ for brute, ≥ for both LSH gates), and the
+// zero-value fallbacks to the Default* constants.
+func TestHeuristicDecide(t *testing.T) {
+	// hot builds stats whose hottest posting list covers frac of n.
+	hot := func(n int, frac float64) PartitionStats {
+		return PartitionStats{
+			Entities: n, Elements: n, Postings: 4 * n,
+			MaxPostingLen: int(frac * float64(n)),
+		}
+	}
+	zero := Heuristic{}
+	cases := []struct {
+		name string
+		h    Heuristic
+		ps   PartitionStats
+		want Strategy
+	}{
+		{"empty partition", zero, PartitionStats{}, Brute},
+		{"at brute cutoff", zero, hot(DefaultBruteCutoff, 0.1), Brute},
+		{"just above brute cutoff", zero, hot(DefaultBruteCutoff+1, 0.1), Prefix},
+		{"uniform large", zero, hot(10000, 0.01), Prefix},
+		{"hot but too small for lsh", zero, hot(DefaultLSHMinEntities-1, 0.9), Prefix},
+		{"hot at lsh floor", zero, hot(DefaultLSHMinEntities, 0.9), LSH},
+		{"exactly at hot fraction", zero, hot(1000, DefaultLSHHotFraction), LSH},
+		{"just under hot fraction", zero, hot(1000, 0.499), Prefix},
+		{"custom cutoffs", Heuristic{BruteCutoff: 10, LSHMinEntities: 20, LSHHotFraction: 0.25},
+			hot(21, 0.3), LSH},
+		{"custom brute", Heuristic{BruteCutoff: 500}, hot(499, 0.9), Brute},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Decide(tc.ps); got != tc.want {
+			t.Errorf("%s: Decide(%+v) = %v, want %v", tc.name, tc.ps, got, tc.want)
+		}
+	}
+}
+
+// TestHeuristicDeterminism pins the purity contract Decide documents:
+// identical statistics must always yield identical plans.
+func TestHeuristicDeterminism(t *testing.T) {
+	h := Heuristic{}
+	for n := 0; n < 4096; n += 17 {
+		ps := PartitionStats{
+			Entities: n, Elements: 1 + n/3, Postings: 4 * n,
+			MaxPostingLen: n / 2, CardMean: 8, CardP90: 16, CardMax: 64,
+		}
+		first := h.Decide(ps)
+		for i := 0; i < 3; i++ {
+			if got := h.Decide(ps); got != first {
+				t.Fatalf("Decide(%+v) flapped: %v then %v", ps, first, got)
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"vsmartjoin/internal/index"
 	"vsmartjoin/internal/metrics"
 	"vsmartjoin/internal/multiset"
+	"vsmartjoin/internal/planner"
 	"vsmartjoin/internal/similarity"
 )
 
@@ -58,9 +59,11 @@ func (s *Set) MergeSnapshot() metrics.Snapshot { return s.merge.Snapshot() }
 // fanScratch is the reusable per-fan-out state: one result buffer per
 // shard, each handed to that shard's Into query and merged afterwards.
 // Slots are written only by the worker that claimed the shard, so the
-// buffers need no locking within one fan-out.
+// buffers need no locking within one fan-out. kper is the Neighbor-
+// typed twin for kNN fan-outs, sized lazily on the first one.
 type fanScratch struct {
-	per [][]index.Match
+	per  [][]index.Match
+	kper [][]index.Neighbor
 }
 
 func (s *Set) getFan() *fanScratch {
@@ -74,6 +77,9 @@ func (s *Set) getFan() *fanScratch {
 func (s *Set) putFan(f *fanScratch) {
 	for i := range f.per {
 		f.per[i] = f.per[i][:0]
+	}
+	for i := range f.kper {
+		f.kper[i] = f.kper[i][:0]
 	}
 	s.scratch.Put(f)
 }
@@ -315,6 +321,60 @@ func (s *Set) QueryTopKInto(q index.Query, k int, buf []index.Match) []index.Mat
 	s.putFan(f)
 	s.merge.ObserveSince(start)
 	return buf
+}
+
+// QueryKNN fans out and merges per-shard kNN lists into the global k
+// nearest with index.MergeKNN — exact for the same partitioning reason
+// as QueryTopK, of which it is the distance-ordered mirror.
+func (s *Set) QueryKNN(q index.Query, k int) []index.Neighbor {
+	return s.QueryKNNInto(q, k, nil)
+}
+
+// QueryKNNInto is QueryKNN appending into buf instead of allocating
+// the result, with pooled per-shard merge buffers like the other Into
+// fan-outs.
+func (s *Set) QueryKNNInto(q index.Query, k int, buf []index.Neighbor) []index.Neighbor {
+	s.queries.Add(1)
+	if len(s.shards) == 1 {
+		return s.shards[0].QueryKNNInto(q, k, buf)
+	}
+	f := s.getFan()
+	if f.kper == nil {
+		f.kper = make([][]index.Neighbor, len(s.shards))
+	}
+	s.fanOut(func(i int) { f.kper[i] = s.shards[i].QueryKNNInto(q, k, f.kper[i][:0]) })
+	start := metrics.Now()
+	buf = index.MergeKNNInto(k, buf, f.kper...)
+	s.putFan(f)
+	s.merge.ObserveSince(start)
+	return buf
+}
+
+// SetPlanner installs a planner on every shard; each shard decides its
+// own strategy from its own partition statistics, so a skewed shard
+// can plan differently from its siblings.
+func (s *Set) SetPlanner(p planner.Planner) {
+	for _, sh := range s.shards {
+		sh.SetPlanner(p)
+	}
+}
+
+// SetStrategy pins every shard to one strategy (Auto clears the pin) —
+// the IndexOptions.Strategy override fanned out.
+func (s *Set) SetStrategy(st planner.Strategy) {
+	for _, sh := range s.shards {
+		sh.SetStrategy(st)
+	}
+}
+
+// Plans reports each shard's current strategy, in shard order — the
+// per-partition planner decisions /stats and /metrics surface.
+func (s *Set) Plans() []planner.Strategy {
+	out := make([]planner.Strategy, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Plan()
+	}
+	return out
 }
 
 // Stats sums the per-shard counters. Queries is counted at the set

@@ -1,0 +1,96 @@
+package stats
+
+import "math/bits"
+
+// Dist is an incremental distribution over uint64 observations that
+// supports removal — the ingest-time dataset statistic the adaptive
+// planner (internal/planner) reads. Observations are bucketed by bit
+// length (the same log-2 scheme as LogHistogram), which is what makes
+// Remove possible: a deleted entity's cardinality lands back in the
+// exact bucket its Add used, so the summary tracks the live dataset
+// instead of its whole mutation history. The zero value is ready to use.
+//
+// Bucket granularity is deliberate: the planner's decisions are cut-offs
+// on orders of magnitude (tiny partition, heavy-tailed lengths), so a
+// power-of-two summary is both sufficient and deterministic — no
+// sampling, no decay, identical histories always produce identical
+// summaries.
+type Dist struct {
+	buckets [65]int64 // bucket b holds values of bit length b; 0 has its own
+	total   int64
+	sum     int64
+}
+
+// Add records one observation.
+func (d *Dist) Add(v uint64) {
+	d.buckets[bits.Len64(v)]++
+	d.total++
+	d.sum += int64(v)
+}
+
+// Remove un-records one observation previously Added with the same
+// value. Removing a value never added corrupts the summary; callers own
+// that pairing (the index removes exactly the cardinality it inserted).
+func (d *Dist) Remove(v uint64) {
+	d.buckets[bits.Len64(v)]--
+	d.total--
+	d.sum -= int64(v)
+}
+
+// Count reports the number of live observations.
+func (d *Dist) Count() int64 { return d.total }
+
+// Mean reports the exact mean of the live observations (the sum is
+// tracked exactly; only the shape is bucketed), or 0 when empty.
+func (d *Dist) Mean() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.total)
+}
+
+// bucketCeil is the largest value bucket b can hold.
+func bucketCeil(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return 1<<uint(b) - 1
+}
+
+// Quantile reports an upper bound on the q-quantile (q in [0, 1]): the
+// ceiling of the first bucket whose cumulative count reaches q·total.
+// Empty distributions report 0.
+func (d *Dist) Quantile(q float64) uint64 {
+	if d.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(q*float64(d.total) + 0.5)
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for b, n := range d.buckets {
+		cum += n
+		if cum >= need {
+			return bucketCeil(b)
+		}
+	}
+	return bucketCeil(64)
+}
+
+// Max reports an upper bound on the largest live observation (the
+// ceiling of the highest non-empty bucket), or 0 when empty.
+func (d *Dist) Max() uint64 {
+	for b := len(d.buckets) - 1; b >= 0; b-- {
+		if d.buckets[b] > 0 {
+			return bucketCeil(b)
+		}
+	}
+	return 0
+}
